@@ -1,0 +1,44 @@
+"""Ablation: the three probability engines on the same instance.
+
+DESIGN.md calls out the partition Markov chain as the key algorithmic
+choice over literal 2^(tk) enumeration; this benchmark quantifies it and
+checks the Monte-Carlo engine's accuracy against the exact value.
+"""
+
+from repro.core import (
+    ConsistencyChain,
+    leader_election,
+    solving_probability_enumerated,
+    solving_probability_sampled,
+)
+from repro.randomness import RandomnessConfiguration
+
+SHAPE = (1, 2, 2)
+T = 4
+ALPHA = RandomnessConfiguration.from_group_sizes(SHAPE)
+TASK = leader_election(sum(SHAPE))
+
+
+def bench_engine_enumeration(benchmark):
+    """Literal enumeration: 2^(tk) = 4096 realizations."""
+    exact = benchmark(lambda: solving_probability_enumerated(ALPHA, TASK, T))
+    assert 0 < exact < 1
+
+
+def bench_engine_chain(benchmark):
+    """Partition chain: polynomial in reachable partitions."""
+
+    def kernel():
+        return ConsistencyChain(ALPHA).solving_probability(TASK, T)
+
+    chain = benchmark(kernel)
+    assert chain == solving_probability_enumerated(ALPHA, TASK, T)
+
+
+def bench_engine_montecarlo(benchmark):
+    """Monte Carlo with 2000 samples; must land near the exact value."""
+    estimate = benchmark(
+        lambda: solving_probability_sampled(ALPHA, TASK, T, samples=2000, seed=1)
+    )
+    exact = float(ConsistencyChain(ALPHA).solving_probability(TASK, T))
+    assert abs(estimate - exact) < 0.05

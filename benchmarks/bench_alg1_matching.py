@@ -1,0 +1,42 @@
+"""Algorithm 1 / Lemma 4.8: CreateMatching matches all of V1 in <= |V1|
+iterations.
+
+Runs the literal protocol over (n1, n2) pairs and seeds; the kernel times
+one full matching run on a 12-node clique.
+"""
+
+from repro.algorithms import (
+    OBSERVER,
+    V1,
+    V2,
+    CliqueNetwork,
+    CreateMatchingNode,
+    matching_summary,
+)
+from repro.analysis import algorithm1_matching
+from repro.models import random_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_algorithm1_experiment(run_experiment):
+    run_experiment(
+        algorithm1_matching,
+        pairs=((1, 2), (2, 3), (2, 5), (3, 4), (4, 4), (3, 8)),
+        seeds=(0, 1, 2),
+    )
+
+
+def bench_matching_run_kernel(benchmark):
+    """One CreateMatching run with |V1|=4, |V2|=7, one observer."""
+    alpha = RandomnessConfiguration.independent(12)
+    ports = random_assignment(12, 3)
+
+    def kernel():
+        roles = iter([V1] * 4 + [V2] * 7 + [OBSERVER])
+        network = CliqueNetwork(
+            alpha, ports, lambda: CreateMatchingNode(next(roles)), seed=5
+        )
+        return network.run(max_rounds=30)
+
+    result = benchmark(kernel)
+    assert matching_summary(result.outputs)["matched"] == 8

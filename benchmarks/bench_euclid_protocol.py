@@ -1,0 +1,30 @@
+"""Theorem 4.2's algorithmic side: the Euclid-style election protocol.
+
+Sweeps shapes under adversarial ports (elects iff gcd = 1, never a wrong
+election) and times a single election run on the co-prime shape (3, 4).
+"""
+
+from repro.algorithms import CliqueNetwork, EuclidLeaderNode
+from repro.analysis import euclid_protocol
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_euclid_experiment(run_experiment):
+    run_experiment(
+        euclid_protocol, n_max=6, seeds=(0, 1, 2), max_rounds=96, rounds=1
+    )
+
+
+def bench_euclid_run_kernel(benchmark):
+    """One full election on sizes (3,4) with adversarial ports."""
+    shape = (3, 4)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    ports = adversarial_assignment(shape)
+
+    def kernel():
+        network = CliqueNetwork(alpha, ports, EuclidLeaderNode, seed=2)
+        return network.run(max_rounds=96)
+
+    result = benchmark(kernel)
+    assert result.all_decided and len(result.leaders()) == 1

@@ -1,0 +1,45 @@
+"""Extension: anonymous networks of arbitrary structure (conclusion's
+open direction).
+
+Reproduces the classical results the paper cites -- Angluin's ring
+impossibility and the Codenotti et al. gcd condition on K_{m,n} -- as the
+k=1 (deterministic) slice of the framework, plus the ring labeling census.
+Kernels time the color-refinement fixpoint and a full worst-case labeling
+sweep.
+"""
+
+from repro.analysis import extension_anonymous_graphs, ring_labeling_census
+from repro.core import (
+    color_refinement_fixpoint,
+    leader_election,
+    worst_case_deterministic_solvable,
+)
+from repro.models import GraphTopology
+
+
+def bench_anonymous_graphs_experiment(run_experiment):
+    run_experiment(extension_anonymous_graphs, rounds=1)
+
+
+def bench_ring_census_experiment(run_experiment):
+    run_experiment(ring_labeling_census, n=4)
+
+
+def bench_color_refinement_kernel(benchmark):
+    """Fixpoint computation on K_{3,4} (7 nodes)."""
+    topology = GraphTopology.complete_bipartite(3, 4)
+    fixpoint = benchmark(lambda: color_refinement_fixpoint(topology))
+    assert len(fixpoint) >= 2  # the two sides separate by degree
+
+
+def bench_worst_case_sweep_kernel(benchmark):
+    """All 288 labelings of K_{2,3}, each color-refined to fixpoint."""
+    base = GraphTopology.complete_bipartite(2, 3)
+    task = leader_election(5)
+
+    def kernel():
+        return worst_case_deterministic_solvable(
+            base, task, include_back_ports=True
+        )
+
+    assert benchmark(kernel) is True

@@ -1,0 +1,29 @@
+"""Extension: geometric decay rates of the failure probability.
+
+Verifies that the failure probability halves each round on blackboard
+configurations with a unique source (the rate implied by the paper's
+1-(k-1)/2^t bound), with both a numpy regression fit and the exact tail
+ratio from the chain.
+"""
+
+from repro.analysis import convergence_rates, exact_tail_ratio
+from repro.core import ConsistencyChain, leader_election
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_convergence_rate_experiment(run_experiment):
+    run_experiment(convergence_rates, horizon=20, rounds=1)
+
+
+def bench_tail_ratio_kernel(benchmark):
+    """Exact 30-round series + tail ratio for sizes (1,2,2,2)."""
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2, 2))
+    task = leader_election(7)
+
+    def kernel():
+        return exact_tail_ratio(
+            ConsistencyChain(alpha), task, horizon=30
+        )
+
+    ratio = benchmark(kernel)
+    assert abs(float(ratio) - 0.5) < 1e-6

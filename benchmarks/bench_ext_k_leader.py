@@ -1,0 +1,38 @@
+"""Extension: k-leader election characterizations (incl. the Section 1.2
+2-leader exercise).
+
+Blackboard: solvable iff a sub-multiset of the n_i sums to k.
+Worst-case clique: solvable iff gcd(n_i) | k, validated three ways
+(matching-closure oracle, closed form, exact chain limits).  The kernel
+times the closure computation on a larger instance.
+"""
+
+from repro.analysis import extension_k_leader
+from repro.core import reachable_multisets, worst_case_k_leader_solvable
+
+
+def bench_k_leader_experiment(run_experiment):
+    run_experiment(extension_k_leader, n_max=6, rounds=1)
+
+
+def bench_matching_closure_kernel(benchmark):
+    """Reachability closure of sizes (4, 6, 9, 10) -- n = 29."""
+
+    def kernel():
+        reachable_multisets.cache_clear()
+        return reachable_multisets((4, 6, 9, 10))
+
+    closure = benchmark(kernel)
+    assert (1,) * 29 in closure  # gcd 1: fully separable
+
+
+def bench_k_leader_oracle_kernel(benchmark):
+    """All k for sizes (4, 6, 8) (gcd 2)."""
+
+    def kernel():
+        return [
+            worst_case_k_leader_solvable((4, 6, 8), k) for k in range(1, 19)
+        ]
+
+    answers = benchmark(kernel)
+    assert answers == [k % 2 == 0 for k in range(1, 19)]

@@ -1,0 +1,23 @@
+"""Extension: protocol round complexity vs the exact chain expectation.
+
+Ties the executable layer to the analysis layer quantitatively: the mean
+decision round of the real protocols must match the chain's ``E[T] + 1``
+on the blackboard and stay bounded on the clique.
+"""
+
+from repro.analysis import protocol_round_complexity
+from repro.analysis.round_complexity import _protocol_mean_rounds
+
+
+def bench_round_complexity_experiment(run_experiment):
+    run_experiment(protocol_round_complexity, runs=300, rounds=1)
+
+
+def bench_protocol_batch_kernel(benchmark):
+    """100 blackboard election runs on sizes (1,2,2)."""
+
+    def kernel():
+        return _protocol_mean_rounds((1, 2, 2), clique=False, runs=100)
+
+    mean, _ = benchmark(kernel)
+    assert 2.0 <= mean <= 6.0

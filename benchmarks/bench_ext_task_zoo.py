@@ -1,0 +1,52 @@
+"""Extension: the task zoo and exact expected election times.
+
+Validates the derived closed forms (unique ids, leader+deputy, threshold
+election) against exact chain limits, and regenerates the expected-time
+table.  Kernels time a single expected-time solve and a zoo solvability
+sweep.
+"""
+
+from repro.analysis import extension_expected_times, extension_task_zoo
+from repro.core import (
+    ConsistencyChain,
+    expected_solving_time,
+    leader_election,
+    unique_ids,
+)
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_task_zoo_experiment(run_experiment):
+    run_experiment(extension_task_zoo, n_max=5, rounds=1)
+
+
+def bench_expected_time_experiment(run_experiment):
+    run_experiment(extension_expected_times, n_max=6, rounds=1)
+
+
+def bench_expected_time_kernel(benchmark):
+    """E[T] for leader election on sizes (1,2,3), clique adversarial."""
+    shape = (1, 2, 3)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    task = leader_election(6)
+
+    def kernel():
+        chain = ConsistencyChain(alpha, adversarial_assignment(shape))
+        return expected_solving_time(chain, task)
+
+    expected = benchmark(kernel)
+    assert expected is not None and expected >= 1
+
+
+def bench_unique_ids_limit_kernel(benchmark):
+    """Eventual solvability of unique-ids on sizes (2,3), adversarial."""
+    shape = (2, 3)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    task = unique_ids(5)
+
+    def kernel():
+        chain = ConsistencyChain(alpha, adversarial_assignment(shape))
+        return chain.limit_solving_probability(task)
+
+    assert benchmark(kernel) == 1

@@ -1,0 +1,21 @@
+"""Figure 1: evolution of the protocol complex P(t) for two parties.
+
+Regenerates the drawing's combinatorics -- P(0): 2 vertices / 1 edge,
+P(1): 4 / 4, P(2): 16 / 16 -- and checks the facet isomorphism h with
+R(t).  The timed kernel is the full P(t) construction (4^t knowledge
+evaluations plus complex assembly).
+"""
+
+from repro.analysis import figure1_protocol_complex
+from repro.core import build_protocol_complex
+from repro.models import BlackboardModel
+
+
+def bench_figure1_experiment(run_experiment):
+    run_experiment(figure1_protocol_complex, t_max=3)
+
+
+def bench_figure1_build_kernel(benchmark):
+    """Raw P(3) construction for n=2 (64 realizations)."""
+    result = benchmark(lambda: build_protocol_complex(BlackboardModel(2), 3))
+    assert result.facet_count() == 64

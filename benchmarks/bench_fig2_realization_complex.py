@@ -1,0 +1,19 @@
+"""Figure 2: the realization complexes R(0) and R(1) for three processes.
+
+Checks the closed forms |V| = n*2^t and #facets = 2^(nt) (the paper draws
+6 vertices / 8 triangles at t=1) and times the materialization of R(t).
+"""
+
+from repro.analysis import figure2_realization_complex
+from repro.core import realization_complex
+
+
+def bench_figure2_experiment(run_experiment):
+    run_experiment(figure2_realization_complex, n=3, t_max=2)
+
+
+def bench_figure2_build_kernel(benchmark):
+    """Materialize R(2) for n=3 (64 facets, 12 vertices)."""
+    complex_ = benchmark(lambda: realization_complex(3, 2))
+    assert complex_.facet_count() == 64
+    assert len(complex_.vertices()) == 12

@@ -1,0 +1,24 @@
+"""Figure 3: O_LE and its consistency projection pi(O_LE).
+
+Checks the projection's structure -- n isolated leader vertices plus n
+follower simplices -- for n = 3 (the figure) and larger n, and times the
+projection computation.
+"""
+
+from repro.analysis import figure3_output_projection
+from repro.core import leader_election_complex, project_complex
+
+
+def bench_figure3_experiment(run_experiment):
+    run_experiment(figure3_output_projection, n=3)
+
+
+def bench_figure3_larger_n(run_experiment):
+    run_experiment(figure3_output_projection, n=6)
+
+
+def bench_figure3_projection_kernel(benchmark):
+    """pi(O_LE) for n=7."""
+    complex_ = leader_election_complex(7)
+    projected = benchmark(lambda: project_complex(complex_))
+    assert len(projected.isolated_vertices()) == 7

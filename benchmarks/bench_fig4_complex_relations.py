@@ -1,0 +1,18 @@
+"""Figure 4 / Lemma 3.5: the solvability notions coincide.
+
+Exhaustively verifies that Definition 3.1 (simplicial map sigma -> tau),
+Definition 3.4 (simplicial map pi~(rho) -> pi(tau)), the forced-map
+variant, and the partition-refinement criterion agree on every global
+state, in both communication models.  The timed kernel is the full
+agreement sweep.
+"""
+
+from repro.analysis import figure4_solvability_equivalence
+
+
+def bench_figure4_t1(run_experiment):
+    run_experiment(figure4_solvability_equivalence, n=3, t=1)
+
+
+def bench_figure4_t2_two_nodes(run_experiment):
+    run_experiment(figure4_solvability_equivalence, n=2, t=2)

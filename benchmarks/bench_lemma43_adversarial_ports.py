@@ -1,0 +1,36 @@
+"""Lemma 4.3: adversarial ports force g | (class size) at all times.
+
+Exhaustively checks the divisibility invariant over all positive-
+probability realizations for several gcd>1 shapes, and times the full
+knowledge-partition sweep for one shape.
+"""
+
+from repro.analysis import lemma43_divisibility
+from repro.models import MessagePassingModel, adversarial_assignment
+from repro.randomness import RandomnessConfiguration, iter_consistent_realizations
+
+
+def bench_lemma43_experiment(run_experiment):
+    run_experiment(
+        lemma43_divisibility,
+        shapes=((2, 2), (2, 4), (3, 3), (2, 2, 2), (4, 2), (3, 6)),
+        t=2,
+    )
+
+
+def bench_lemma43_partition_sweep(benchmark):
+    """All knowledge partitions of the (3,3) adversarial clique at t=3."""
+    shape = (3, 3)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+
+    def kernel():
+        model = MessagePassingModel(adversarial_assignment(shape))
+        return [
+            model.partition(rho)
+            for rho in iter_consistent_realizations(alpha, 3)
+        ]
+
+    partitions = benchmark(kernel)
+    assert all(
+        len(block) % 3 == 0 for blocks in partitions for block in blocks
+    )

@@ -1,0 +1,29 @@
+"""Lemma B.1: every positive-probability realization has mass 2^-tk.
+
+Verifies equiprobability and unit total mass across all shapes up to n=4,
+and times the realization enumeration kernel.
+"""
+
+from repro.analysis import lemma_b1_equiprobability
+from repro.randomness import (
+    RandomnessConfiguration,
+    iter_consistent_realizations,
+    realization_probability,
+)
+
+
+def bench_lemma_b1_experiment(run_experiment):
+    run_experiment(lemma_b1_equiprobability, n_max=4, t_max=3)
+
+
+def bench_realization_enumeration_kernel(benchmark):
+    """Enumerate + weigh all 2^(tk) realizations for k=3, t=4."""
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2, 3))
+
+    def kernel():
+        total = 0
+        for rho in iter_consistent_realizations(alpha, 4):
+            total += realization_probability(rho, alpha)
+        return total
+
+    assert benchmark(kernel) == 1

@@ -1,0 +1,44 @@
+"""Theorem 4.1: blackboard leader election solvable iff some n_i = 1.
+
+Sweeps every group-size shape up to n=5, computes the exact Pr[S(t)]
+series and the exact 0/1 limit via the partition chain, and compares
+against the paper's characterization.  Kernels time the two exact
+probability engines.
+"""
+
+from repro.analysis import theorem41_blackboard
+from repro.core import (
+    ConsistencyChain,
+    leader_election,
+    solving_probability_enumerated,
+)
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_theorem41_experiment(run_experiment):
+    run_experiment(theorem41_blackboard, n_max=5, t_max=6)
+
+
+def bench_theorem41_chain_kernel(benchmark):
+    """Exact Pr[S(t)] series t=1..8 for sizes (1,2,3) via the chain."""
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2, 3))
+    task = leader_election(6)
+
+    def kernel():
+        return ConsistencyChain(alpha).solving_probability_series(task, 8)
+
+    series = benchmark(kernel)
+    assert series[-1] > series[0]
+
+
+def bench_theorem41_enumeration_kernel(benchmark):
+    """The same probability at t=4 by literal 2^(tk) enumeration."""
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2, 3))
+    task = leader_election(6)
+
+    def kernel():
+        return solving_probability_enumerated(alpha, task, 4)
+
+    exact = benchmark(kernel)
+    chain = ConsistencyChain(alpha).solving_probability(task, 4)
+    assert exact == chain

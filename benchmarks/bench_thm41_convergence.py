@@ -1,0 +1,26 @@
+"""Section 4.1 convergence rate: Pr[S(t)] >= 1 - (k-1)/2^t when n_1 = 1.
+
+Compares the exact series against both forms of the paper's lower bound
+for k = 2..4 over t = 1..8, and times the exact-series computation at a
+larger horizon.
+"""
+
+from repro.analysis import theorem41_convergence
+from repro.core import ConsistencyChain, leader_election
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_convergence_experiment(run_experiment):
+    run_experiment(theorem41_convergence, k_values=(2, 3, 4), t_max=8)
+
+
+def bench_long_horizon_series(benchmark):
+    """Exact series out to t=24 -- far beyond enumeration's reach."""
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+    task = leader_election(5)
+
+    def kernel():
+        return ConsistencyChain(alpha).solving_probability_series(task, 24)
+
+    series = benchmark(kernel)
+    assert float(series[-1]) > 0.999999

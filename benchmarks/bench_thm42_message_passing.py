@@ -1,0 +1,32 @@
+"""Theorem 4.2: worst-case clique leader election solvable iff gcd = 1.
+
+Sweeps every shape up to n=6 with the Lemma 4.3 adversarial ports (the
+worst case) and benign round-robin ports (footnote 5), comparing exact
+chain limits against the gcd characterization.  The kernel times a full
+limit computation on a 6-node chain.
+"""
+
+from repro.analysis import theorem42_message_passing
+from repro.core import ConsistencyChain, leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_theorem42_experiment(run_experiment):
+    run_experiment(theorem42_message_passing, n_max=6, t_max=4, rounds=1)
+
+
+def bench_theorem42_limit_kernel(benchmark):
+    """Exact eventual-solvability limit for sizes (2,3) w/ adversarial ports."""
+    shape = (2, 3)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    chain = ConsistencyChain(alpha, adversarial_assignment(shape))
+    task = leader_election(5)
+
+    def kernel():
+        return ConsistencyChain(
+            alpha, adversarial_assignment(shape)
+        ).limit_solving_probability(task)
+
+    limit = benchmark(kernel)
+    assert limit == 1

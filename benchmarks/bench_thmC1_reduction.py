@@ -1,0 +1,32 @@
+"""Theorem C.1: name-independent input-output tasks reduce to leader
+election.
+
+Runs the collect-compute-distribute reduction on both fabrics and times
+the end-to-end pipeline (election + reduction) on the clique.
+"""
+
+from repro.algorithms import consensus_on_max, solve_name_independent_task
+from repro.analysis import theoremC1_reduction
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def bench_reduction_experiment(run_experiment):
+    run_experiment(theoremC1_reduction, seeds=(0, 1))
+
+
+def bench_reduction_pipeline_kernel(benchmark):
+    """Election + reduction for consensus-on-max on sizes (2,3)."""
+    shape = (2, 3)
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    ports = adversarial_assignment(shape)
+    inputs = (4, 1, 2, 2, 4)
+
+    def kernel():
+        return solve_name_independent_task(
+            alpha, inputs, consensus_on_max, ports=ports, seed=1
+        )
+
+    outputs, election = benchmark(kernel)
+    assert outputs == (4, 4, 4, 4, 4)
+    assert election.all_decided

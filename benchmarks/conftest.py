@@ -1,0 +1,34 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one figure/theorem of the paper: it times the
+experiment generator (pytest-benchmark), prints the measured table, and
+asserts the verdict (the reproduction must match the paper's prediction).
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment generator, print it, and assert PASS."""
+
+    def runner(generator, *args, rounds: int = 2, **kwargs):
+        result = benchmark.pedantic(
+            lambda: generator(*args, **kwargs),
+            rounds=rounds,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        print()
+        print(result.render())
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["verdict"] = "PASS" if result.passed else "FAIL"
+        assert result.passed, result.render()
+        return result
+
+    return runner

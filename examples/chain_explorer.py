@@ -1,0 +1,59 @@
+"""Exploring the consistency-partition Markov chain.
+
+The chain is the reproduction's analysis engine: this example walks one
+configuration through everything it can answer -- the reachable refinement
+lattice (as a mermaid diagram you can paste into a renderer), exact
+probabilities, the full distribution of the first solving time, its
+quantiles and expectation.
+
+Run:  python examples/chain_explorer.py
+"""
+
+from fractions import Fraction
+
+from repro import RandomnessConfiguration, leader_election
+from repro.core import (
+    ConsistencyChain,
+    expected_solving_time,
+    solving_time_distribution,
+    solving_time_quantile,
+)
+from repro.viz import chain_to_mermaid, format_table, render_partition
+
+
+def main() -> None:
+    alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+    task = leader_election(alpha.n)
+    chain = ConsistencyChain(alpha)
+
+    print(f"configuration: sizes {alpha.group_sizes} on the blackboard\n")
+
+    print("reachable consistency partitions:")
+    for state in sorted(chain.reachable_states(), key=len):
+        blocks = [frozenset(b) for b in state]
+        solves = task.solvable_from_partition(blocks)
+        print(
+            f"  {render_partition(blocks):15s}"
+            + ("  <- solves leader election" if solves else "")
+        )
+
+    print("\nmermaid diagram of the refinement lattice:\n")
+    print(chain_to_mermaid(chain, task))
+
+    print("\nexact first-solve time distribution:")
+    dist = solving_time_distribution(chain, task, 8)
+    rows = [
+        (t, str(p), f"{float(p):.5f}")
+        for t, p in enumerate(dist, start=1)
+    ]
+    print(format_table(("t", "Pr[T = t]", "~"), rows))
+
+    expected = expected_solving_time(chain, task)
+    print(f"\nE[T] = {expected} (~{float(expected):.4f})")
+    for q in (Fraction(1, 2), Fraction(9, 10), Fraction(99, 100)):
+        t = solving_time_quantile(chain, task, q)
+        print(f"Pr[S(t)] reaches {q} at t = {t}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Scenario: a device fleet with duplicated PRNG seeds (the paper's intro).
+
+The paper motivates correlated randomness with real incidents: >250,000
+devices sharing SSH keys, and 1 in 172 RSA certificates sharing a factor
+with another -- "independent" machines whose randomness is identical.
+
+This example audits fleets: given how many devices share each seed, can
+the fleet ever elect a coordinator?  We compare the blackboard reality
+(e.g. devices gossiping through a bus, origin-free) and the point-to-point
+reality (devices with private links, possibly cabled adversarially), and
+show how a single well-seeded device (or a co-prime split) rescues an
+otherwise stuck fleet.
+
+Run:  python examples/correlated_keys_fleet.py
+"""
+
+from repro import RandomnessConfiguration, adversarial_assignment, leader_election
+from repro.core import (
+    ConsistencyChain,
+    blackboard_solvable,
+    message_passing_worst_case_solvable,
+)
+from repro.viz import format_table
+
+
+FLEETS = {
+    "all devices cloned from one image": (6,),
+    "two firmware batches of 3": (3, 3),
+    "two batches of 2 and 4": (2, 4),
+    "batches of 2 and 3 (co-prime!)": (2, 3),
+    "one healthy device among clones": (1, 5),
+    "healthy pair + healthy single": (1, 2, 3),
+    "fully independent seeds": (1, 1, 1, 1, 1, 1),
+}
+
+
+def main() -> None:
+    rows = []
+    for description, sizes in FLEETS.items():
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        task = leader_election(alpha.n)
+
+        bb_prediction = blackboard_solvable(alpha)
+        bb_exact = ConsistencyChain(alpha).eventually_solvable(task)
+
+        mp_prediction = message_passing_worst_case_solvable(alpha)
+        mp_exact = ConsistencyChain(
+            alpha, adversarial_assignment(sizes)
+        ).eventually_solvable(task)
+
+        assert bb_prediction == bb_exact and mp_prediction == mp_exact
+        rows.append(
+            (
+                description,
+                sizes,
+                "yes" if bb_exact else "NO",
+                "yes" if mp_exact else "NO",
+            )
+        )
+
+    print("Can the fleet elect a coordinator, eventually (probability 1)?\n")
+    print(
+        format_table(
+            ("fleet", "seed sharing", "broadcast bus", "p2p links (worst cabling)"),
+            rows,
+        )
+    )
+    print(
+        "\nTakeaways: a broadcast bus needs one uniquely-seeded device "
+        "(Theorem 4.1); point-to-point links only need the batch sizes to "
+        "be co-prime (Theorem 4.2) -- (2,3) elects even though every "
+        "device shares its seed with another."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Phase diagram of message-passing leader election (Theorem 4.2).
+
+Sweeps every group-size shape of n = 2..6 and prints, per shape:
+
+* gcd of the sizes (the paper's control parameter);
+* the exact eventual-solvability limit under the Lemma 4.3 adversarial
+  port assignment (worst case -- this is what the theorem characterizes);
+* the same limit under benign round-robin and random port assignments,
+  showing footnote 5 in action: friendly wiring can rescue shapes whose
+  worst case is impossible (e.g. sizes (2,2)).
+
+Run:  python examples/gcd_phase_diagram.py
+"""
+
+from repro import (
+    RandomnessConfiguration,
+    adversarial_assignment,
+    enumerate_size_shapes,
+    leader_election,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.core import ConsistencyChain
+from repro.viz import format_table
+
+
+def main() -> None:
+    rows = []
+    for n in range(2, 7):
+        task = leader_election(n)
+        for shape in enumerate_size_shapes(n):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            limits = {}
+            for label, ports in (
+                ("adversarial", adversarial_assignment(shape)),
+                ("round-robin", round_robin_assignment(n)),
+                ("random", random_assignment(n, 42)),
+            ):
+                chain = ConsistencyChain(alpha, ports)
+                limits[label] = int(chain.limit_solving_probability(task))
+            rows.append(
+                (
+                    n,
+                    shape,
+                    alpha.gcd,
+                    "solvable" if alpha.gcd == 1 else "impossible",
+                    limits["adversarial"],
+                    limits["round-robin"],
+                    limits["random"],
+                )
+            )
+    print("Eventual solvability of leader election on the clique\n")
+    print(
+        format_table(
+            (
+                "n",
+                "sizes",
+                "gcd",
+                "Thm 4.2 (worst case)",
+                "adversarial",
+                "round-robin",
+                "random",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nEvery adversarial-ports limit matches gcd==1 exactly; benign "
+        "ports sometimes solve gcd>1 shapes -- the theorem is a worst-case "
+        "statement, and the adversarial assignment achieves the worst case."
+    )
+
+
+if __name__ == "__main__":
+    main()

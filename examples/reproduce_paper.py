@@ -1,0 +1,37 @@
+"""Run the complete reproduction sweep: every figure and theorem.
+
+Executes all experiment generators (Figures 1-4, Lemma B.1, Theorems
+4.1/4.2 with the convergence bound, Lemma 4.3, Algorithm 1, the Euclid
+protocol, Theorem C.1, and the k-leader extension) and prints each table
+with its verdict.  Exits non-zero if any experiment diverges from the
+paper.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import sys
+import time
+
+from repro.analysis import run_all_experiments
+
+
+def main() -> int:
+    start = time.time()
+    results = run_all_experiments()
+    for result in results:
+        print(result.render())
+        print()
+    failed = [r.experiment_id for r in results if not r.passed]
+    elapsed = time.time() - start
+    print(
+        f"{len(results) - len(failed)}/{len(results)} experiments "
+        f"reproduce the paper ({elapsed:.1f}s)"
+    )
+    if failed:
+        print("FAILED:", ", ".join(failed))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

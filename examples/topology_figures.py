@@ -1,0 +1,62 @@
+"""Regenerate the combinatorial content of the paper's Figures 1-3.
+
+Prints the complexes the paper draws -- the protocol complexes ``P(t)``
+for two parties, the realization complexes ``R(0)``/``R(1)`` for three
+parties, and ``O_LE`` with its consistency projection -- and writes DOT
+files for graphical rendering.
+
+Run:  python examples/topology_figures.py [output-dir]
+"""
+
+import pathlib
+import sys
+
+from repro.core import (
+    build_protocol_complex,
+    leader_election_complex,
+    project_complex,
+    realization_complex,
+)
+from repro.models import BlackboardModel
+from repro.viz import complex_to_dot, render_complex
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else None
+
+    print("Figure 1 -- P(t) for two parties on the blackboard")
+    for t in range(3):
+        build = build_protocol_complex(BlackboardModel(2), t)
+        print(
+            f"\nP({t}): {build.vertex_count()} vertices, "
+            f"{build.facet_count()} facets"
+        )
+        if t <= 1:
+            print(render_complex(build.complex))
+
+    print("\n\nFigure 2 -- R(t) for three parties")
+    for t in range(2):
+        complex_ = realization_complex(3, t)
+        print(f"\nR({t}):")
+        print(render_complex(complex_))
+        if out_dir:
+            path = out_dir / f"figure2_R{t}.dot"
+            path.write_text(complex_to_dot(complex_, name=f"R{t}"))
+            print(f"  wrote {path}")
+
+    print("\n\nFigure 3 -- O_LE and pi(O_LE) for three parties")
+    o_le = leader_election_complex(3)
+    projected = project_complex(o_le)
+    print("\nO_LE:")
+    print(render_complex(o_le))
+    print("\npi(O_LE)  (isolated vertices are the potential leaders):")
+    print(render_complex(projected))
+    if out_dir:
+        for name, complex_ in (("OLE", o_le), ("piOLE", projected)):
+            path = out_dir / f"figure3_{name}.dot"
+            path.write_text(complex_to_dot(complex_, name=name))
+            print(f"  wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim so the package installs in environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for modern editable installs; on
+offline machines without the ``wheel`` distribution, ``python setup.py
+develop`` (driven by this file) provides the same result.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,170 @@
+"""``CreateMatching`` -- Algorithm 1 of the paper, runnable.
+
+Creates a matching between two distinguishable sets of nodes ``V1`` and
+``V2`` (``|V1| <= |V2|``) on the anonymous clique:
+
+    repeat
+      each active ``V1`` node picks an active ``V2`` neighbour at random
+      and sends it a request;
+      each active ``V2`` node that received requests ACKs the minimal port
+      and both endpoints become *done*;
+    until all of ``V1`` is done.
+
+Every iteration matches at least one pair (some active ``V2`` node receives
+at least one request), so the procedure terminates within ``|V1|``
+iterations and matches all of ``V1`` (Lemma 4.8).  Each iteration takes
+three synchronous rounds here: a status round (who is still active), a
+request round, and an ACK round.
+
+Roles are injected at construction: in the full Euclid protocol the roles
+derive from knowledge classes; for unit-testing the lemma they are chosen
+by the harness.  Node outputs are ``('matched', iteration)``,
+``('unmatched',)`` or ``('observer',)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .network import NodeProtocol, Payload
+
+V1 = "v1"
+V2 = "v2"
+OBSERVER = "obs"
+
+_STATUS, _REQUEST, _ACK = 0, 1, 2
+
+
+class CreateMatchingNode(NodeProtocol):
+    """One participant of ``CreateMatching`` with a fixed role."""
+
+    def __init__(self, role: str):
+        if role not in (V1, V2, OBSERVER):
+            raise ValueError(f"unknown role {role!r}")
+        self.role = role
+        self._bits: list[int] = []
+        self._round = 0
+        self._active = role in (V1, V2)
+        self._iteration = 0
+        self._matched_at: int | None = None
+        #: port -> (role, active) as of the last status round.
+        self._port_view: dict[int, tuple[str, bool]] = {}
+        self._request_port: int | None = None
+        self._ack_port: int | None = None
+        self._pending_requests: list[int] = []
+        self._output: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def compose(self) -> Payload | Mapping[int, Payload]:
+        phase = self._round % 3
+        n = self.ctx.n
+        if phase == _STATUS:
+            return ("status", self.role, self._active)
+        if phase == _REQUEST:
+            if self._request_port is None:
+                return ("noop",)
+            return {
+                port: ("req",) if port == self._request_port else ("noop",)
+                for port in range(1, n)
+            }
+        if self._ack_port is None:
+            return ("noop",)
+        return {
+            port: ("ack",) if port == self._ack_port else ("noop",)
+            for port in range(1, n)
+        }
+
+    def absorb(self, bit: int, inbox: Sequence[Payload]) -> None:
+        self._bits.append(bit)
+        phase = self._round % 3
+        if phase == _STATUS:
+            self._absorb_status(inbox)
+        elif phase == _REQUEST:
+            self._absorb_request(inbox)
+        else:
+            self._absorb_ack(inbox)
+        self._round += 1
+
+    def output(self) -> tuple | None:
+        return self._output
+
+    # ------------------------------------------------------------------
+    def _absorb_status(self, inbox: Sequence[Payload]) -> None:
+        self._port_view = {
+            port: (payload[1], payload[2])
+            for port, payload in enumerate(inbox, start=1)
+        }
+        active_v1 = sum(
+            1 for role, active in self._port_view.values() if role == V1 and active
+        ) + (1 if self.role == V1 and self._active else 0)
+        active_v2 = sum(
+            1 for role, active in self._port_view.values() if role == V2 and active
+        ) + (1 if self.role == V2 and self._active else 0)
+        if active_v1 == 0 or active_v2 == 0:
+            self._decide()
+            self._request_port = None
+            return
+        self._iteration += 1
+        self._request_port = None
+        if self.role == V1 and self._active:
+            targets = sorted(
+                port
+                for port, (role, active) in self._port_view.items()
+                if role == V2 and active
+            )
+            index = 0
+            for b in self._bits:
+                index = (index << 1) | b
+            self._request_port = targets[index % len(targets)]
+
+    def _absorb_request(self, inbox: Sequence[Payload]) -> None:
+        self._ack_port = None
+        if self.role == V2 and self._active:
+            self._pending_requests = [
+                port
+                for port, payload in enumerate(inbox, start=1)
+                if payload[0] == "req"
+            ]
+            if self._pending_requests:
+                self._ack_port = min(self._pending_requests)
+
+    def _absorb_ack(self, inbox: Sequence[Payload]) -> None:
+        if self.role == V2 and self._ack_port is not None:
+            self._active = False
+            self._matched_at = self._iteration
+        self._ack_port = None
+        if self.role == V1 and self._active:
+            if any(payload[0] == "ack" for payload in inbox):
+                self._active = False
+                self._matched_at = self._iteration
+
+    def _decide(self) -> None:
+        if self._output is not None:
+            return
+        if self.role == OBSERVER:
+            self._output = ("observer",)
+        elif self._matched_at is not None:
+            self._output = ("matched", self._matched_at)
+        else:
+            self._output = ("unmatched",)
+
+
+def matching_summary(outputs: Sequence[tuple | None]) -> dict:
+    """Aggregate a run's outputs: counts and the iteration profile."""
+    matched = [out for out in outputs if out and out[0] == "matched"]
+    return {
+        "matched": len(matched),
+        "unmatched": sum(1 for out in outputs if out == ("unmatched",)),
+        "observers": sum(1 for out in outputs if out == ("observer",)),
+        "undecided": sum(1 for out in outputs if out is None),
+        "iterations": max((out[1] for out in matched), default=0),
+    }
+
+
+__all__ = [
+    "OBSERVER",
+    "V1",
+    "V2",
+    "CreateMatchingNode",
+    "matching_summary",
+]

@@ -1,0 +1,111 @@
+"""Theorem C.1: name-independent tasks reduce to leader election.
+
+A (input-output) task is *name-independent* when nodes holding the same
+input value must produce the same output value.  Once a leader exists, the
+reduction is one collect-compute-distribute round trip:
+
+1. every node sends its input to the leader (directly, or by posting it);
+2. the leader computes a single input-to-output mapping for the whole
+   multiset of inputs (name-obliviously, so equal inputs get equal
+   outputs);
+3. the leader distributes the mapping; each node applies it to its input.
+
+The leader-election phase uses the runnable protocols of this package; the
+collect/distribute phases are simulated at the harness level (they are
+trivial one-round broadcasts in both fabrics and carry no symmetry-breaking
+content).  The function refuses non-name-independent specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Sequence
+
+from ..models.ports import PortAssignment
+from ..randomness.configuration import RandomnessConfiguration
+from .blackboard_leader import BlackboardLeaderNode
+from .euclid_leader import EuclidLeaderNode
+from .network import BlackboardNetwork, CliqueNetwork, RunResult
+
+#: A name-independent specification: multiset of inputs -> value mapping.
+Specification = Callable[[Sequence[Hashable]], Mapping[Hashable, Hashable]]
+
+
+def consensus_on_max(inputs: Sequence[Hashable]) -> Mapping[Hashable, Hashable]:
+    """Everybody outputs the maximum input (a name-independent consensus)."""
+    top = max(inputs)
+    return {value: top for value in set(inputs)}
+
+
+def parity_of_sum(inputs: Sequence[int]) -> Mapping[int, int]:
+    """Everybody outputs the parity of the sum of all inputs."""
+    parity = sum(inputs) % 2
+    return {value: parity for value in set(inputs)}
+
+
+def frequency_rank(inputs: Sequence[Hashable]) -> Mapping[Hashable, int]:
+    """Each node outputs the popularity rank of its own input value."""
+    counts: dict[Hashable, int] = {}
+    for value in inputs:
+        counts[value] = counts.get(value, 0) + 1
+    ranked = sorted(counts, key=lambda v: (-counts[v], repr(v)))
+    return {value: rank for rank, value in enumerate(ranked)}
+
+
+def solve_name_independent_task(
+    alpha: RandomnessConfiguration,
+    inputs: Sequence[Hashable],
+    specification: Specification,
+    *,
+    ports: PortAssignment | None = None,
+    seed: int | None = 0,
+    max_rounds: int = 128,
+) -> tuple[tuple[Hashable, ...] | None, RunResult]:
+    """Run the Theorem C.1 reduction end to end.
+
+    Returns ``(outputs, election_result)``; ``outputs`` is ``None`` when
+    leader election did not terminate within ``max_rounds`` (which the
+    theorems predict exactly when the configuration forbids election).
+    """
+    if len(inputs) != alpha.n:
+        raise ValueError(f"need {alpha.n} inputs, got {len(inputs)}")
+    if ports is None:
+        network = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, seed=seed
+        )
+    else:
+        network = CliqueNetwork(
+            alpha, ports, EuclidLeaderNode, seed=seed
+        )
+    election = network.run(max_rounds=max_rounds)
+    if not election.all_decided or len(election.leaders()) != 1:
+        return None, election
+
+    # Collect/compute/distribute, performed by the elected leader.
+    mapping = specification(tuple(inputs))
+    missing = {value for value in inputs if value not in mapping}
+    if missing:
+        raise ValueError(f"specification left inputs unmapped: {missing}")
+    outputs = tuple(mapping[value] for value in inputs)
+    return outputs, election
+
+
+def is_name_independent(
+    inputs: Sequence[Hashable], outputs: Sequence[Hashable]
+) -> bool:
+    """Check the defining property: equal inputs imply equal outputs."""
+    seen: dict[Hashable, Hashable] = {}
+    for value, out in zip(inputs, outputs):
+        if value in seen and seen[value] != out:
+            return False
+        seen[value] = out
+    return True
+
+
+__all__ = [
+    "Specification",
+    "consensus_on_max",
+    "frequency_rank",
+    "is_name_independent",
+    "parity_of_sum",
+    "solve_name_independent_task",
+]

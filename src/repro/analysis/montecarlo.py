@@ -1,0 +1,162 @@
+"""Monte-Carlo estimation with confidence intervals.
+
+The exact engines cover every configuration the paper discusses; this
+module exists for the regime beyond them (large ``n`` or ``t`` where the
+partition chain's state space would blow up).  It wraps the sampling
+estimator with Wilson score intervals and an adaptive loop that samples
+until the interval is narrow enough, and provides an agreement check
+against the exact value used by the test suite to validate the sampler.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.probability import solving_probability_sampled
+from ..core.tasks import SymmetryBreakingTask
+from ..models.ports import PortAssignment
+from ..randomness.configuration import RandomnessConfiguration
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A binomial estimate with its Wilson confidence interval."""
+
+    probability: float
+    low: float
+    high: float
+    samples: int
+    confidence: float
+
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def wilson_interval(
+    successes: int, samples: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """The Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because solving probabilities
+    sit near 0 or 1 for most configurations (the zero-one law pushes them
+    to the boundary), where the naive interval misbehaves.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    z = _normal_quantile(0.5 + confidence / 2)
+    phat = successes / samples
+    denom = 1 + z * z / samples
+    centre = (phat + z * z / (2 * samples)) / denom
+    margin = (
+        z
+        * math.sqrt(
+            phat * (1 - phat) / samples + z * z / (4 * samples * samples)
+        )
+        / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e00, -2.549732539343734e00,
+         4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e00, 3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+def estimate_solving_probability(
+    alpha: RandomnessConfiguration,
+    task: SymmetryBreakingTask,
+    t: int,
+    ports: PortAssignment | None = None,
+    *,
+    samples: int = 2000,
+    confidence: float = 0.95,
+    seed: int | None = 0,
+) -> Estimate:
+    """One-shot Monte-Carlo estimate with a Wilson interval."""
+    phat = solving_probability_sampled(
+        alpha, task, t, ports, samples=samples, seed=seed
+    )
+    successes = round(phat * samples)
+    low, high = wilson_interval(successes, samples, confidence)
+    return Estimate(phat, low, high, samples, confidence)
+
+
+def adaptive_estimate(
+    alpha: RandomnessConfiguration,
+    task: SymmetryBreakingTask,
+    t: int,
+    ports: PortAssignment | None = None,
+    *,
+    target_width: float = 0.05,
+    confidence: float = 0.95,
+    batch: int = 500,
+    max_samples: int = 20000,
+    seed: int | None = 0,
+) -> Estimate:
+    """Sample in batches until the Wilson interval is narrow enough."""
+    if target_width <= 0:
+        raise ValueError("target_width must be positive")
+    rng = random.Random(seed)
+    from ..core.probability import model_for
+    from ..core.solvability import realization_solves
+
+    model = model_for(alpha, ports)
+    successes = 0
+    samples = 0
+    while samples < max_samples:
+        for _ in range(batch):
+            source_bits = [
+                tuple(rng.getrandbits(1) for _ in range(t))
+                for _ in range(alpha.k)
+            ]
+            realization = tuple(
+                source_bits[alpha.source_of(i)] for i in range(alpha.n)
+            )
+            if realization_solves(model, realization, task):
+                successes += 1
+        samples += batch
+        low, high = wilson_interval(successes, samples, confidence)
+        if high - low <= target_width:
+            break
+    low, high = wilson_interval(successes, samples, confidence)
+    return Estimate(successes / samples, low, high, samples, confidence)
+
+
+__all__ = [
+    "Estimate",
+    "adaptive_estimate",
+    "estimate_solving_probability",
+    "wilson_interval",
+]

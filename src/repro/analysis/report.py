@@ -1,0 +1,127 @@
+"""Serialization of experiment results: JSON, CSV, and Markdown.
+
+Experiment results are plain tables; this module persists them so sweeps
+can be archived, diffed across versions, and loaded into external tooling.
+The JSON form round-trips losslessly (used by the test suite); CSV and
+Markdown are one-way exports for spreadsheets and docs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Iterable
+
+from .result import ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-safe dictionary representation (cells stringified)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[str(cell) for cell in row] for row in result.rows],
+        "notes": list(result.notes),
+        "passed": result.passed,
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict` (cells stay strings)."""
+    required = {"experiment_id", "title", "headers", "rows", "passed"}
+    missing = required - payload.keys()
+    if missing:
+        raise ValueError(f"payload misses keys: {sorted(missing)}")
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=tuple(payload["headers"]),
+        rows=[tuple(row) for row in payload["rows"]],
+        notes=list(payload.get("notes", [])),
+        passed=bool(payload["passed"]),
+    )
+
+
+def results_to_json(results: Iterable[ExperimentResult]) -> str:
+    """Serialize a batch of results as a JSON document."""
+    return json.dumps(
+        [result_to_dict(result) for result in results], indent=2
+    )
+
+
+def results_from_json(text: str) -> list[ExperimentResult]:
+    """Inverse of :func:`results_to_json`."""
+    return [result_from_dict(item) for item in json.loads(text)]
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """One experiment's table as CSV (headers + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([str(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a GitHub-flavoured Markdown section."""
+    lines = [f"### {result.experiment_id}: {result.title}", ""]
+    lines.append("| " + " | ".join(str(h) for h in result.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    lines.append("")
+    for note in result.notes:
+        lines.append(f"*{note}*")
+    lines.append("")
+    lines.append(f"**Verdict: {'PASS' if result.passed else 'FAIL'}**")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Iterable[ExperimentResult],
+    directory: "str | pathlib.Path",
+    *,
+    stem: str = "experiments",
+) -> dict[str, pathlib.Path]:
+    """Write a full report: one JSON bundle, one CSV per experiment, and a
+    combined Markdown file.  Returns the written paths keyed by kind."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    results = list(results)
+
+    json_path = directory / f"{stem}.json"
+    json_path.write_text(results_to_json(results))
+
+    markdown_parts = [
+        "# Experiment report",
+        "",
+        f"{sum(r.passed for r in results)}/{len(results)} experiments pass.",
+        "",
+    ]
+    csv_paths = []
+    for result in results:
+        csv_path = directory / f"{stem}-{result.experiment_id}.csv"
+        csv_path.write_text(result_to_csv(result))
+        csv_paths.append(csv_path)
+        markdown_parts.append(result_to_markdown(result))
+        markdown_parts.append("")
+    md_path = directory / f"{stem}.md"
+    md_path.write_text("\n".join(markdown_parts))
+
+    return {"json": json_path, "markdown": md_path, "csv": csv_paths[0] if csv_paths else None}
+
+
+__all__ = [
+    "result_from_dict",
+    "result_to_csv",
+    "result_to_dict",
+    "result_to_markdown",
+    "results_from_json",
+    "results_to_json",
+    "write_report",
+]

@@ -1,0 +1,44 @@
+"""Uniform container for reproduction experiments.
+
+Every figure/theorem of the paper has one generator function in this
+package that returns an :class:`ExperimentResult`: a table of measurements
+together with a pass/fail verdict against the paper's prediction.  The
+benchmark harness prints these tables; ``EXPERIMENTS.md`` records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..viz.ascii import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced experiment: measurements plus verdict."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    notes: list[str] = field(default_factory=list)
+    #: True when every measured outcome matched the paper's prediction.
+    passed: bool = True
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        lines.append(f"  verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+    def require_pass(self) -> "ExperimentResult":
+        """Raise when the reproduction diverged from the paper."""
+        if not self.passed:
+            raise AssertionError(self.render())
+        return self
+
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,131 @@
+"""Exhaustive worst-case search over clique port assignments.
+
+Theorem 4.2 quantifies over the *worst* port assignment, and Lemma 4.3
+exhibits one explicit candidate.  For small cliques we can close the loop
+by brute force: enumerate **all** ``(n-1)!^n`` port assignments, compute
+the exact eventual-solvability limit for each, and check that
+
+* when ``gcd = 1``: every assignment has limit 1 (the 'if' direction is
+  truly assignment-independent);
+* when ``gcd > 1``: the minimum over assignments is 0, and the Lemma 4.3
+  construction attains it -- i.e. the paper's adversary is an *optimal*
+  adversary, not merely a valid one.
+
+The sweep also measures how adversarial the worst case is: the fraction
+of assignments that keep leader election solvable (footnote 5 territory).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterator
+
+from ..core.leader_election import leader_election
+from ..core.markov import ConsistencyChain
+from ..models.ports import PortAssignment, adversarial_assignment
+from ..randomness.configuration import RandomnessConfiguration
+from .result import ExperimentResult
+
+
+def iter_all_port_assignments(
+    n: int, *, limit: int = 1 << 14
+) -> Iterator[PortAssignment]:
+    """All ``(n-1)!^n`` clique port assignments (guarded by count)."""
+    import math
+
+    total = math.factorial(n - 1) ** n
+    if total > limit:
+        raise ValueError(f"{total} assignments exceed the limit {limit}")
+    others = [
+        [x for x in range(n) if x != i] for i in range(n)
+    ]
+    per_node = [
+        [list(p) for p in itertools.permutations(others[i])]
+        for i in range(n)
+    ]
+    for rows in itertools.product(*per_node):
+        yield PortAssignment(list(rows))
+
+
+def exhaustive_worst_case(
+    shape: tuple[int, ...]
+) -> tuple[Fraction, Fraction, int, int]:
+    """(min limit, max limit, #solvable assignments, #assignments)."""
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    task = leader_election(alpha.n)
+    lowest = Fraction(1)
+    highest = Fraction(0)
+    solvable = 0
+    total = 0
+    for ports in iter_all_port_assignments(alpha.n):
+        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        lowest = min(lowest, limit)
+        highest = max(highest, limit)
+        solvable += limit == 1
+        total += 1
+    return lowest, highest, solvable, total
+
+
+def worst_case_port_search(
+    shapes: tuple[tuple[int, ...], ...] = ((1, 2), (3,), (2, 2), (1, 3), (1, 1, 2), (4,), (1, 1, 1, 1)),
+) -> ExperimentResult:
+    """Theorem 4.2's worst-case quantifier, checked by brute force."""
+    rows = []
+    passed = True
+    for shape in shapes:
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        task = leader_election(alpha.n)
+        lowest, highest, solvable, total = exhaustive_worst_case(shape)
+        lemma_limit = ConsistencyChain(
+            alpha, adversarial_assignment(shape)
+        ).limit_solving_probability(task)
+        predicted_worst = Fraction(1) if alpha.gcd == 1 else Fraction(0)
+        ok = (
+            lowest == predicted_worst
+            and lemma_limit == lowest
+            and lowest in (0, 1)
+            and highest in (0, 1)
+        )
+        passed &= ok
+        rows.append(
+            (
+                shape,
+                alpha.gcd,
+                total,
+                f"{solvable}/{total}",
+                float(lowest),
+                float(lemma_limit),
+                "yes" if predicted_worst == 1 else "no",
+                "ok" if ok else "MISMATCH",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="extension-worst-case-search",
+        title="Theorem 4.2's worst case, by exhaustive port enumeration",
+        headers=(
+            "sizes",
+            "gcd",
+            "#assignments",
+            "solvable assignments",
+            "min limit",
+            "Lemma 4.3 limit",
+            "paper worst case",
+            "check",
+        ),
+        rows=rows,
+        notes=[
+            "the Lemma 4.3 assignment always attains the exact minimum: "
+            "the paper's adversary is optimal, not merely valid",
+            "gcd>1 shapes still have many solvable assignments "
+            "(footnote 5): the worst case is genuinely adversarial",
+        ],
+        passed=passed,
+    )
+
+
+__all__ = [
+    "exhaustive_worst_case",
+    "iter_all_port_assignments",
+    "worst_case_port_search",
+]

@@ -1,0 +1,418 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+solve           decide eventual solvability for a configuration and task
+series          exact Pr[S(t)] for t = 1..T
+expected-time   exact expected rounds until the task is solved
+phase-diagram   sweep all size shapes of n (both models)
+protocol        run an actual election protocol and report the outcome
+figures         render the paper's Figures 1-3 as text
+experiments     run reproduction experiments (all or by id)
+
+Examples
+--------
+python -m repro solve 2,3 --model clique
+python -m repro series 1,2,2 --t-max 8
+python -m repro solve 2,4 --model clique --task k-leader:2
+python -m repro phase-diagram 5
+python -m repro protocol 2,3 --model clique --seed 7
+python -m repro experiments theorem-4.1 theorem-4.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import ALL_EXPERIMENTS
+from .core import (
+    ConsistencyChain,
+    expected_solving_time,
+    k_leader_election,
+    leader_and_deputy,
+    leader_election,
+    partition_into_teams,
+    threshold_election,
+    unique_ids,
+    weak_symmetry_breaking,
+)
+from .core.tasks import SymmetryBreakingTask
+from .models import (
+    PortAssignment,
+    adversarial_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from .randomness import RandomnessConfiguration, enumerate_size_shapes
+from .viz import format_table
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sizes must look like '2,3', got {text!r}"
+        )
+    if not sizes or any(s < 1 for s in sizes):
+        raise argparse.ArgumentTypeError(f"sizes must be positive: {text!r}")
+    return sizes
+
+
+def _make_task(spec: str, n: int) -> SymmetryBreakingTask:
+    """Parse a task spec like ``leader``, ``k-leader:2``, ``teams:2,3``."""
+    name, _, arg = spec.partition(":")
+    if name == "leader":
+        return leader_election(n)
+    if name == "k-leader":
+        return k_leader_election(n, int(arg))
+    if name == "weak-sb":
+        return weak_symmetry_breaking(n)
+    if name == "unique-ids":
+        return unique_ids(n)
+    if name == "deputy":
+        return leader_and_deputy(n)
+    if name == "threshold":
+        low, high = (int(x) for x in arg.split(","))
+        return threshold_election(n, low, high)
+    if name == "teams":
+        return partition_into_teams(_parse_sizes(arg))
+    raise argparse.ArgumentTypeError(f"unknown task {spec!r}")
+
+
+def _make_ports(
+    kind: str, sizes: tuple[int, ...], seed: int
+) -> PortAssignment:
+    n = sum(sizes)
+    if kind == "adversarial":
+        return adversarial_assignment(sizes)
+    if kind == "round-robin":
+        return round_robin_assignment(n)
+    if kind == "random":
+        return random_assignment(n, seed)
+    raise argparse.ArgumentTypeError(f"unknown ports {kind!r}")
+
+
+def _chain(args) -> tuple[RandomnessConfiguration, ConsistencyChain]:
+    alpha = RandomnessConfiguration.from_group_sizes(args.sizes)
+    if args.model == "blackboard":
+        return alpha, ConsistencyChain(alpha)
+    ports = _make_ports(args.ports, args.sizes, args.seed)
+    return alpha, ConsistencyChain(alpha, ports)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_solve(args) -> int:
+    alpha, chain = _chain(args)
+    task = _make_task(args.task, alpha.n)
+    limit = chain.limit_solving_probability(task)
+    print(
+        f"configuration: sizes {alpha.group_sizes} (n={alpha.n}, "
+        f"k={alpha.k}, gcd={alpha.gcd})"
+    )
+    print(f"model: {args.model}" + (
+        f" ({args.ports} ports)" if args.model == "clique" else ""
+    ))
+    print(f"task: {task}")
+    print(f"exact limit of Pr[S(t)]: {limit}")
+    print("eventually solvable:", "YES" if limit == 1 else "NO")
+    return 0
+
+
+def cmd_series(args) -> int:
+    alpha, chain = _chain(args)
+    task = _make_task(args.task, alpha.n)
+    series = chain.solving_probability_series(task, args.t_max)
+    rows = [
+        (t, str(p), f"{float(p):.6f}")
+        for t, p in enumerate(series, start=1)
+    ]
+    print(format_table(("t", "Pr[S(t)] exact", "~"), rows))
+    return 0
+
+
+def cmd_expected_time(args) -> int:
+    alpha, chain = _chain(args)
+    task = _make_task(args.task, alpha.n)
+    expected = expected_solving_time(chain, task)
+    if expected is None:
+        print("expected time: infinite (task not eventually solvable)")
+    else:
+        print(f"expected rounds to a solving state: {expected} "
+              f"(~{float(expected):.4f})")
+    return 0
+
+
+def cmd_phase_diagram(args) -> int:
+    rows = []
+    for shape in enumerate_size_shapes(args.n):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        task = _make_task(args.task, alpha.n)
+        bb = ConsistencyChain(alpha).limit_solving_probability(task)
+        mp = ConsistencyChain(
+            alpha, adversarial_assignment(shape)
+        ).limit_solving_probability(task)
+        rows.append(
+            (
+                shape,
+                alpha.gcd,
+                "yes" if bb == 1 else "no",
+                "yes" if mp == 1 else "no",
+            )
+        )
+    print(
+        format_table(
+            ("sizes", "gcd", "blackboard", "clique (worst case)"), rows
+        )
+    )
+    return 0
+
+
+def cmd_protocol(args) -> int:
+    from .algorithms import (
+        BlackboardLeaderNode,
+        BlackboardNetwork,
+        CliqueNetwork,
+        EuclidLeaderNode,
+    )
+
+    alpha = RandomnessConfiguration.from_group_sizes(args.sizes)
+    if args.model == "blackboard":
+        network = BlackboardNetwork(
+            alpha, lambda: BlackboardLeaderNode(k=args.k), seed=args.seed
+        )
+    else:
+        ports = _make_ports(args.ports, args.sizes, args.seed)
+        network = CliqueNetwork(
+            alpha, ports, lambda: EuclidLeaderNode(k=args.k), seed=args.seed
+        )
+    result = network.run(max_rounds=args.max_rounds)
+    if result.all_decided:
+        print(
+            f"elected {result.leaders()} in {result.rounds} rounds "
+            f"(k={args.k})"
+        )
+        return 0
+    print(f"no election within {args.max_rounds} rounds")
+    return 1
+
+
+def cmd_figures(args) -> int:
+    from .core import (
+        build_protocol_complex,
+        leader_election_complex,
+        project_complex,
+        realization_complex,
+    )
+    from .models import BlackboardModel
+    from .viz import render_complex
+
+    print("Figure 1 -- P(t), n=2, blackboard")
+    for t in range(2):
+        build = build_protocol_complex(BlackboardModel(2), t)
+        print(render_complex(build.complex, title=f"P({t}):"))
+    print("\nFigure 2 -- R(1), n=3")
+    print(render_complex(realization_complex(3, 1)))
+    print("\nFigure 3 -- O_LE and pi(O_LE), n=3")
+    o_le = leader_election_complex(3)
+    print(render_complex(o_le, title="O_LE:"))
+    print(render_complex(project_complex(o_le), title="pi(O_LE):"))
+    return 0
+
+
+def cmd_graphs(args) -> int:
+    """Worst-case deterministic leader election on a graph family."""
+    from .core import (
+        color_refinement_fixpoint,
+        leader_election,
+        worst_case_deterministic_solvable,
+    )
+    from .models import GraphTopology
+    from .viz import render_partition
+
+    name, _, arg = args.graph.partition(":")
+    if name == "ring":
+        topology = GraphTopology.ring(int(arg))
+    elif name == "path":
+        topology = GraphTopology.path(int(arg))
+    elif name == "star":
+        topology = GraphTopology.star(int(arg))
+    elif name == "clique":
+        topology = GraphTopology.complete(int(arg))
+    elif name == "bipartite":
+        m, n = (int(x) for x in arg.split(","))
+        topology = GraphTopology.complete_bipartite(m, n)
+    else:
+        raise SystemExit(f"unknown graph {args.graph!r}")
+    n = topology.n
+    fixpoint = color_refinement_fixpoint(topology)
+    print(f"graph: {args.graph} (n={n}, labelings={topology.labeling_count()})")
+    print(
+        "color-refinement fixpoint (canonical labeling):",
+        render_partition([frozenset(b) for b in fixpoint]),
+    )
+    if topology.labeling_count() > args.labeling_limit:
+        print(
+            f"worst case skipped: {topology.labeling_count()} labelings "
+            f"exceed --labeling-limit {args.labeling_limit}"
+        )
+        return 0
+    verdict = worst_case_deterministic_solvable(
+        topology, leader_election(n), limit=args.labeling_limit
+    )
+    print(
+        "worst-case deterministic leader election:",
+        "YES" if verdict else "NO",
+    )
+    return 0
+
+
+def cmd_mermaid(args) -> int:
+    """Print the consistency chain's refinement lattice as mermaid."""
+    from .viz import chain_to_mermaid
+
+    alpha, chain = _chain(args)
+    task = _make_task(args.task, alpha.n)
+    print(chain_to_mermaid(chain, task, max_states=args.max_states))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run all experiments and write JSON/CSV/Markdown reports."""
+    from .analysis import run_all_experiments, write_report
+
+    results = run_all_experiments()
+    paths = write_report(results, args.output)
+    failed = [r.experiment_id for r in results if not r.passed]
+    print(f"wrote {paths['json']}")
+    print(f"wrote {paths['markdown']}")
+    print(
+        f"{len(results) - len(failed)}/{len(results)} experiments pass"
+    )
+    if failed:
+        print("FAILED:", ", ".join(failed))
+        return 1
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    wanted = set(args.ids)
+    failed = []
+    for generator in ALL_EXPERIMENTS:
+        result = generator()
+        if wanted and result.experiment_id not in wanted:
+            continue
+        print(result.render())
+        print()
+        if not result.passed:
+            failed.append(result.experiment_id)
+    if failed:
+        print("FAILED:", ", ".join(failed))
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Topology of Randomized Symmetry-Breaking "
+            "Distributed Computing' (PODC 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_task=True):
+        p.add_argument("sizes", type=_parse_sizes, help="group sizes, e.g. 2,3")
+        p.add_argument(
+            "--model", choices=("blackboard", "clique"), default="blackboard"
+        )
+        p.add_argument(
+            "--ports",
+            choices=("adversarial", "round-robin", "random"),
+            default="adversarial",
+            help="port assignment for --model clique",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        if with_task:
+            p.add_argument(
+                "--task",
+                default="leader",
+                help=(
+                    "leader | k-leader:K | weak-sb | unique-ids | deputy | "
+                    "threshold:LO,HI | teams:S1,S2,..."
+                ),
+            )
+
+    p = sub.add_parser("solve", help="decide eventual solvability")
+    add_common(p)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("series", help="exact Pr[S(t)] series")
+    add_common(p)
+    p.add_argument("--t-max", type=int, default=8)
+    p.set_defaults(func=cmd_series)
+
+    p = sub.add_parser("expected-time", help="exact expected solving time")
+    add_common(p)
+    p.set_defaults(func=cmd_expected_time)
+
+    p = sub.add_parser("phase-diagram", help="sweep all shapes of n")
+    p.add_argument("n", type=int)
+    p.add_argument("--task", default="leader")
+    p.set_defaults(func=cmd_phase_diagram)
+
+    p = sub.add_parser("protocol", help="run an election protocol")
+    add_common(p, with_task=False)
+    p.add_argument("--k", type=int, default=1, help="number of leaders")
+    p.add_argument("--max-rounds", type=int, default=96)
+    p.set_defaults(func=cmd_protocol)
+
+    p = sub.add_parser("figures", help="render Figures 1-3 as text")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("experiments", help="run reproduction experiments")
+    p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "graphs", help="anonymous-graph worst-case analysis (k=1 slice)"
+    )
+    p.add_argument(
+        "graph",
+        help="ring:N | path:N | star:N | clique:N | bipartite:M,N",
+    )
+    p.add_argument("--labeling-limit", type=int, default=1 << 16)
+    p.set_defaults(func=cmd_graphs)
+
+    p = sub.add_parser(
+        "mermaid", help="refinement lattice as a mermaid state diagram"
+    )
+    add_common(p)
+    p.add_argument("--max-states", type=int, default=64)
+    p.set_defaults(func=cmd_mermaid)
+
+    p = sub.add_parser(
+        "report", help="run all experiments and write JSON/CSV/Markdown"
+    )
+    p.add_argument("output", help="output directory")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

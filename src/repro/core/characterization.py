@@ -1,0 +1,119 @@
+"""Closed-form characterizations of eventual solvability (Section 4).
+
+These are the paper's headline results, as predicates on the randomness
+configuration:
+
+* :func:`blackboard_solvable` -- Theorem 4.1: leader election on the
+  blackboard is eventually solvable iff some source feeds exactly one node.
+* :func:`message_passing_worst_case_solvable` -- Theorem 4.2: worst-case
+  (adversarial ports) leader election on the clique is eventually solvable
+  iff ``gcd(n_1, ..., n_k) = 1``.
+* Generalizations for arbitrary symmetric tasks and for ``k``-leader
+  election, derived from the same machinery (the eventual blackboard
+  partition is the source partition; the worst-case message-passing
+  reachable partitions are the matching closure).
+
+Everything here is a *prediction*; the benchmarks and tests validate each
+prediction against the exact Markov-chain limits and against protocol runs.
+"""
+
+from __future__ import annotations
+
+from ..randomness.configuration import RandomnessConfiguration
+from .reachability import (
+    has_submultiset_sum,
+    reachable_multisets,
+    worst_case_k_leader_solvable,
+)
+from .tasks import SymmetryBreakingTask
+
+
+def blackboard_solvable(alpha: RandomnessConfiguration) -> bool:
+    """Theorem 4.1: exists ``i`` with ``n_i = 1``."""
+    return alpha.has_singleton_source
+
+
+def message_passing_worst_case_solvable(
+    alpha: RandomnessConfiguration,
+) -> bool:
+    """Theorem 4.2: ``gcd(n_1, ..., n_k) = 1``."""
+    return alpha.gcd == 1
+
+
+def blackboard_task_solvable(
+    alpha: RandomnessConfiguration, task: SymmetryBreakingTask
+) -> bool:
+    """Eventual solvability of any symmetric task on the blackboard.
+
+    On a blackboard, knowledge equality is bit-string equality, so the
+    consistency partition refines over time and converges almost surely to
+    exactly the source partition (distinct sources eventually diverge;
+    same-source nodes never do).  A task is eventually solvable iff the
+    source partition solves it.
+    """
+    if task.n != alpha.n:
+        raise ValueError("task and configuration sizes differ")
+    return task.solvable_from_partition(alpha.source_partition())
+
+
+def blackboard_k_leader_solvable(
+    alpha: RandomnessConfiguration, k: int
+) -> bool:
+    """Blackboard ``k``-leader election: a sub-multiset of the ``n_i`` sums
+    to ``k`` (the leaders must be a union of source groups)."""
+    if not 1 <= k <= alpha.n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}")
+    return has_submultiset_sum(alpha.sorted_group_sizes, k)
+
+
+def message_passing_worst_case_k_leader_solvable(
+    alpha: RandomnessConfiguration, k: int
+) -> bool:
+    """Worst-case ``k``-leader election via the matching-closure oracle.
+
+    Coincides with the closed form ``gcd(n_1..n_k) | k`` (tested); for
+    ``k = 1`` this is Theorem 4.2.
+    """
+    return worst_case_k_leader_solvable(alpha.sorted_group_sizes, k)
+
+
+def message_passing_worst_case_task_solvable(
+    alpha: RandomnessConfiguration, task: SymmetryBreakingTask
+) -> bool:
+    """Worst-case solvability of any symmetric task on the clique.
+
+    The adversarial ports confine the protocol to the matching closure of
+    the source sizes; the task is worst-case eventually solvable iff some
+    reachable size multiset solves it.
+    """
+    if task.n != alpha.n:
+        raise ValueError("task and configuration sizes differ")
+    return any(
+        task.solvable_from_sizes(multiset)
+        for multiset in reachable_multisets(alpha.sorted_group_sizes)
+    )
+
+
+def two_leader_blackboard_solvable(alpha: RandomnessConfiguration) -> bool:
+    """The Section 1.2 exercise, blackboard side: some ``n_i = 2`` or two
+    sources with ``n_i = 1`` (i.e. a sub-multiset summing to 2)."""
+    return blackboard_k_leader_solvable(alpha, 2)
+
+
+def two_leader_message_passing_solvable(
+    alpha: RandomnessConfiguration,
+) -> bool:
+    """The Section 1.2 exercise, message-passing side: ``gcd in {1, 2}``."""
+    return message_passing_worst_case_k_leader_solvable(alpha, 2)
+
+
+__all__ = [
+    "blackboard_k_leader_solvable",
+    "blackboard_solvable",
+    "blackboard_task_solvable",
+    "message_passing_worst_case_k_leader_solvable",
+    "message_passing_worst_case_solvable",
+    "message_passing_worst_case_task_solvable",
+    "two_leader_blackboard_solvable",
+    "two_leader_message_passing_solvable",
+]

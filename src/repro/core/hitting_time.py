@@ -1,0 +1,156 @@
+"""Exact expected time-to-solve, via the consistency chain.
+
+The paper characterizes *whether* ``lim Pr[S(t)|alpha] = 1``; the partition
+Markov chain also yields *how fast*: the expected number of rounds until
+the consistency partition first solves the task (the expected hitting time
+of the solving set).  Because transitions only refine the partition, the
+chain is acyclic up to self-loops and the standard first-step equations
+solve in one topological pass, exactly, over ``Fraction``:
+
+    E[s] = 0                                   if s solves the task
+    E[s] = (1 + sum_{s' != s} P(s->s') E[s']) / (1 - P(s->s))   otherwise
+
+The expectation is finite iff eventual solvability holds from every
+reachable non-solving state that matters; when the task is not eventually
+solvable the function returns ``None`` (infinite expectation).
+
+This quantifies, e.g., how much harder leader election gets as sources are
+shared: independent pairs solve in expected 2 rounds, while configuration
+``(1, 2, 2)`` needs 8/3 rounds of knowledge exchange before some node's
+knowledge is unique.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .markov import ConsistencyChain, single_block_state
+from .tasks import SymmetryBreakingTask
+
+
+def expected_solving_time(
+    chain: ConsistencyChain, task: SymmetryBreakingTask
+) -> Fraction | None:
+    """Exact expected rounds until the partition first solves ``task``.
+
+    Returns ``None`` when the task is not eventually solvable under the
+    chain's configuration (the expectation is infinite).  Note this counts
+    rounds until the *global state* solves the task (Definition 3.4); real
+    protocols need one extra round to turn the state into outputs, since
+    the partition becomes common knowledge with a one-round lag.
+    """
+    if chain.limit_solving_probability(task) != 1:
+        return None
+    states = sorted(chain.reachable_states(), key=len, reverse=True)
+    expected: dict = {}
+    for state in states:
+        if task.solvable_from_partition([frozenset(b) for b in state]):
+            expected[state] = Fraction(0)
+            continue
+        moves = chain.transitions(state)
+        self_loop = moves.get(state, Fraction(0))
+        if self_loop == 1:
+            # Unreachable here: limit 1 guarantees escape from every
+            # reachable non-solving state, but guard for safety.
+            return None
+        total = Fraction(1)
+        for nxt, step in moves.items():
+            if nxt != state:
+                sub = expected.get(nxt)
+                if sub is None:
+                    return None
+                total += step * sub
+        expected[state] = total / (1 - self_loop)
+    return expected[single_block_state(chain.alpha.n)]
+
+
+def expected_time_table(
+    chain: ConsistencyChain, task: SymmetryBreakingTask
+) -> dict:
+    """Expected remaining time from every reachable state (diagnostics).
+
+    States from which the task is unreachable map to ``None``.
+    """
+    out: dict = {}
+    states = sorted(chain.reachable_states(), key=len, reverse=True)
+    for state in states:
+        if task.solvable_from_partition([frozenset(b) for b in state]):
+            out[state] = Fraction(0)
+            continue
+        moves = chain.transitions(state)
+        self_loop = moves.get(state, Fraction(0))
+        if self_loop == 1:
+            out[state] = None
+            continue
+        total = Fraction(1)
+        feasible = True
+        for nxt, step in moves.items():
+            if nxt == state:
+                continue
+            sub = out.get(nxt)
+            if sub is None:
+                feasible = False
+                break
+            total += step * sub
+        out[state] = total / (1 - self_loop) if feasible else None
+    return out
+
+
+def solving_time_distribution(
+    chain: ConsistencyChain,
+    task: SymmetryBreakingTask,
+    t_max: int,
+) -> list[Fraction]:
+    """Exact ``Pr[T = t]`` for ``t = 1..t_max``.
+
+    ``T`` is the first time the global state solves the task; by
+    monotonicity ``Pr[T = t] = Pr[S(t)] - Pr[S(t-1)]``.  The remaining mass
+    ``1 - Pr[S(t_max)]`` covers both later solves and (for non-eventually-
+    solvable configurations) the never-solving event.
+    """
+    series = chain.solving_probability_series(task, t_max)
+    previous = Fraction(0)
+    distribution = []
+    for prob in series:
+        distribution.append(prob - previous)
+        previous = prob
+    return distribution
+
+
+def solving_time_quantile(
+    chain: ConsistencyChain,
+    task: SymmetryBreakingTask,
+    q: Fraction | float,
+    *,
+    t_cap: int = 512,
+) -> int | None:
+    """Smallest ``t`` with ``Pr[S(t)] >= q`` (None if not reached by cap)."""
+    if not 0 < float(q) <= 1:
+        raise ValueError("quantile must be in (0, 1]")
+    dist = {single_block_state(chain.alpha.n): Fraction(1)}
+    cumulative = Fraction(0)
+    for t in range(1, t_cap + 1):
+        nxt: dict = {}
+        for state, prob in dist.items():
+            for new_state, step in chain.transitions(state).items():
+                nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
+        dist = nxt
+        cumulative = sum(
+            (
+                prob
+                for state, prob in dist.items()
+                if task.solvable_from_partition([frozenset(b) for b in state])
+            ),
+            Fraction(0),
+        )
+        if cumulative >= q:
+            return t
+    return None
+
+
+__all__ = [
+    "expected_solving_time",
+    "expected_time_table",
+    "solving_time_distribution",
+    "solving_time_quantile",
+]

@@ -1,0 +1,84 @@
+"""Leader election and its relatives as tasks.
+
+``O_LE`` has one facet ``tau_i`` per node ``i``: node ``i`` outputs 1 and
+everyone else outputs 0 (Section 4).  The projection ``pi(O_LE)`` has, for
+each ``i``, an isolated vertex ``(i, 1)`` and the simplex
+``{(j, 0) : j != i}`` -- Figure 3.
+
+The module also provides the natural generalizations studied in the paper's
+discussion: electing exactly ``k`` leaders (the "2-leader election"
+challenge of Section 1.2) and weak symmetry breaking (not all nodes output
+the same value).
+"""
+
+from __future__ import annotations
+
+from ..topology import Simplex, SimplicialComplex, Vertex
+from .tasks import CountTask
+
+#: Output values used by the election tasks.
+LEADER = 1
+FOLLOWER = 0
+
+
+def leader_election(n: int) -> CountTask:
+    """The task ``O_LE``: exactly one node outputs :data:`LEADER`."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if n == 1:
+        profile = {LEADER: 1}
+    else:
+        profile = {LEADER: 1, FOLLOWER: n - 1}
+    return CountTask(n, [profile], name="leader-election")
+
+
+def k_leader_election(n: int, k: int) -> CountTask:
+    """Exactly ``k`` nodes output :data:`LEADER`."""
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if k == n:
+        profile = {LEADER: n}
+    else:
+        profile = {LEADER: k, FOLLOWER: n - k}
+    return CountTask(n, [profile], name=f"{k}-leader-election")
+
+
+def weak_symmetry_breaking(n: int) -> CountTask:
+    """Not all nodes output the same value (any non-trivial 0/1 split)."""
+    if n < 2:
+        raise ValueError("weak symmetry breaking needs n >= 2")
+    profiles = [{LEADER: m, FOLLOWER: n - m} for m in range(1, n)]
+    return CountTask(n, profiles, name="weak-symmetry-breaking")
+
+
+def leader_election_complex(n: int) -> SimplicialComplex:
+    """``O_LE`` built explicitly: facets ``tau_i`` for ``i in 0..n-1``."""
+    facets = []
+    for leader in range(n):
+        facets.append(
+            Simplex(
+                Vertex(i, LEADER if i == leader else FOLLOWER)
+                for i in range(n)
+            )
+        )
+    return SimplicialComplex(facets)
+
+
+def leader_election_facet(n: int, leader: int) -> Simplex:
+    """The facet ``tau_leader`` of ``O_LE``."""
+    if not 0 <= leader < n:
+        raise ValueError(f"leader must be in 0..{n - 1}")
+    return Simplex(
+        Vertex(i, LEADER if i == leader else FOLLOWER) for i in range(n)
+    )
+
+
+__all__ = [
+    "FOLLOWER",
+    "LEADER",
+    "k_leader_election",
+    "leader_election",
+    "leader_election_complex",
+    "leader_election_facet",
+    "weak_symmetry_breaking",
+]

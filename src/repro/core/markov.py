@@ -1,0 +1,308 @@
+"""Exact analysis of the consistency partition as a Markov chain.
+
+The consistency relation ``~t`` (knowledge equality) induces a partition of
+the nodes at every time, and the partition at time ``t+1`` is a
+*deterministic* function of the partition at time ``t`` and the round's
+source bits:
+
+* blackboard (Eq. 1): ``i ~' j  iff  i ~ j  and  bit_i == bit_j``;
+* message passing (Eq. 2): additionally ``pi_i(p) ~ pi_j(p)`` for every
+  port ``p`` (received tuples are compared port-wise).
+
+Only bit *equalities* matter, never bit values, so the partition evolves as
+a Markov chain whose per-round input is one of the ``2^k`` equally-likely
+source-bit vectors.  The chain is monotone: partitions only refine.  This
+yields
+
+* :meth:`ConsistencyChain.state_distribution` -- the exact distribution of
+  the partition at any time ``t`` (Fractions, no enumeration of ``2^{tk}``
+  realizations);
+* :meth:`ConsistencyChain.solving_probability` -- the exact
+  ``Pr[S(t) | alpha]`` for any symmetric task;
+* :meth:`ConsistencyChain.limit_solving_probability` -- the exact limit
+  ``lim_t Pr[S(t) | alpha]``, computed by absorption analysis over the
+  (finite, acyclic-up-to-self-loops) refinement lattice.  Lemma 3.2 says
+  the limit must be 0 or 1; the test suite asserts that on sweeps, making
+  the zero-one law machine-checked rather than assumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from ..randomness.configuration import RandomnessConfiguration
+from .tasks import SymmetryBreakingTask
+
+#: Canonical partition state: sorted tuple of sorted node tuples.
+PartitionState = tuple[tuple[int, ...], ...]
+
+#: Refuse chains that would be astronomically large.
+MAX_NODES = 10
+
+
+def canonical_state(blocks: "list[frozenset[int]] | PartitionState") -> PartitionState:
+    """Canonicalize a partition into a hashable, ordered state."""
+    return tuple(sorted(tuple(sorted(block)) for block in blocks))
+
+
+def single_block_state(n: int) -> PartitionState:
+    """The time-0 partition: every node holds ``bottom``."""
+    return (tuple(range(n)),)
+
+
+def is_refinement(fine: PartitionState, coarse: PartitionState) -> bool:
+    """True when every block of ``fine`` lies inside a block of ``coarse``."""
+    membership = {}
+    for index, block in enumerate(coarse):
+        for node in block:
+            membership[node] = index
+    return all(
+        len({membership[node] for node in block}) == 1 for block in fine
+    )
+
+
+class ConsistencyChain:
+    """The Markov chain of consistency partitions for one configuration.
+
+    ``ports=None`` selects the blackboard model; a
+    :class:`~repro.models.ports.PortAssignment` (clique) or a
+    :class:`~repro.models.graph.GraphTopology` (arbitrary connected graph)
+    selects message passing on that labeling.  With
+    ``include_back_ports=True`` the refinement additionally uses the
+    sender-side port of each received message (the classical
+    anonymous-network semantics; see
+    :mod:`repro.models.graph_model`).
+    """
+
+    def __init__(
+        self,
+        alpha: RandomnessConfiguration,
+        ports=None,
+        *,
+        include_back_ports: bool = False,
+    ):
+        if alpha.n > MAX_NODES:
+            raise ValueError(
+                f"exact chain supports n <= {MAX_NODES}, got {alpha.n}"
+            )
+        if ports is not None and ports.n != alpha.n:
+            raise ValueError("port assignment size does not match alpha")
+        if ports is None and include_back_ports:
+            raise ValueError("back ports are meaningless on a blackboard")
+        self.alpha = alpha
+        self.ports = ports
+        self.include_back_ports = include_back_ports
+        if ports is not None and include_back_ports:
+            self._back = tuple(
+                tuple(
+                    ports.port_to(nbr, node)
+                    for nbr in ports.neighbours(node)
+                )
+                for node in range(alpha.n)
+            )
+        else:
+            self._back = None
+        self._transition_cache: dict[
+            PartitionState, dict[PartitionState, Fraction]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # One-round refinement
+    # ------------------------------------------------------------------
+    def refine(
+        self, state: PartitionState, source_bits: tuple[int, ...]
+    ) -> PartitionState:
+        """Apply one synchronous round with the given per-source bits."""
+        n = self.alpha.n
+        label = {}
+        for index, block in enumerate(state):
+            for node in block:
+                label[node] = index
+        bits = [source_bits[self.alpha.source_of(i)] for i in range(n)]
+        if self.ports is None:
+            keys = [(label[i], bits[i]) for i in range(n)]
+        elif self._back is None:
+            keys = [
+                (
+                    label[i],
+                    bits[i],
+                    tuple(label[j] for j in self.ports.neighbours(i)),
+                )
+                for i in range(n)
+            ]
+        else:
+            keys = [
+                (
+                    label[i],
+                    bits[i],
+                    tuple(
+                        (label[j], back)
+                        for j, back in zip(
+                            self.ports.neighbours(i), self._back[i]
+                        )
+                    ),
+                )
+                for i in range(n)
+            ]
+        blocks: dict[tuple, list[int]] = {}
+        for node in range(n):
+            blocks.setdefault(keys[node], []).append(node)
+        return canonical_state(
+            [frozenset(block) for block in blocks.values()]
+        )
+
+    def transitions(
+        self, state: PartitionState
+    ) -> dict[PartitionState, Fraction]:
+        """Next-state distribution from ``state`` (one round)."""
+        cached = self._transition_cache.get(state)
+        if cached is not None:
+            return cached
+        k = self.alpha.k
+        out: dict[PartitionState, Fraction] = {}
+        weight = Fraction(1, 2 ** (k - 1)) if k > 1 else Fraction(1)
+        # Bit vectors and their complements refine identically; fix the
+        # first source's bit to halve the enumeration.
+        for rest in itertools.product((0, 1), repeat=k - 1):
+            source_bits = (0, *rest)
+            nxt = self.refine(state, source_bits)
+            out[nxt] = out.get(nxt, Fraction(0)) + weight
+        self._transition_cache[state] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # Exact finite-time distribution
+    # ------------------------------------------------------------------
+    def state_distribution(
+        self, t: int
+    ) -> dict[PartitionState, Fraction]:
+        """Exact distribution of the consistency partition at time ``t``."""
+        if t < 0:
+            raise ValueError("need t >= 0")
+        dist = {single_block_state(self.alpha.n): Fraction(1)}
+        for _ in range(t):
+            nxt: dict[PartitionState, Fraction] = {}
+            for state, prob in dist.items():
+                for new_state, step in self.transitions(state).items():
+                    nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
+            dist = nxt
+        return dist
+
+    def solving_probability(
+        self, task: SymmetryBreakingTask, t: int
+    ) -> Fraction:
+        """Exact ``Pr[S(t) | alpha]`` for a symmetric task."""
+        total = Fraction(0)
+        for state, prob in self.state_distribution(t).items():
+            if task.solvable_from_partition([frozenset(b) for b in state]):
+                total += prob
+        return total
+
+    def solving_probability_series(
+        self, task: SymmetryBreakingTask, t_max: int
+    ) -> list[Fraction]:
+        """``[Pr[S(1)], ..., Pr[S(t_max)]]`` sharing work across times."""
+        dist = {single_block_state(self.alpha.n): Fraction(1)}
+        series: list[Fraction] = []
+        for _ in range(t_max):
+            nxt: dict[PartitionState, Fraction] = {}
+            for state, prob in dist.items():
+                for new_state, step in self.transitions(state).items():
+                    nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
+            dist = nxt
+            series.append(
+                sum(
+                    (
+                        prob
+                        for state, prob in dist.items()
+                        if task.solvable_from_partition(
+                            [frozenset(b) for b in state]
+                        )
+                    ),
+                    Fraction(0),
+                )
+            )
+        return series
+
+    # ------------------------------------------------------------------
+    # Exact limits (eventual solvability)
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> set[PartitionState]:
+        """All partition states reachable from the initial state."""
+        start = single_block_state(self.alpha.n)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.transitions(state):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def limit_solving_probability(
+        self, task: SymmetryBreakingTask
+    ) -> Fraction:
+        """Exact ``lim_{t->inf} Pr[S(t) | alpha]``.
+
+        Solvability is monotone under refinement (a finer partition refines
+        everything a coarser one does), so the limit equals the probability
+        of ever reaching a solving state.  Transitions strictly increase the
+        block count except for self-loops, so states can be processed in
+        decreasing block count: ``p(s) = 1`` for solving states, and
+        otherwise ``p(s) = sum_{s' != s} P(s -> s') p(s') / (1 - P(s -> s))``
+        with ``p(s) = 0`` when the state is absorbing and non-solving.
+        """
+        states = sorted(self.reachable_states(), key=len, reverse=True)
+        prob: dict[PartitionState, Fraction] = {}
+        for state in states:
+            if task.solvable_from_partition([frozenset(b) for b in state]):
+                prob[state] = Fraction(1)
+                continue
+            moves = self.transitions(state)
+            self_loop = moves.get(state, Fraction(0))
+            if self_loop == 1:
+                prob[state] = Fraction(0)
+                continue
+            total = Fraction(0)
+            for nxt, step in moves.items():
+                if nxt != state:
+                    total += step * prob[nxt]
+            prob[state] = total / (1 - self_loop)
+        return prob[single_block_state(self.alpha.n)]
+
+    def to_networkx(self):
+        """The reachable transition graph as a networkx DiGraph.
+
+        Nodes are partition states; edge weights carry the transition
+        probabilities (as ``Fraction``).  Useful for external analysis and
+        cross-validated against the internal absorption solver in tests.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for state in self.reachable_states():
+            graph.add_node(state, blocks=len(state))
+            for nxt, prob in self.transitions(state).items():
+                graph.add_edge(state, nxt, weight=prob)
+        return graph
+
+    def eventually_solvable(self, task: SymmetryBreakingTask) -> bool:
+        """Definition 3.3 decided exactly; asserts the zero-one law."""
+        limit = self.limit_solving_probability(task)
+        if limit not in (Fraction(0), Fraction(1)):
+            raise AssertionError(
+                f"zero-one law violated: limit {limit} for {self.alpha!r}"
+            )
+        return limit == 1
+
+
+__all__ = [
+    "ConsistencyChain",
+    "MAX_NODES",
+    "PartitionState",
+    "canonical_state",
+    "is_refinement",
+    "single_block_state",
+]

@@ -1,0 +1,86 @@
+"""Consistency projections ``pi`` and ``pi~`` (Section 3.3).
+
+``pi`` applies to any facet of a chromatic complex: a set of the facet's
+vertices forms a simplex of ``pi(sigma)`` iff they all carry *equal values*
+(Eq. 3).  ``pi~`` applies to realizations: a set of vertices ``(i, x_i)``
+forms a simplex of ``pi~(rho)`` iff the nodes have equal *knowledge*
+``K_i(t)`` under the communication model (Eq. 5) -- equality of knowledge is
+the consistency relation ``i ~t j``.
+
+Because both relations are equivalences, the projections are disjoint
+unions of simplices: one facet per equivalence class.  That structural fact
+is what lets the library reduce solvability to partition refinement; the
+test suite checks it homologically
+(:func:`repro.topology.homology.is_disjoint_union_of_simplices`).
+"""
+
+from __future__ import annotations
+
+from ..models.base import CommunicationModel
+from ..randomness.realizations import NodeRealization
+from ..topology import Simplex, SimplicialComplex, Vertex
+
+
+def project_facet(facet: Simplex) -> SimplicialComplex:
+    """``pi(sigma)`` for a single facet: group vertices by equal value."""
+    blocks = facet.value_partition()
+    return SimplicialComplex(
+        Simplex(Vertex(name, facet.value_of(name)) for name in block)
+        for block in blocks
+    )
+
+
+def project_complex(complex_: SimplicialComplex) -> SimplicialComplex:
+    """``pi(K) = union of pi(sigma)`` over the facets of ``K``."""
+    result = SimplicialComplex.empty()
+    for facet in complex_.facets:
+        result = result.union(project_facet(facet))
+    return result
+
+
+def realization_facet(realization: NodeRealization) -> Simplex:
+    """The facet of ``R(t)`` for a realization: vertices ``(i, x_i)``."""
+    return Simplex(
+        Vertex(node, tuple(bits)) for node, bits in enumerate(realization)
+    )
+
+
+def knowledge_projection(
+    model: CommunicationModel, realization: NodeRealization
+) -> SimplicialComplex:
+    """``pi~(rho)``: group the realization's vertices by equal knowledge.
+
+    The vertices carry the random bit strings (they are vertices of
+    ``R(t)``), but the grouping is by the knowledge the model derives from
+    the whole realization -- in the message-passing model two nodes with
+    identical strings may still be split by their ports.
+    """
+    partition = model.partition(realization)
+    return SimplicialComplex(
+        Simplex(Vertex(node, tuple(realization[node])) for node in block)
+        for block in partition
+    )
+
+
+def projected_realization_complex(
+    model: CommunicationModel, realizations: "list[NodeRealization]"
+) -> SimplicialComplex:
+    """``pi~`` applied to a set of realizations, united (Eq. 6).
+
+    Pass all facets of ``R(t)`` for the full ``pi~(R(t))``, or only the
+    positive-probability realizations of a configuration ``alpha`` for the
+    sub-complex the solvability analysis actually inspects.
+    """
+    result = SimplicialComplex.empty()
+    for realization in realizations:
+        result = result.union(knowledge_projection(model, realization))
+    return result
+
+
+__all__ = [
+    "knowledge_projection",
+    "project_complex",
+    "project_facet",
+    "projected_realization_complex",
+    "realization_facet",
+]

@@ -1,0 +1,114 @@
+"""The protocol complex ``P(t)`` and the facet isomorphism ``h`` (Section 3.3).
+
+``P(t)`` has vertices ``(i, K_i(t))`` and one facet per reachable global
+state.  In the anonymous fault-free models of the paper, the global state
+at time ``t`` is a deterministic function of the realization, so facets of
+``P(t)`` correspond one-to-one to facets of ``R(t)`` -- the simplicial map
+``h : P(t) -> R(t)`` that forgets everything but one's own random bits
+restricts to an isomorphism on facets (distinct realizations can, however,
+share ``P(t)``-vertices, which is why ``h`` is many-to-one on vertices).
+
+Materializing ``P(t)`` costs ``2^{nt}`` knowledge evaluations and is only
+done for the figure-sized parameters; the dataclass returned keeps the
+facet correspondence so the tests can check the isomorphism claims of
+Lemma 3.5 directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.base import CommunicationModel
+from ..randomness.realizations import NodeRealization
+from ..topology import Simplex, SimplicialComplex, Vertex
+from .projection import realization_facet
+from .realization_complex import MATERIALIZE_LIMIT, facet_count, iter_realizations
+
+
+def protocol_facet(
+    model: CommunicationModel, realization: NodeRealization
+) -> Simplex:
+    """The facet ``{(i, K_i(t))}`` of ``P(t)`` for one realization."""
+    knowledge = model.knowledge_ids(realization)
+    return Simplex(Vertex(i, kid) for i, kid in enumerate(knowledge))
+
+
+@dataclass(frozen=True)
+class ProtocolComplexBuild:
+    """``P(t)`` together with its facet correspondence to ``R(t)``."""
+
+    complex: SimplicialComplex
+    #: (P(t) facet, R(t) facet) pairs -- the graph of ``h`` on facets.
+    facet_pairs: tuple[tuple[Simplex, Simplex], ...]
+
+    def vertex_count(self) -> int:
+        return len(self.complex.vertices())
+
+    def facet_count(self) -> int:
+        return self.complex.facet_count()
+
+    def h_vertex_map(self) -> dict[Vertex, Vertex]:
+        """The vertex map ``h: (i, K_i) -> (i, x_i)``.
+
+        Well-definedness (a knowledge vertex always projects to the same
+        bits) holds because ``K_i(t)`` contains ``x_i(t)``; the constructor
+        of this map asserts it.
+        """
+        mapping: dict[Vertex, Vertex] = {}
+        for p_facet, r_facet in self.facet_pairs:
+            for p_vertex in p_facet.vertices:
+                r_vertex = Vertex(
+                    p_vertex.name, r_facet.value_of(p_vertex.name)
+                )
+                existing = mapping.get(p_vertex)
+                if existing is None:
+                    mapping[p_vertex] = r_vertex
+                elif existing != r_vertex:
+                    raise AssertionError(
+                        "h is not well-defined: knowledge vertex "
+                        f"{p_vertex} maps to both {existing} and {r_vertex}"
+                    )
+        return mapping
+
+
+def build_protocol_complex(
+    model: CommunicationModel, t: int
+) -> ProtocolComplexBuild:
+    """Materialize ``P(t)`` for the model's ``n`` (guarded by size)."""
+    n = model.n
+    count = facet_count(n, t)
+    if count > MATERIALIZE_LIMIT:
+        raise ValueError(
+            f"P(t) would need {count} realizations; too large to materialize"
+        )
+    pairs: list[tuple[Simplex, Simplex]] = []
+    if t == 0:
+        realizations: list[NodeRealization] = [tuple(() for _ in range(n))]
+    else:
+        realizations = list(iter_realizations(n, t))
+    for rho in realizations:
+        pairs.append((protocol_facet(model, rho), realization_facet(rho)))
+    complex_ = SimplicialComplex(p for p, _ in pairs)
+    return ProtocolComplexBuild(complex_, tuple(pairs))
+
+
+def facet_correspondence_is_bijective(build: ProtocolComplexBuild) -> bool:
+    """Check that ``h`` restricts to a bijection on facets.
+
+    Distinct realizations must give distinct global states (the knowledge of
+    the system determines the randomness and vice versa -- Section 3.3).
+    """
+    p_facets = {p for p, _ in build.facet_pairs}
+    r_facets = {r for _, r in build.facet_pairs}
+    return (
+        len(p_facets) == len(build.facet_pairs)
+        and len(r_facets) == len(build.facet_pairs)
+    )
+
+
+__all__ = [
+    "ProtocolComplexBuild",
+    "build_protocol_complex",
+    "facet_correspondence_is_bijective",
+    "protocol_facet",
+]

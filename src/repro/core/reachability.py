@@ -1,0 +1,134 @@
+"""Worst-case reachability of knowledge-class size multisets.
+
+Under an *adversarial* port assignment the only splits a protocol can force
+are the ones Lemma 4.7 guarantees: matching a smaller class ``a`` into a
+larger class ``b`` splits the larger into matched/unmatched parts of sizes
+exactly ``(a, b - a)`` (Algorithm 1 matches every member of the smaller
+class).  Closing the initial multiset ``{n_1, ..., n_k}`` under the
+operation
+
+    pick classes of sizes ``x <= y``; replace ``y`` by ``x`` and ``y - x``
+
+yields every class-size multiset reachable in the worst case.  This module
+computes that closure and uses it as a *computed oracle* for worst-case
+solvability of count tasks:
+
+* leader election is worst-case solvable iff some reachable multiset
+  contains a ``1`` -- which the closure shows happens iff
+  ``gcd(n_1..n_k) = 1`` (this is Euclid's algorithm; Theorem 4.2);
+* ``k``-leader election is worst-case solvable iff some reachable multiset
+  has a sub-multiset summing to ``k`` -- the closure shows this is exactly
+  ``gcd(n_1..n_k) | k``, generalizing the theorem.
+
+Necessity is Lemma 4.3's invariant: under the adversarial assignment every
+knowledge class keeps a size divisible by ``g``, so any union of classes
+(in particular the set of leaders) has size divisible by ``g``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable
+
+SizeMultiset = tuple[int, ...]
+
+
+def _canonical(sizes: Iterable[int]) -> SizeMultiset:
+    sizes = tuple(sorted(int(s) for s in sizes))
+    if not sizes or any(s < 1 for s in sizes):
+        raise ValueError(f"invalid size multiset {sizes}")
+    return sizes
+
+
+def matching_moves(sizes: SizeMultiset) -> set[SizeMultiset]:
+    """All multisets reachable in one guaranteed matching step."""
+    out: set[SizeMultiset] = set()
+    distinct = sorted(set(sizes))
+    for i, x in enumerate(distinct):
+        for y in distinct[i:]:
+            if x == y:
+                if sizes.count(x) < 2:
+                    continue
+                # Matching two equal-size classes matches everyone:
+                # no split, nothing new.
+                continue
+            remaining = list(sizes)
+            remaining.remove(y)
+            remaining.append(x)
+            if y - x:
+                remaining.append(y - x)
+            out.add(tuple(sorted(remaining)))
+    return out
+
+
+@lru_cache(maxsize=4096)
+def reachable_multisets(sizes: SizeMultiset) -> frozenset[SizeMultiset]:
+    """Closure of ``sizes`` under guaranteed matching steps (BFS)."""
+    start = _canonical(sizes)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for nxt in matching_moves(current):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def has_submultiset_sum(sizes: SizeMultiset, target: int) -> bool:
+    """Subset-sum over a multiset of class sizes."""
+    reachable = {0}
+    for size in sizes:
+        reachable |= {r + size for r in reachable if r + size <= target}
+    return target in reachable
+
+
+def worst_case_k_leader_solvable(sizes: Iterable[int], k: int) -> bool:
+    """Computed oracle: some reachable multiset selects exactly ``k`` nodes."""
+    start = _canonical(sizes)
+    if not 1 <= k <= sum(start):
+        raise ValueError(f"need 1 <= k <= n, got k={k}")
+    return any(
+        has_submultiset_sum(multiset, k)
+        for multiset in reachable_multisets(start)
+    )
+
+
+def worst_case_leader_election_solvable(sizes: Iterable[int]) -> bool:
+    """Leader election (``k = 1``) via the computed oracle."""
+    return worst_case_k_leader_solvable(sizes, 1)
+
+
+def gcd_divides_k(sizes: Iterable[int], k: int) -> bool:
+    """The closed-form prediction ``gcd(n_1..n_k) | k``.
+
+    The test suite checks this agrees with
+    :func:`worst_case_k_leader_solvable` on exhaustive sweeps; for ``k = 1``
+    it specializes to Theorem 4.2's ``gcd = 1``.
+    """
+    return k % math.gcd(*_canonical(sizes)) == 0
+
+
+def minimum_reachable_class(sizes: Iterable[int]) -> int:
+    """The smallest class size achievable in the worst case.
+
+    Equals ``gcd(n_1..n_k)`` (Euclid); validated by tests against the
+    closure.
+    """
+    return min(
+        min(multiset) for multiset in reachable_multisets(_canonical(sizes))
+    )
+
+
+__all__ = [
+    "SizeMultiset",
+    "gcd_divides_k",
+    "has_submultiset_sum",
+    "matching_moves",
+    "minimum_reachable_class",
+    "reachable_multisets",
+    "worst_case_k_leader_solvable",
+    "worst_case_leader_election_solvable",
+]

@@ -1,0 +1,81 @@
+"""The realization complex ``R(t)`` (Section 3.3, Figure 2).
+
+Vertices are pairs ``(i, x_i)`` with ``x_i in {0,1}^t``; every set of
+vertices with pairwise-distinct names is a simplex, because the
+all-independent configuration gives it positive probability.  ``R(t)``
+therefore has ``n * 2^t`` vertices and ``2^{nt}`` facets; it is only
+materialized for the tiny parameters of the figures, while the rest of the
+library iterates over its facets (realizations) lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..randomness.realizations import NodeRealization, all_bit_strings
+from ..topology import Simplex, SimplicialComplex, Vertex
+from .projection import realization_facet
+
+#: Refuse to materialize more facets than this; use the lazy iterators.
+MATERIALIZE_LIMIT = 1 << 16
+
+
+def iter_realizations(n: int, t: int) -> Iterator[NodeRealization]:
+    """All ``2^{nt}`` realizations (facets of ``R(t)``), lazily."""
+    yield from itertools.product(all_bit_strings(t), repeat=n)
+
+
+def realization_complex(n: int, t: int) -> SimplicialComplex:
+    """Materialize ``R(t)`` (guarded; figures use ``n, t <= 3``)."""
+    count = facet_count(n, t)
+    if count > MATERIALIZE_LIMIT:
+        raise ValueError(
+            f"R(t) would have {count} facets; iterate lazily instead"
+        )
+    if t == 0:
+        return SimplicialComplex(
+            [Simplex(Vertex(i, ()) for i in range(n))]
+        )
+    return SimplicialComplex(
+        realization_facet(rho) for rho in iter_realizations(n, t)
+    )
+
+
+def vertex_count(n: int, t: int) -> int:
+    """``|V(R(t))| = n * 2^t``."""
+    return n * (1 << t)
+
+
+def facet_count(n: int, t: int) -> int:
+    """``2^{nt}`` facets -- one per realization."""
+    return 1 << (n * t)
+
+
+def succeeds(earlier: NodeRealization, later: NodeRealization) -> bool:
+    """Definition 4.6: ``rho < rho'`` when ``rho'`` extends every string.
+
+    ``earlier`` is at some time ``t``, ``later`` at ``t' > t``, and each
+    node's string in ``later`` must have the matching ``earlier`` string as
+    a prefix.
+    """
+    if len(earlier) != len(later):
+        return False
+    t = len(earlier[0]) if earlier else 0
+    t_later = len(later[0]) if later else 0
+    if t_later <= t:
+        return False
+    return all(
+        tuple(late[:t]) == tuple(early)
+        for early, late in zip(earlier, later)
+    )
+
+
+__all__ = [
+    "MATERIALIZE_LIMIT",
+    "facet_count",
+    "iter_realizations",
+    "realization_complex",
+    "succeeds",
+    "vertex_count",
+]

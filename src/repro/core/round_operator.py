@@ -1,0 +1,113 @@
+"""The synchronous round operator on protocol complexes.
+
+Figure 1 depicts ``P(t)`` evolving into ``P(t+1)``: every facet (global
+state) branches into ``2^n`` facets, one per vector of fresh random bits,
+with knowledge updated by Eq. (1)/(2).  This module implements that arrow
+*directly on the complex* -- no realizations involved -- which makes the
+evolution a bona-fide operator on chromatic complexes:
+
+    P(t+1) = R(P(t)),    P(0) = the single bottom facet.
+
+The test suite checks that iterating the operator reproduces the direct
+construction of :func:`repro.core.protocol_complex.build_protocol_complex`
+for every ``t`` it can materialize, in both models.  This is the
+reproduction's executable version of "the evolution of the system with
+time translates to the evolution of the complex".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..models.base import CommunicationModel
+from ..models.blackboard import BlackboardModel
+from ..models.message_passing import MessagePassingModel
+from ..topology import Simplex, SimplicialComplex, Vertex
+
+
+def evolve_facet(
+    model: CommunicationModel, facet: Simplex, bits: tuple[int, ...]
+) -> Simplex:
+    """One round applied to one global state with given fresh bits.
+
+    The vertices of ``facet`` carry interned knowledge ids in the model's
+    interner; the result carries the updated ids.
+    """
+    n = model.n
+    if facet.names() != frozenset(range(n)):
+        raise ValueError("facet must carry one vertex per node 0..n-1")
+    if len(bits) != n:
+        raise ValueError(f"need {n} bits, got {len(bits)}")
+    knowledge = [facet.value_of(i) for i in range(n)]
+    updated = []
+    if isinstance(model, BlackboardModel):
+        for i in range(n):
+            others = [knowledge[j] for j in range(n) if j != i]
+            updated.append(
+                model.interner.blackboard_update(
+                    knowledge[i], bits[i], others
+                )
+            )
+    elif isinstance(model, MessagePassingModel):
+        for i in range(n):
+            received = [
+                knowledge[model.ports.neighbour(i, port)]
+                for port in range(1, n)
+            ]
+            updated.append(
+                model.interner.message_passing_update(
+                    knowledge[i], bits[i], received
+                )
+            )
+    else:
+        raise TypeError(f"unsupported model {type(model).__name__}")
+    return Simplex(Vertex(i, kid) for i, kid in enumerate(updated))
+
+
+def facet_successors(
+    model: CommunicationModel, facet: Simplex
+) -> Iterator[Simplex]:
+    """All ``2^n`` one-round successors of a global state."""
+    for bits in itertools.product((0, 1), repeat=model.n):
+        yield evolve_facet(model, facet, bits)
+
+
+def round_operator(
+    model: CommunicationModel, complex_: SimplicialComplex
+) -> SimplicialComplex:
+    """``P(t) -> P(t+1)``: evolve every facet by one synchronous round."""
+    facets: list[Simplex] = []
+    for facet in complex_.facets:
+        facets.extend(facet_successors(model, facet))
+    return SimplicialComplex(facets)
+
+
+def initial_protocol_complex(model: CommunicationModel) -> SimplicialComplex:
+    """``P(0)``: the single facet of all-bottom knowledge."""
+    from ..models.knowledge import BOTTOM_ID
+
+    return SimplicialComplex(
+        [Simplex(Vertex(i, BOTTOM_ID) for i in range(model.n))]
+    )
+
+
+def iterate_protocol_complex(
+    model: CommunicationModel, t: int
+) -> SimplicialComplex:
+    """``P(t)`` by iterating the round operator from ``P(0)``."""
+    if t < 0:
+        raise ValueError("need t >= 0")
+    complex_ = initial_protocol_complex(model)
+    for _ in range(t):
+        complex_ = round_operator(model, complex_)
+    return complex_
+
+
+__all__ = [
+    "evolve_facet",
+    "facet_successors",
+    "initial_protocol_complex",
+    "iterate_protocol_complex",
+    "round_operator",
+]

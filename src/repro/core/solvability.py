@@ -1,0 +1,102 @@
+"""Solvability of a task by a single global state (Definitions 3.1 and 3.4).
+
+Three equivalent checkers are implemented, in decreasing order of cost:
+
+1. :func:`solves_by_definition_31` -- a name-preserving *and*
+   name-independent simplicial map ``delta : sigma -> tau`` from the
+   ``P(t)`` facet to an output facet (Definition 3.1), found by exhaustive
+   search.
+2. :func:`solves_by_definition_34` -- a name-preserving simplicial map
+   ``delta : pi~(rho) -> pi(tau)`` between the projections
+   (Definition 3.4), found by exhaustive search.
+3. :func:`realization_solves` -- the partition-refinement criterion: the
+   knowledge partition refines the value partition of some output facet.
+
+The equivalence of (1) and (2) is Lemma 3.5; the equivalence with (3)
+follows because a name-preserving map into ``pi(tau)`` is forced (every
+name appears on exactly one vertex of ``pi(tau)``), and such a forced map
+is simplicial iff every knowledge class lands inside a single value class.
+The test suite checks all three agree on exhaustive small instances, which
+is this library's machine-checked version of Lemma 3.5.
+"""
+
+from __future__ import annotations
+
+from ..models.base import CommunicationModel
+from ..randomness.realizations import NodeRealization
+from ..topology import (
+    SimplicialComplex,
+    exists_simplicial_map,
+    unique_name_preserving_map,
+)
+from .projection import knowledge_projection, project_facet
+from .protocol_complex import protocol_facet
+from .tasks import SymmetryBreakingTask
+
+
+def realization_solves(
+    model: CommunicationModel,
+    realization: NodeRealization,
+    task: SymmetryBreakingTask,
+) -> bool:
+    """Fast solvability: knowledge partition refines some facet's values."""
+    return task.solvable_from_partition(model.partition(realization))
+
+
+def solves_by_definition_34(
+    model: CommunicationModel,
+    realization: NodeRealization,
+    task: SymmetryBreakingTask,
+) -> bool:
+    """Literal Definition 3.4 via simplicial-map search (small ``n`` only)."""
+    source = knowledge_projection(model, realization)
+    for tau in task.output_complex().facets:
+        target = project_facet(tau)
+        if exists_simplicial_map(source, target, name_preserving=True):
+            return True
+    return False
+
+
+def solves_by_forced_map(
+    model: CommunicationModel,
+    realization: NodeRealization,
+    task: SymmetryBreakingTask,
+) -> bool:
+    """Definition 3.4 via the forced name-preserving map.
+
+    ``pi(tau)`` contains exactly one vertex per name, so the only candidate
+    name-preserving vertex map sends ``(i, x_i)`` to ``(i, tau(i))``; the
+    realization solves the task iff that map is simplicial for some ``tau``.
+    """
+    source = knowledge_projection(model, realization)
+    for tau in task.output_complex().facets:
+        target = project_facet(tau)
+        forced = unique_name_preserving_map(source, target)
+        if forced is not None and forced.is_simplicial():
+            return True
+    return False
+
+
+def solves_by_definition_31(
+    model: CommunicationModel,
+    realization: NodeRealization,
+    task: SymmetryBreakingTask,
+) -> bool:
+    """Literal Definition 3.1: name-preserving, name-independent
+    ``delta : sigma -> tau`` on the un-projected facets."""
+    sigma = SimplicialComplex([protocol_facet(model, realization)])
+    for tau in task.output_complex().facets:
+        target = SimplicialComplex([tau])
+        if exists_simplicial_map(
+            sigma, target, name_preserving=True, name_independent=True
+        ):
+            return True
+    return False
+
+
+__all__ = [
+    "realization_solves",
+    "solves_by_definition_31",
+    "solves_by_definition_34",
+    "solves_by_forced_map",
+]

@@ -1,0 +1,59 @@
+"""Zero-one behaviour of the solving probability (Lemma 3.2).
+
+``Pr[S(t) | alpha]`` is monotone non-decreasing in ``t`` (knowledge is
+cumulative: a solving state keeps solving) and its limit is 0 or 1
+(Kolmogorov's zero-one law).  The exact limit is computable through the
+partition Markov chain; this module adds series-level diagnostics used by
+the benchmarks: monotonicity checks, limit classification, and convergence
+rates against the paper's explicit blackboard bound.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+
+def is_monotone_non_decreasing(series: Sequence[Fraction | float]) -> bool:
+    """Check the cumulative-knowledge monotonicity of ``Pr[S(t)]``."""
+    return all(a <= b for a, b in zip(series, series[1:]))
+
+
+def classify_limit(
+    series: Sequence[Fraction | float], *, tolerance: float = 0.05
+) -> int | None:
+    """Classify the apparent limit of a probability series.
+
+    Returns 1 when the tail is within ``tolerance`` of 1, 0 when the series
+    is identically 0, and ``None`` when undetermined (too short or stuck in
+    between -- which Lemma 3.2 says cannot persist as ``t`` grows).
+    """
+    if not series:
+        return None
+    tail = float(series[-1])
+    if all(float(p) == 0.0 for p in series):
+        return 0
+    if tail >= 1.0 - tolerance:
+        return 1
+    return None
+
+
+def blackboard_unique_source_lower_bound(k: int, t: int) -> Fraction:
+    """The paper's explicit bound for ``n_1 = 1``:
+    ``Pr[S(t)] >= ((2^t - 1) / 2^t)^(k-1) >= 1 - (k-1)/2^t``."""
+    if k < 1 or t < 0:
+        raise ValueError("need k >= 1 and t >= 0")
+    return Fraction((2**t - 1) ** (k - 1), 2 ** (t * (k - 1)))
+
+
+def blackboard_unique_source_linear_bound(k: int, t: int) -> Fraction:
+    """The weaker linear form ``1 - (k-1)/2^t`` of the same bound."""
+    return 1 - Fraction(k - 1, 2**t)
+
+
+__all__ = [
+    "blackboard_unique_source_linear_bound",
+    "blackboard_unique_source_lower_bound",
+    "classify_limit",
+    "is_monotone_non_decreasing",
+]

@@ -1,0 +1,39 @@
+"""Communication models: blackboard and port-numbered message passing.
+
+Both models are deterministic maps from realizations (the random bits every
+node received) to knowledge (Section 2.2), which is the foundation of the
+``P(t) <-> R(t)`` facet isomorphism the framework rests on.
+"""
+
+from .base import CommunicationModel
+from .blackboard import BlackboardModel, bitstring_partition
+from .graph import GraphTopology
+from .graph_model import GraphMessagePassingModel
+from .knowledge import BOTTOM_ID, KnowledgeInterner, knowledge_partition
+from .message_passing import MessagePassingModel
+from .ports import (
+    PortAssignment,
+    adversarial_assignment,
+    is_equivariant,
+    random_assignment,
+    round_robin_assignment,
+    shift_symmetry,
+)
+
+__all__ = [
+    "BOTTOM_ID",
+    "BlackboardModel",
+    "CommunicationModel",
+    "GraphMessagePassingModel",
+    "GraphTopology",
+    "KnowledgeInterner",
+    "MessagePassingModel",
+    "PortAssignment",
+    "adversarial_assignment",
+    "bitstring_partition",
+    "is_equivariant",
+    "knowledge_partition",
+    "random_assignment",
+    "round_robin_assignment",
+    "shift_symmetry",
+]

@@ -1,0 +1,57 @@
+"""Common interface of the two communication models.
+
+Both models are deterministic functions of the realization: fix the random
+bit strings received by the nodes and the knowledge of every node at every
+time is determined (this is the substance of the facet isomorphism ``h``
+between ``P(t)`` and ``R(t)``, Section 3.3).  The interface therefore maps
+realizations to knowledge, and everything downstream -- consistency
+partitions, projections, solvability -- is model-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..randomness.realizations import NodeRealization
+from .knowledge import KnowledgeInterner, knowledge_partition
+
+
+class CommunicationModel(abc.ABC):
+    """A synchronous, fault-free, anonymous full-information model."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need n >= 1")
+        self.n = n
+        self.interner = KnowledgeInterner()
+
+    @abc.abstractmethod
+    def knowledge_ids(self, realization: NodeRealization) -> tuple[int, ...]:
+        """Interned ``K_i(t)`` for every node, ``t`` = realization length."""
+
+    def knowledge_trace(
+        self, realization: NodeRealization
+    ) -> list[tuple[int, ...]]:
+        """``K_i(s)`` for every node and every time ``s = 0..t``."""
+        t = self._realization_length(realization)
+        return [
+            self.knowledge_ids(tuple(bits[:s] for bits in realization))
+            for s in range(t + 1)
+        ]
+
+    def partition(self, realization: NodeRealization) -> list[frozenset[int]]:
+        """Blocks of the consistency relation ``~t`` -- facets of ``pi~(rho)``."""
+        return knowledge_partition(self.knowledge_ids(realization))
+
+    def _realization_length(self, realization: NodeRealization) -> int:
+        if len(realization) != self.n:
+            raise ValueError(
+                f"realization has {len(realization)} strings, model has n={self.n}"
+            )
+        lengths = {len(bits) for bits in realization}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged realization lengths {sorted(lengths)}")
+        return lengths.pop() if lengths else 0
+
+
+__all__ = ["CommunicationModel"]

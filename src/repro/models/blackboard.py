@@ -1,0 +1,65 @@
+"""The anonymous blackboard model (Section 2.1, Eq. 1).
+
+Every node appends its full knowledge to a shared board each round; at the
+end of the round every node sees the entire board as an unordered multiset
+(messages carry no origin and appear in lexicographic order).
+
+Two implementations of the consistency structure are provided:
+
+* :meth:`BlackboardModel.knowledge_ids` -- the literal Eq. (1) recursion on
+  interned knowledge structures;
+* :func:`bitstring_partition` -- the fast path exploiting the paper's
+  observation (proof of Theorem 4.1) that on a blackboard, equality of
+  knowledge is equivalent to equality of received bit strings, because the
+  board content is common to everyone.
+
+The test suite checks the two agree on exhaustive small realizations; the
+probability engines use the fast path.
+"""
+
+from __future__ import annotations
+
+from ..randomness.realizations import NodeRealization
+from .base import CommunicationModel
+from .knowledge import BOTTOM_ID
+
+
+class BlackboardModel(CommunicationModel):
+    """Knowledge evolution on the shared blackboard."""
+
+    def knowledge_ids(self, realization: NodeRealization) -> tuple[int, ...]:
+        t = self._realization_length(realization)
+        current = [BOTTOM_ID] * self.n
+        for round_index in range(1, t + 1):
+            previous = current
+            current = []
+            for node in range(self.n):
+                others = [
+                    previous[j] for j in range(self.n) if j != node
+                ]
+                current.append(
+                    self.interner.blackboard_update(
+                        previous[node],
+                        realization[node][round_index - 1],
+                        others,
+                    )
+                )
+        return tuple(current)
+
+
+def bitstring_partition(realization: NodeRealization) -> list[frozenset[int]]:
+    """Fast consistency partition: group nodes by their full bit string.
+
+    Valid for the blackboard model only: the board content is identical for
+    all nodes, so ``K_i(t) = K_j(t)`` iff ``x_i(1..t) = x_j(1..t)``.
+    """
+    by_bits: dict[tuple[int, ...], set[int]] = {}
+    for node, bits in enumerate(realization):
+        by_bits.setdefault(tuple(bits), set()).add(node)
+    return sorted(
+        (frozenset(block) for block in by_bits.values()),
+        key=lambda block: sorted(block),
+    )
+
+
+__all__ = ["BlackboardModel", "bitstring_partition"]

@@ -1,0 +1,132 @@
+"""Hash-consed knowledge structures.
+
+Section 2.2 defines a node's knowledge recursively:
+
+* ``K_i(0) = bottom`` (input-free tasks have no inputs);
+* blackboard (Eq. 1):
+  ``K_i(t) = (K_i(t-1), X_i(t), {K_j(t-1) : j != i})`` where the third
+  component is the *multiset* of everyone's previous knowledge (the board
+  content, lexicographically ordered);
+* message passing (Eq. 2):
+  ``K_i(t) = (K_i(t-1), X_i(t), (K_{pi_i(1)}(t-1), ..., K_{pi_i(n-1)}(t-1)))``
+  where the third component is the *tuple* of previous knowledge indexed by
+  the node's private port numbers.
+
+The only property the framework ever uses is *structural equality* of
+knowledge (``K_i(t) = K_j(t)`` defines the consistency relation ``i ~t j``).
+We therefore intern every distinct structure to a small integer id; equal
+ids <=> equal structures, and the interning doubles as a compact
+content-addressed encoding of the unbounded full-information messages.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+#: The knowledge of every node at time 0 (no inputs).
+BOTTOM_ID = 0
+
+
+class KnowledgeInterner:
+    """Bidirectional map between knowledge structures and integer ids.
+
+    Ids are allocated deterministically in first-seen order.  Structures are
+    canonical nested tuples over previously-allocated ids, so two interners
+    fed the same sequence of updates allocate identical tables.
+    """
+
+    __slots__ = ("_by_structure", "_by_id")
+
+    def __init__(self) -> None:
+        bottom = ("bottom",)
+        self._by_structure: dict[tuple, int] = {bottom: BOTTOM_ID}
+        self._by_id: list[tuple] = [bottom]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def intern(self, structure: tuple) -> int:
+        """Id of ``structure``, allocating one if new."""
+        existing = self._by_structure.get(structure)
+        if existing is not None:
+            return existing
+        new_id = len(self._by_id)
+        self._by_structure[structure] = new_id
+        self._by_id.append(structure)
+        return new_id
+
+    def structure(self, knowledge_id: int) -> tuple:
+        """The structure behind an id (inverse of :meth:`intern`)."""
+        return self._by_id[knowledge_id]
+
+    def expand(self, knowledge_id: int) -> tuple:
+        """Fully expand an id into a nested tuple with no internal ids.
+
+        Reconstructs the paper's literal knowledge terms, e.g.
+        ``('bb', ('bottom',), 1, (('bottom',), ('bottom',)))``.  Exponential
+        in ``t`` in the worst case; only for printing and small tests.
+        """
+        structure = self._by_id[knowledge_id]
+        if (
+            len(structure) == 4
+            and structure[0] in ("bb", "mp")
+            and isinstance(structure[1], int)
+        ):
+            tag, prev, bit, others = structure
+            return (
+                tag,
+                self.expand(prev),
+                bit,
+                tuple(self.expand(o) for o in others),
+            )
+        # Foreign structures (protocol tags, test payloads) are returned
+        # verbatim; they are already self-describing.
+        return structure
+
+    # ------------------------------------------------------------------
+    # The two update rules
+    # ------------------------------------------------------------------
+    def blackboard_update(
+        self, prev_id: int, bit: int, board_prev_ids: Sequence[int]
+    ) -> int:
+        """Eq. (1): append own bit and the board's multiset of knowledge.
+
+        ``board_prev_ids`` must be the previous-round knowledge of *all other*
+        nodes; the multiset semantics (board order is lexicographic, hence
+        carries no information beyond multiplicity) is realized by sorting.
+        """
+        return self.intern(("bb", prev_id, bit, tuple(sorted(board_prev_ids))))
+
+    def message_passing_update(
+        self, prev_id: int, bit: int, port_prev_ids: Sequence[int]
+    ) -> int:
+        """Eq. (2): append own bit and the port-ordered tuple of knowledge."""
+        return self.intern(("mp", prev_id, bit, tuple(port_prev_ids)))
+
+    def canonical_key(self, knowledge_id: int) -> Hashable:
+        """A total order on knowledge *content* (not on allocation order).
+
+        Protocols that pick "the minimum" knowledge class must not depend on
+        interner allocation order (which can differ between runs feeding
+        updates in different orders); this key orders ids by the canonical
+        string of their fully-expanded structure.
+        """
+        return repr(self.expand(knowledge_id))
+
+
+def knowledge_partition(knowledge_ids: Sequence[int]) -> list[frozenset[int]]:
+    """Blocks of node indices with equal knowledge -- the facets of ``pi~``.
+
+    The consistency relation ``i ~t j`` (Eq. 4/5) is an equivalence, so the
+    projection ``pi~(rho)`` is the disjoint union of one simplex per block.
+    """
+    by_id: dict[int, set[int]] = {}
+    for node, kid in enumerate(knowledge_ids):
+        by_id.setdefault(kid, set()).add(node)
+    return sorted(
+        (frozenset(block) for block in by_id.values()),
+        key=lambda block: sorted(block),
+    )
+
+
+__all__ = ["BOTTOM_ID", "KnowledgeInterner", "knowledge_partition"]

@@ -1,0 +1,47 @@
+"""The anonymous port-numbered message-passing clique (Section 2.1, Eq. 2).
+
+Nodes are connected as ``K_n``; node ``i`` receives, through its port ``j``,
+the previous-round knowledge of the node ``pi_i(j)`` behind that port.  The
+received tuple is ordered by the node's *private* port numbers, so -- unlike
+the blackboard -- two nodes with identical randomness can acquire different
+knowledge when their ports face differently-behaving neighbours (footnote 5
+of the paper: this only helps symmetry breaking).
+"""
+
+from __future__ import annotations
+
+from ..randomness.realizations import NodeRealization
+from .base import CommunicationModel
+from .knowledge import BOTTOM_ID
+from .ports import PortAssignment
+
+
+class MessagePassingModel(CommunicationModel):
+    """Knowledge evolution on the port-numbered clique."""
+
+    def __init__(self, ports: PortAssignment):
+        super().__init__(ports.n)
+        self.ports = ports
+
+    def knowledge_ids(self, realization: NodeRealization) -> tuple[int, ...]:
+        t = self._realization_length(realization)
+        current = [BOTTOM_ID] * self.n
+        for round_index in range(1, t + 1):
+            previous = current
+            current = []
+            for node in range(self.n):
+                received = [
+                    previous[self.ports.neighbour(node, port)]
+                    for port in range(1, self.n)
+                ]
+                current.append(
+                    self.interner.message_passing_update(
+                        previous[node],
+                        realization[node][round_index - 1],
+                        received,
+                    )
+                )
+        return tuple(current)
+
+
+__all__ = ["MessagePassingModel"]

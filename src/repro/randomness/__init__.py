@@ -1,0 +1,45 @@
+"""Randomness sources, configurations ``alpha``, and realizations.
+
+Implements Section 2.1's randomness model: ``k`` independent per-round bit
+sources shared among ``n`` nodes, the assignment complex ``A`` of all
+configurations, and the exact realization probabilities of Lemma B.1.
+"""
+
+from .assignment_complex import assignment_complex, bell_number, configuration_facet
+from .configuration import (
+    RandomnessConfiguration,
+    enumerate_configurations,
+    enumerate_size_shapes,
+)
+from .realizations import (
+    Bits,
+    NodeRealization,
+    all_bit_strings,
+    count_consistent_realizations,
+    is_consistent,
+    iter_consistent_realizations,
+    iter_source_realizations,
+    node_realization,
+    realization_probability,
+)
+from .source import BitSource, FixedBitSource
+
+__all__ = [
+    "BitSource",
+    "Bits",
+    "FixedBitSource",
+    "NodeRealization",
+    "RandomnessConfiguration",
+    "all_bit_strings",
+    "assignment_complex",
+    "bell_number",
+    "configuration_facet",
+    "count_consistent_realizations",
+    "enumerate_configurations",
+    "enumerate_size_shapes",
+    "is_consistent",
+    "iter_consistent_realizations",
+    "iter_source_realizations",
+    "node_realization",
+    "realization_probability",
+]

@@ -1,0 +1,54 @@
+"""The assignment complex ``A`` (Section 3.1).
+
+``A`` is the pure ``(n-1)``-dimensional chromatic complex whose facets are
+the randomness configurations: a facet ``alpha = {(1, j_1), ..., (n, j_n)}``
+records that node ``i`` is wired to source ``R_{j_i}``, with source indices
+normalized to be contiguous.  The number of facets is the Bell number
+``B(n)`` once source-renamings are quotiented out, which is exactly the
+normalization performed by :class:`RandomnessConfiguration`.
+"""
+
+from __future__ import annotations
+
+from ..topology import Simplex, SimplicialComplex, Vertex
+from .configuration import RandomnessConfiguration, enumerate_configurations
+
+
+def configuration_facet(alpha: RandomnessConfiguration) -> Simplex:
+    """The facet of ``A`` corresponding to ``alpha``.
+
+    Vertices are ``(i, j)`` pairs with the paper's 1-based numbering of both
+    nodes and sources.
+    """
+    return Simplex(
+        Vertex(node + 1, alpha.source_of(node) + 1) for node in range(alpha.n)
+    )
+
+
+def assignment_complex(n: int) -> SimplicialComplex:
+    """The full complex ``A`` on ``n`` nodes.
+
+    Only practical for small ``n`` (Bell numbers grow fast); used by the
+    tests and the illustrative figures.
+    """
+    return SimplicialComplex(
+        configuration_facet(alpha) for alpha in enumerate_configurations(n)
+    )
+
+
+def bell_number(n: int) -> int:
+    """The Bell number ``B(n)`` via the Bell triangle (facet count of ``A``)."""
+    if n < 0:
+        raise ValueError("need n >= 0")
+    if n == 0:
+        return 1
+    row = [1]
+    for _ in range(n - 1):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[-1]
+
+
+__all__ = ["assignment_complex", "bell_number", "configuration_facet"]

@@ -1,0 +1,99 @@
+"""Randomness sources.
+
+Section 2.1: the system has ``k`` independent sources ``R_1..R_k``; each
+source emits one uniform bit per round, and every node is wired to exactly
+one source.  Nodes wired to the same source receive *identical* bits -- the
+paper's model of correlated randomness (duplicated SSH keys, shared PRNG
+seeds, ...).
+
+:class:`BitSource` is a deterministic, seeded stream so that experiments are
+reproducible; :class:`SourceBank` materializes one stream per source and
+serves per-node bits through a configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+
+class BitSource:
+    """An infinite stream of i.i.d. uniform bits with history.
+
+    The stream is generated lazily from a seed.  ``bit(t)`` is 1-indexed to
+    match the paper's round numbering: round ``t`` happens between time
+    ``t-1`` and time ``t``, and ``prefix(t)`` is the ``t``-bit string a node
+    wired to this source has received by time ``t``.
+    """
+
+    __slots__ = ("_rng", "_history")
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+        self._history: list[int] = []
+
+    def bit(self, t: int) -> int:
+        """The bit emitted during round ``t`` (``t >= 1``)."""
+        if t < 1:
+            raise ValueError(f"rounds are 1-indexed; got {t}")
+        while len(self._history) < t:
+            self._history.append(self._rng.getrandbits(1))
+        return self._history[t - 1]
+
+    def prefix(self, t: int) -> tuple[int, ...]:
+        """Bits of rounds ``1..t`` as a tuple (the realization ``x(1..t)``)."""
+        if t == 0:
+            return ()
+        self.bit(t)
+        return tuple(self._history[:t])
+
+    def prefix_string(self, t: int) -> str:
+        """``prefix(t)`` rendered as a bit string, e.g. ``'0110'``."""
+        return "".join(str(b) for b in self.prefix(t))
+
+    def __iter__(self) -> Iterator[int]:
+        t = 1
+        while True:
+            yield self.bit(t)
+            t += 1
+
+
+class FixedBitSource(BitSource):
+    """A source that replays a predetermined bit string.
+
+    Used by exact-enumeration engines and by failure-injection tests, where
+    the realization is chosen, not sampled.  Reading past the end of the
+    script raises, which catches protocols that consume more randomness than
+    an experiment accounted for.
+    """
+
+    __slots__ = ("_script",)
+
+    def __init__(self, bits: Sequence[int] | str):
+        super().__init__(seed=0)
+        if isinstance(bits, str):
+            script = tuple(int(c) for c in bits)
+        else:
+            script = tuple(int(b) for b in bits)
+        if any(b not in (0, 1) for b in script):
+            raise ValueError(f"bits must be 0/1, got {script!r}")
+        self._script = script
+
+    def bit(self, t: int) -> int:
+        if t < 1:
+            raise ValueError(f"rounds are 1-indexed; got {t}")
+        if t > len(self._script):
+            raise IndexError(
+                f"scripted source exhausted: round {t} of {len(self._script)}"
+            )
+        return self._script[t - 1]
+
+    def prefix(self, t: int) -> tuple[int, ...]:
+        if t > len(self._script):
+            raise IndexError(
+                f"scripted source exhausted: prefix({t}) of {len(self._script)}"
+            )
+        return self._script[:t]
+
+
+__all__ = ["BitSource", "FixedBitSource"]

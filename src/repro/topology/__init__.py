@@ -1,0 +1,53 @@
+"""Simplicial-topology substrate for the reproduction.
+
+Everything the paper needs from algebraic topology (Appendix A) is built
+here from scratch: chromatic vertices and simplices, complexes stored by
+facets, simplicial maps with the paper's side conditions (name-preserving,
+name-independent), isomorphism tests, and GF(2) homology for structural
+sanity checks.
+"""
+
+from .complex import SimplicialComplex, disjoint_union_of_simplices
+from .homology import (
+    betti_numbers,
+    boundary_matrix,
+    euler_characteristic_from_betti,
+    is_disjoint_union_of_simplices,
+)
+from .isomorphism import (
+    are_isomorphic,
+    are_isomorphic_chromatic,
+    equal_as_projections,
+    facet_name_partition,
+    iter_isomorphisms,
+)
+from .maps import (
+    VertexMap,
+    exists_simplicial_map,
+    find_simplicial_map,
+    iter_simplicial_maps,
+    unique_name_preserving_map,
+)
+from .simplex import Simplex, Vertex, as_vertex
+
+__all__ = [
+    "Simplex",
+    "SimplicialComplex",
+    "Vertex",
+    "VertexMap",
+    "are_isomorphic",
+    "are_isomorphic_chromatic",
+    "as_vertex",
+    "betti_numbers",
+    "boundary_matrix",
+    "disjoint_union_of_simplices",
+    "equal_as_projections",
+    "euler_characteristic_from_betti",
+    "exists_simplicial_map",
+    "facet_name_partition",
+    "find_simplicial_map",
+    "is_disjoint_union_of_simplices",
+    "iter_isomorphisms",
+    "iter_simplicial_maps",
+    "unique_name_preserving_map",
+]

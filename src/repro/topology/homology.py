@@ -1,0 +1,117 @@
+"""Simplicial homology over GF(2).
+
+The paper's arguments hinge on coarse topological structure: isolated
+vertices, connected components, and the fact that consistency projections
+are disjoint unions of simplices.  Betti numbers over GF(2) make these
+statements checkable by machine:
+
+* ``beta_0`` counts connected components;
+* a disjoint union of simplices has ``beta_0 = #facets`` and every higher
+  Betti number zero (each simplex is contractible);
+* the boundary-of-a-simplex complex has the homology of a sphere.
+
+Boundary matrices are built over GF(2) (orientation-free, which is all we
+need) and ranks are computed by bit-packed Gaussian elimination, so no
+external topology package is required.
+"""
+
+from __future__ import annotations
+
+from .complex import SimplicialComplex
+from .simplex import Simplex
+
+
+def _gf2_rank(rows: list[int]) -> int:
+    """Rank of a GF(2) matrix whose rows are int bitmasks."""
+    rank = 0
+    pivots: list[int] = []
+    for row in rows:
+        for pivot in pivots:
+            row = min(row, row ^ pivot)
+        if row:
+            pivots.append(row)
+            # Keep pivot rows sorted by leading bit (descending) so the
+            # reduction above stays canonical.
+            pivots.sort(reverse=True)
+            rank += 1
+    return rank
+
+
+def boundary_matrix(
+    complex_: SimplicialComplex, dim: int
+) -> tuple[list[int], int, int]:
+    """GF(2) boundary matrix ``partial_dim`` as bitmask rows.
+
+    Returns ``(rows, n_rows, n_cols)`` where rows are indexed by
+    ``dim``-simplices and columns by ``(dim-1)``-simplices; entry 1 when the
+    column simplex is a facet (codimension-1 face) of the row simplex.
+    """
+    if dim <= 0:
+        return ([], len(complex_.simplices_of_dimension(0)) if dim == 0 else 0, 0)
+    higher = complex_.simplices_of_dimension(dim)
+    lower = complex_.simplices_of_dimension(dim - 1)
+    index = {simplex: j for j, simplex in enumerate(lower)}
+    rows: list[int] = []
+    for simplex in higher:
+        mask = 0
+        verts = simplex.sorted_vertices()
+        for skip in range(len(verts)):
+            face = Simplex(v for j, v in enumerate(verts) if j != skip)
+            mask |= 1 << index[face]
+        rows.append(mask)
+    return rows, len(higher), len(lower)
+
+
+def betti_numbers(complex_: SimplicialComplex) -> tuple[int, ...]:
+    """GF(2) Betti numbers ``(beta_0, ..., beta_dim)``.
+
+    ``beta_d = dim ker(partial_d) - dim im(partial_{d+1})`` with the usual
+    convention ``partial_0 = 0``.
+    """
+    if complex_.is_empty:
+        return ()
+    top = complex_.dimension
+    counts = [len(complex_.simplices_of_dimension(d)) for d in range(top + 1)]
+    ranks = [0] * (top + 2)  # ranks[d] = rank of partial_d; partial_0 = 0
+    for d in range(1, top + 1):
+        rows, _, _ = boundary_matrix(complex_, d)
+        ranks[d] = _gf2_rank(rows)
+    betti = []
+    for d in range(top + 1):
+        kernel = counts[d] - ranks[d]
+        betti.append(kernel - ranks[d + 1])
+    return tuple(betti)
+
+
+def euler_characteristic_from_betti(complex_: SimplicialComplex) -> int:
+    """Euler characteristic via the homological formula ``sum (-1)^i beta_i``.
+
+    Must agree with the combinatorial
+    :meth:`~repro.topology.complex.SimplicialComplex.euler_characteristic`;
+    the test suite asserts this on random complexes.
+    """
+    return sum((-1) ** i * b for i, b in enumerate(betti_numbers(complex_)))
+
+
+def is_disjoint_union_of_simplices(complex_: SimplicialComplex) -> bool:
+    """Homological fingerprint of a consistency projection.
+
+    A complex is a disjoint union of simplices iff its facets are pairwise
+    vertex-disjoint; in that case ``beta_0`` equals the facet count and all
+    higher Betti numbers vanish.  The direct combinatorial test is used; the
+    homology statement is validated by the test suite.
+    """
+    seen: set = set()
+    for facet in complex_.facets:
+        if seen & set(facet.vertices):
+            return False
+        seen.update(facet.vertices)
+    return True
+
+
+__all__ = [
+    "betti_numbers",
+    "boundary_matrix",
+    "euler_characteristic_from_betti",
+    "is_disjoint_union_of_simplices",
+]

@@ -1,0 +1,133 @@
+"""Isomorphism of (chromatic) simplicial complexes.
+
+Appendix A defines complexes ``K`` and ``L`` to be isomorphic when there are
+mutually inverse simplicial maps between them.  Two flavours are provided:
+
+* :func:`are_isomorphic_chromatic` -- name-preserving isomorphism (each
+  vertex ``(i, x)`` must map to a vertex ``(i, y)``).  This is the notion
+  used by the paper, e.g. for the facet correspondence ``h`` between
+  ``P(t)`` and ``R(t)``.
+* :func:`are_isomorphic` -- unrestricted isomorphism, implemented as a
+  backtracking search with cheap invariant pruning; only intended for small
+  complexes (tests, illustrations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .complex import SimplicialComplex
+from .maps import VertexMap, iter_simplicial_maps
+from .simplex import Vertex
+
+
+def _facet_signature(complex_: SimplicialComplex) -> tuple[tuple[int, int], ...]:
+    """Multiset of (facet dimension, count) -- an isomorphism invariant."""
+    counts: dict[int, int] = {}
+    for facet in complex_.facets:
+        counts[facet.dimension] = counts.get(facet.dimension, 0) + 1
+    return tuple(sorted(counts.items()))
+
+
+def _vertex_degree_signature(complex_: SimplicialComplex) -> tuple[int, ...]:
+    """Sorted facet-membership degrees of vertices -- another invariant."""
+    degree: dict[Vertex, int] = {v: 0 for v in complex_.vertices()}
+    for facet in complex_.facets:
+        for vertex in facet.vertices:
+            degree[vertex] += 1
+    return tuple(sorted(degree.values()))
+
+
+def _is_bijective_on_vertices(mapping: VertexMap) -> bool:
+    images = {mapping[v] for v in mapping.source.vertices()}
+    return len(images) == len(mapping.source.vertices()) and images == set(
+        mapping.target.vertices()
+    )
+
+
+def _is_isomorphism(mapping: VertexMap) -> bool:
+    """A bijective simplicial map whose inverse is simplicial."""
+    if not _is_bijective_on_vertices(mapping):
+        return False
+    inverse = VertexMap(
+        mapping.target,
+        mapping.source,
+        {img: src for src, img in mapping.items()},
+    )
+    return mapping.is_simplicial() and inverse.is_simplicial()
+
+
+def iter_isomorphisms(
+    left: SimplicialComplex,
+    right: SimplicialComplex,
+    *,
+    name_preserving: bool = True,
+) -> Iterator[VertexMap]:
+    """Yield every isomorphism between the two complexes."""
+    if _facet_signature(left) != _facet_signature(right):
+        return
+    if _vertex_degree_signature(left) != _vertex_degree_signature(right):
+        return
+    for mapping in iter_simplicial_maps(
+        left, right, name_preserving=name_preserving
+    ):
+        if _is_isomorphism(mapping):
+            yield mapping
+
+
+def are_isomorphic_chromatic(
+    left: SimplicialComplex, right: SimplicialComplex
+) -> bool:
+    """Name-preserving isomorphism test."""
+    for _ in iter_isomorphisms(left, right, name_preserving=True):
+        return True
+    return False
+
+
+def are_isomorphic(left: SimplicialComplex, right: SimplicialComplex) -> bool:
+    """Unrestricted isomorphism test (small complexes only)."""
+    for _ in iter_isomorphisms(left, right, name_preserving=False):
+        return True
+    return False
+
+
+def facet_name_partition(complex_: SimplicialComplex) -> tuple[tuple[int, ...], ...]:
+    """The facets as a sorted tuple of sorted name tuples.
+
+    For the paper's projection complexes (disjoint unions of simplices, where
+    every vertex lies in exactly one facet and vertex values are opaque
+    knowledge ids) this is a complete, value-agnostic canonical form: two
+    projections are name-preservingly isomorphic iff these forms are equal.
+    """
+    return tuple(
+        sorted(tuple(sorted(facet.names())) for facet in complex_.facets)
+    )
+
+
+def equal_as_projections(
+    left: SimplicialComplex, right: SimplicialComplex
+) -> bool:
+    """Equality of projection complexes up to renaming of the opaque values.
+
+    Only meaningful for disjoint-union-of-simplices complexes (consistency
+    projections); raises ``ValueError`` otherwise so that misuse is loud.
+    """
+    for complex_ in (left, right):
+        seen: dict[Vertex, int] = {}
+        for facet in complex_.facets:
+            for vertex in facet.vertices:
+                seen[vertex] = seen.get(vertex, 0) + 1
+        if any(count > 1 for count in seen.values()):
+            raise ValueError(
+                "equal_as_projections requires disjoint-union complexes"
+            )
+    return facet_name_partition(left) == facet_name_partition(right)
+
+
+__all__ = [
+    "are_isomorphic",
+    "are_isomorphic_chromatic",
+    "equal_as_projections",
+    "facet_name_partition",
+    "iter_isomorphisms",
+]

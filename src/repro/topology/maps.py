@@ -1,0 +1,239 @@
+"""Vertex maps and simplicial maps between chromatic complexes.
+
+The paper's solvability notions are all phrased as the existence of a
+simplicial map with side conditions:
+
+* *name-preserving*: ``delta((i, x)) = (i, y)`` -- the name never changes;
+* *name-independent*: the output value depends only on the input value,
+  never on the name (``delta((i, x)) = (i, f(x))`` for a single ``f``).
+
+This module implements a :class:`VertexMap` value object with validity
+checks, plus backtracking searches for simplicial maps under either side
+condition.  The searches are exhaustive and intended for the small complexes
+of the paper (``n <= 8`` or so); the core library uses the much faster
+partition-refinement criterion in :mod:`repro.core.solvability` and falls
+back on these searches in tests to validate the criterion (Lemma 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .complex import SimplicialComplex
+from .simplex import Simplex, Vertex, as_vertex
+
+
+class VertexMap:
+    """A total map between the vertex sets of two complexes."""
+
+    __slots__ = ("source", "target", "_mapping")
+
+    def __init__(
+        self,
+        source: SimplicialComplex,
+        target: SimplicialComplex,
+        mapping: Mapping[Vertex | tuple[int, Hashable], Vertex | tuple[int, Hashable]],
+    ):
+        self.source = source
+        self.target = target
+        self._mapping = {as_vertex(k): as_vertex(v) for k, v in mapping.items()}
+        missing = source.vertices() - self._mapping.keys()
+        if missing:
+            raise ValueError(f"mapping is not total; missing {sorted(missing)}")
+        stray = {
+            v for v in self._mapping.values() if v not in target.vertices()
+        }
+        if stray:
+            raise ValueError(f"mapping leaves the target vertex set: {sorted(stray)}")
+
+    def __call__(self, vertex: Vertex | tuple[int, Hashable]) -> Vertex:
+        return self._mapping[as_vertex(vertex)]
+
+    def __getitem__(self, vertex: Vertex | tuple[int, Hashable]) -> Vertex:
+        return self._mapping[as_vertex(vertex)]
+
+    def items(self) -> Iterable[tuple[Vertex, Vertex]]:
+        return self._mapping.items()
+
+    def image_of(self, simplex: Simplex) -> Simplex:
+        """The image of a simplex (as a vertex set; may collapse dimension)."""
+        return Simplex(self._mapping[v] for v in simplex.vertices)
+
+    # ------------------------------------------------------------------
+    # Properties used by the paper
+    # ------------------------------------------------------------------
+    def is_simplicial(self) -> bool:
+        """True when every source simplex maps onto a target simplex.
+
+        It suffices to check facets: faces of facets map to subsets of the
+        facet images, and complexes are closed under taking faces.
+        """
+        return all(
+            self.image_of(facet) in self.target for facet in self.source.facets
+        )
+
+    def is_name_preserving(self) -> bool:
+        return all(src.name == dst.name for src, dst in self._mapping.items())
+
+    def is_name_independent(self) -> bool:
+        """The output value is a function of the input value alone."""
+        value_map: dict[Hashable, Hashable] = {}
+        for src, dst in self._mapping.items():
+            if src.value in value_map:
+                if value_map[src.value] != dst.value:
+                    return False
+            else:
+                value_map[src.value] = dst.value
+        return True
+
+    def composed_with(self, inner: "VertexMap") -> "VertexMap":
+        """``self o inner`` (apply ``inner`` first)."""
+        if inner.target is not self.source and not (
+            inner.target.vertices() <= self.source.vertices()
+        ):
+            raise ValueError("maps are not composable")
+        return VertexMap(
+            inner.source,
+            self.target,
+            {v: self._mapping[w] for v, w in inner.items()},
+        )
+
+
+# ----------------------------------------------------------------------
+# Searching for simplicial maps
+# ----------------------------------------------------------------------
+def iter_simplicial_maps(
+    source: SimplicialComplex,
+    target: SimplicialComplex,
+    *,
+    name_preserving: bool = True,
+    name_independent: bool = False,
+) -> Iterator[VertexMap]:
+    """Yield every simplicial map from ``source`` to ``target``.
+
+    The search assigns images vertex by vertex and prunes as soon as some
+    fully-assigned source facet fails to land on a target simplex.  With
+    ``name_preserving=True`` the candidate images of a vertex ``(i, x)`` are
+    only the target vertices named ``i``, which keeps the branching factor
+    small for the paper's complexes.
+    """
+    source_vertices = sorted(
+        source.vertices(), key=lambda v: (v.name, repr(v.value))
+    )
+    if not source_vertices:
+        yield VertexMap(source, target, {})
+        return
+
+    target_vertices = sorted(
+        target.vertices(), key=lambda v: (v.name, repr(v.value))
+    )
+    by_name: dict[int, list[Vertex]] = {}
+    for vertex in target_vertices:
+        by_name.setdefault(vertex.name, []).append(vertex)
+
+    facets = [facet.sorted_vertices() for facet in source.facets]
+    # For pruning: facets indexed by the position of their last vertex in the
+    # assignment order, so a facet is checked as soon as it is fully assigned.
+    position = {v: i for i, v in enumerate(source_vertices)}
+    facets_by_last: dict[int, list[list[Vertex]]] = {}
+    for facet in facets:
+        last = max(position[v] for v in facet)
+        facets_by_last.setdefault(last, []).append(facet)
+
+    assignment: dict[Vertex, Vertex] = {}
+    value_choice: dict[Hashable, Hashable] = {}
+
+    def candidates(vertex: Vertex) -> list[Vertex]:
+        if name_preserving:
+            pool = by_name.get(vertex.name, [])
+        else:
+            pool = target_vertices
+        if name_independent and vertex.value in value_choice:
+            forced = value_choice[vertex.value]
+            pool = [w for w in pool if w.value == forced]
+        return pool
+
+    def consistent_after(index: int) -> bool:
+        for facet in facets_by_last.get(index, []):
+            image = Simplex(assignment[v] for v in facet)
+            if image not in target:
+                return False
+        return True
+
+    def extend(index: int) -> Iterator[VertexMap]:
+        if index == len(source_vertices):
+            yield VertexMap(source, target, dict(assignment))
+            return
+        vertex = source_vertices[index]
+        for image in candidates(vertex):
+            assignment[vertex] = image
+            fresh_value = name_independent and vertex.value not in value_choice
+            if fresh_value:
+                value_choice[vertex.value] = image.value
+            if consistent_after(index):
+                yield from extend(index + 1)
+            if fresh_value:
+                del value_choice[vertex.value]
+            del assignment[vertex]
+
+    yield from extend(0)
+
+
+def find_simplicial_map(
+    source: SimplicialComplex,
+    target: SimplicialComplex,
+    *,
+    name_preserving: bool = True,
+    name_independent: bool = False,
+) -> VertexMap | None:
+    """First simplicial map found, or ``None`` when none exists."""
+    for mapping in iter_simplicial_maps(
+        source,
+        target,
+        name_preserving=name_preserving,
+        name_independent=name_independent,
+    ):
+        return mapping
+    return None
+
+
+def exists_simplicial_map(
+    source: SimplicialComplex,
+    target: SimplicialComplex,
+    *,
+    name_preserving: bool = True,
+    name_independent: bool = False,
+) -> bool:
+    """Existence test for a simplicial map with the given side conditions."""
+    return (
+        find_simplicial_map(
+            source,
+            target,
+            name_preserving=name_preserving,
+            name_independent=name_independent,
+        )
+        is not None
+    )
+
+
+def unique_name_preserving_map(
+    source: SimplicialComplex, target: SimplicialComplex
+) -> VertexMap | None:
+    """The unique name-preserving vertex map, when target names are unique.
+
+    When every name appears on exactly one target vertex (true for any
+    single facet ``tau`` of a chromatic complex and for its projection
+    ``pi(tau)``), a name-preserving vertex map is completely determined:
+    ``(i, x) -> (i, tau(i))``.  Returns ``None`` when some source name is
+    missing from the target or a target name is ambiguous.
+    """
+    by_name: dict[int, list[Vertex]] = {}
+    for vertex in target.vertices():
+        by_name.setdefault(vertex.name, []).append(vertex)
+    mapping: dict[Vertex, Vertex] = {}
+    for vertex in source.vertices():
+        images = by_name.get(vertex.name, [])
+        if len(images) != 1:
+            return None
+        mapping[vertex] = images[0]
+    return VertexMap(source, target, mapping)

@@ -1,0 +1,179 @@
+"""Chromatic vertices and simplices.
+
+The paper works exclusively with *chromatic* simplicial complexes: every
+vertex is a pair ``(name, value)`` where ``name`` identifies a processing
+node (an integer in ``[n]``) and ``value`` is an arbitrary hashable payload
+(an input, a knowledge structure, a random bit-string, an output value, ...).
+A simplex is a non-empty set of vertices; in a chromatic simplex all names
+are pairwise distinct.
+
+This module provides the two foundational types:
+
+* :class:`Vertex` -- an immutable ``(name, value)`` pair.
+* :class:`Simplex` -- an immutable set of vertices with chromatic helpers.
+
+Both types are hashable so they can be used as members of sets and keys of
+dictionaries, which is how :class:`repro.topology.complex.SimplicialComplex`
+stores them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, NamedTuple
+
+
+class Vertex(NamedTuple):
+    """A chromatic vertex ``(name, value)``.
+
+    ``name`` is the identity ("color") of a processing node and ``value`` is
+    the payload the node holds.  Being a :class:`~typing.NamedTuple`, a
+    :class:`Vertex` compares equal to the plain tuple ``(name, value)``,
+    which keeps literal test fixtures light-weight.
+    """
+
+    name: int
+    value: Hashable
+
+    def with_value(self, value: Hashable) -> "Vertex":
+        """Return a vertex with the same name but a different value."""
+        return Vertex(self.name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.name}:{self.value!r})"
+
+
+def as_vertex(item: "Vertex | tuple[int, Hashable]") -> Vertex:
+    """Coerce a ``(name, value)`` pair into a :class:`Vertex`."""
+    if isinstance(item, Vertex):
+        return item
+    name, value = item
+    return Vertex(int(name), value)
+
+
+class Simplex:
+    """An immutable, non-empty set of chromatic vertices.
+
+    The simplex does not require chromaticity (distinct names) at
+    construction time -- :meth:`is_chromatic` reports it -- but every complex
+    built by this library from paper constructions is chromatic and the
+    complex constructors validate it.
+
+    Simplices are value objects: equality and hashing are structural, and a
+    canonical sorted vertex order is kept for deterministic iteration and
+    printing.
+    """
+
+    __slots__ = ("_vertices", "_hash")
+
+    def __init__(self, vertices: Iterable[Vertex | tuple[int, Hashable]]):
+        coerced = frozenset(as_vertex(v) for v in vertices)
+        if not coerced:
+            raise ValueError("a simplex must contain at least one vertex")
+        self._vertices = coerced
+        self._hash = hash(coerced)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        """The vertex set of the simplex."""
+        return self._vertices
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.sorted_vertices())
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex: object) -> bool:
+        if isinstance(vertex, tuple) and not isinstance(vertex, Vertex):
+            try:
+                vertex = as_vertex(vertex)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return False
+        return vertex in self._vertices
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Simplex):
+            return self._vertices == other._vertices
+        if isinstance(other, frozenset):
+            return self._vertices == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(v) for v in self.sorted_vertices())
+        return f"{{{inner}}}"
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """``dim(sigma) = |V(sigma)| - 1`` (a single vertex has dimension 0)."""
+        return len(self._vertices) - 1
+
+    def sorted_vertices(self) -> list[Vertex]:
+        """Vertices in a canonical (name, repr-of-value) order."""
+        return sorted(self._vertices, key=_vertex_sort_key)
+
+    def faces(self, *, proper: bool = False) -> Iterator["Simplex"]:
+        """Yield every non-empty face; ``proper=True`` skips the simplex itself.
+
+        The number of faces is ``2^(dim+1) - 1``, so this is only meant for
+        the small simplices that appear in the paper's constructions.
+        """
+        verts = self.sorted_vertices()
+        n = len(verts)
+        for mask in range(1, 1 << n):
+            if proper and mask == (1 << n) - 1:
+                continue
+            yield Simplex(verts[i] for i in range(n) if mask >> i & 1)
+
+    def is_face_of(self, other: "Simplex") -> bool:
+        """True when this simplex is a (not necessarily proper) face of ``other``."""
+        return self._vertices <= other._vertices
+
+    # ------------------------------------------------------------------
+    # Chromatic structure
+    # ------------------------------------------------------------------
+    def names(self) -> frozenset[int]:
+        """The set of names (colors) carried by the vertices."""
+        return frozenset(v.name for v in self._vertices)
+
+    def is_chromatic(self) -> bool:
+        """True when all vertex names are pairwise distinct."""
+        return len(self.names()) == len(self._vertices)
+
+    def value_of(self, name: int) -> Hashable:
+        """Value held by the vertex named ``name`` (chromatic simplices only)."""
+        for vertex in self._vertices:
+            if vertex.name == name:
+                return vertex.value
+        raise KeyError(f"no vertex named {name} in {self!r}")
+
+    def value_partition(self) -> list[frozenset[int]]:
+        """Group names by equal value (the blocks of the paper's ``pi``).
+
+        Returns the blocks of the partition of ``names()`` where two names are
+        in the same block iff their vertices carry equal values.  This is the
+        facet structure of the consistency projection ``pi(sigma)``.
+        """
+        by_value: dict[Hashable, set[int]] = {}
+        for vertex in self._vertices:
+            by_value.setdefault(vertex.value, set()).add(vertex.name)
+        return sorted(
+            (frozenset(block) for block in by_value.values()),
+            key=lambda block: sorted(block),
+        )
+
+    def rename(self, permutation: dict[int, int]) -> "Simplex":
+        """Apply a name permutation: vertex ``(i, v)`` becomes ``(perm[i], v)``."""
+        return Simplex(Vertex(permutation[v.name], v.value) for v in self._vertices)
+
+
+def _vertex_sort_key(vertex: Vertex) -> tuple[int, str]:
+    return (vertex.name, repr(vertex.value))

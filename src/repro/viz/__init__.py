@@ -1,0 +1,21 @@
+"""Text renderers for complexes, partitions, and experiment tables."""
+
+from .ascii import (
+    format_simplex,
+    format_table,
+    format_vertex,
+    render_complex,
+    render_partition,
+)
+from .dot import complex_to_dot
+from .mermaid import chain_to_mermaid
+
+__all__ = [
+    "chain_to_mermaid",
+    "complex_to_dot",
+    "format_simplex",
+    "format_table",
+    "format_vertex",
+    "render_complex",
+    "render_partition",
+]

@@ -1,0 +1,89 @@
+"""ASCII rendering of complexes and of the paper's figures.
+
+The paper's Figures 1-3 are drawings of small complexes; these renderers
+regenerate their combinatorial content as text, restoring the paper's
+1-based node numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..topology import Simplex, SimplicialComplex, Vertex
+
+
+def _format_value(value: Hashable) -> str:
+    if value is None:
+        return "⊥"
+    if isinstance(value, tuple) and all(b in (0, 1) for b in value):
+        return "".join(str(b) for b in value) if value else "⊥"
+    return repr(value)
+
+
+def format_vertex(vertex: Vertex, *, one_based: bool = True) -> str:
+    """Render a vertex as ``(name,value)`` in the paper's 1-based style."""
+    name = vertex.name + 1 if one_based else vertex.name
+    return f"({name},{_format_value(vertex.value)})"
+
+
+def format_simplex(simplex: Simplex, *, one_based: bool = True) -> str:
+    """Render a simplex as ``{(1,a), (2,b)}``."""
+    inner = ", ".join(
+        format_vertex(v, one_based=one_based) for v in simplex.sorted_vertices()
+    )
+    return "{" + inner + "}"
+
+
+def render_complex(
+    complex_: SimplicialComplex, *, one_based: bool = True, title: str | None = None
+) -> str:
+    """List the facets of a complex, one per line, with summary stats."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if complex_.is_empty:
+        lines.append("  (empty complex)")
+        return "\n".join(lines)
+    for facet in complex_.sorted_facets():
+        lines.append("  " + format_simplex(facet, one_based=one_based))
+    lines.append(
+        f"  [dim={complex_.dimension}, vertices={len(complex_.vertices())},"
+        f" facets={complex_.facet_count()}, f-vector={complex_.f_vector()}]"
+    )
+    return "\n".join(lines)
+
+
+def render_partition(
+    partition: Sequence[frozenset[int]], *, one_based: bool = True
+) -> str:
+    """Render a consistency partition as ``{1,2} | {3}``."""
+    offset = 1 if one_based else 0
+    blocks = sorted(sorted(node + offset for node in block) for block in partition)
+    return " | ".join("{" + ",".join(map(str, block)) + "}" for block in blocks)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A plain aligned text table (used by benchmarks and examples)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_simplex",
+    "format_table",
+    "format_vertex",
+    "render_complex",
+    "render_partition",
+]

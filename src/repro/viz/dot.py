@@ -1,0 +1,52 @@
+"""Graphviz DOT export of small complexes.
+
+Exports the 1-skeleton (vertices and edges) of a complex, with facets of
+dimension >= 2 rendered as cliques; isolated vertices (the crux of the
+paper's leader-election arguments) are highlighted.  The output is plain
+DOT text -- no graphviz installation is required to generate it.
+"""
+
+from __future__ import annotations
+
+from ..topology import SimplicialComplex, Vertex
+from .ascii import _format_value
+
+
+def _vertex_id(vertex: Vertex) -> str:
+    return f"v_{vertex.name}_{abs(hash(vertex.value)) % 10**8}"
+
+
+def complex_to_dot(
+    complex_: SimplicialComplex,
+    *,
+    name: str = "complex",
+    one_based: bool = True,
+) -> str:
+    """Render the complex's 1-skeleton as a DOT graph string."""
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    isolated = set(complex_.isolated_vertices())
+    for vertex in sorted(
+        complex_.vertices(), key=lambda v: (v.name, repr(v.value))
+    ):
+        label = (
+            f"{vertex.name + 1 if one_based else vertex.name}:"
+            f"{_format_value(vertex.value)}"
+        )
+        style = ' style=filled fillcolor="gold"' if vertex in isolated else ""
+        lines.append(f'  {_vertex_id(vertex)} [label="{label}"{style}];')
+    seen: set[frozenset[Vertex]] = set()
+    for facet in complex_.sorted_facets():
+        verts = facet.sorted_vertices()
+        for i, u in enumerate(verts):
+            for v in verts[i + 1 :]:
+                edge = frozenset((u, v))
+                if edge not in seen:
+                    seen.add(edge)
+                    lines.append(
+                        f"  {_vertex_id(u)} -- {_vertex_id(v)};"
+                    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["complex_to_dot"]

@@ -1,0 +1,67 @@
+"""Mermaid rendering of consistency chains.
+
+Renders the reachable portion of a :class:`ConsistencyChain` as a mermaid
+``stateDiagram-v2`` string: states are partitions (paper's 1-based node
+numbering), edges carry transition probabilities, and solving states are
+marked.  Paste the output into any mermaid renderer to *see* the
+refinement lattice the proofs walk down.
+"""
+
+from __future__ import annotations
+
+from ..core.markov import ConsistencyChain, PartitionState
+from ..core.tasks import SymmetryBreakingTask
+
+
+def _state_name(state: PartitionState) -> str:
+    return "s" + "_".join(
+        "".join(str(node) for node in block) for block in state
+    )
+
+
+def _state_label(state: PartitionState) -> str:
+    return " | ".join(
+        "{" + ",".join(str(node + 1) for node in block) + "}"
+        for block in state
+    )
+
+
+def chain_to_mermaid(
+    chain: ConsistencyChain,
+    task: SymmetryBreakingTask | None = None,
+    *,
+    max_states: int = 64,
+) -> str:
+    """The chain's reachable transition diagram as mermaid text.
+
+    With a ``task``, solving states get a ``[solves]`` suffix in their
+    label.  Raises when the reachable state space exceeds ``max_states``
+    (diagrams beyond that are unreadable anyway).
+    """
+    states = sorted(chain.reachable_states(), key=lambda s: (len(s), s))
+    if len(states) > max_states:
+        raise ValueError(
+            f"{len(states)} reachable states exceed max_states={max_states}"
+        )
+    lines = ["stateDiagram-v2"]
+    for state in states:
+        label = _state_label(state)
+        if task is not None and task.solvable_from_partition(
+            [frozenset(b) for b in state]
+        ):
+            label += " [solves]"
+        lines.append(f'    {_state_name(state)} : {label}')
+    initial = states[0] if states else None
+    for state in states:
+        for nxt, prob in sorted(chain.transitions(state).items()):
+            if nxt == state and prob == 1:
+                continue  # absorbing self-loop: implicit
+            lines.append(
+                f"    {_state_name(state)} --> {_state_name(nxt)} : {prob}"
+            )
+    if initial is not None:
+        lines.insert(1, f"    [*] --> {_state_name(initial)}")
+    return "\n".join(lines)
+
+
+__all__ = ["chain_to_mermaid"]

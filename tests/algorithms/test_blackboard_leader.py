@@ -1,0 +1,98 @@
+"""Unit tests for the blackboard election protocol (Theorem 4.1 algorithm)."""
+
+import pytest
+
+from repro.algorithms import BlackboardLeaderNode, BlackboardNetwork, choose_classes
+from repro.randomness import FixedBitSource, RandomnessConfiguration
+
+
+class TestChooseClasses:
+    def test_finds_singleton(self):
+        assert choose_classes([("a", 2), ("b", 1)], 1) == ("b",)
+
+    def test_none_when_impossible(self):
+        assert choose_classes([("a", 2), ("b", 2)], 1) is None
+
+    def test_deterministic_choice(self):
+        # Two singletons: the canonical (repr-ordered) first subset wins.
+        chosen = choose_classes([("x", 1), ("a", 1), ("m", 2)], 1)
+        assert chosen == ("a",)
+
+    def test_multi_class_sum(self):
+        assert choose_classes([("a", 1), ("b", 1), ("c", 2)], 2) in (
+            ("a", "b"),
+            ("c",),
+        )
+
+    def test_respects_exact_sum(self):
+        assert choose_classes([("a", 3)], 2) is None
+
+
+class TestElection:
+    @pytest.mark.parametrize("sizes", [(1, 2), (1, 1), (1, 3, 3), (1,)])
+    def test_elects_exactly_one_with_singleton_source(self, sizes):
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        for seed in range(4):
+            result = BlackboardNetwork(
+                alpha, BlackboardLeaderNode, seed=seed
+            ).run(max_rounds=64)
+            assert result.all_decided, (sizes, seed)
+            assert len(result.leaders()) == 1, (sizes, seed)
+
+    @pytest.mark.parametrize("sizes", [(2, 2), (3,), (2, 2, 2), (4, 2)])
+    def test_never_elects_without_singleton_source(self, sizes):
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        for seed in range(3):
+            result = BlackboardNetwork(
+                alpha, BlackboardLeaderNode, seed=seed
+            ).run(max_rounds=40)
+            assert not result.all_decided
+            assert all(out is None for out in result.outputs)
+
+    def test_scripted_election_round(self):
+        # Sources: node 2 alone on source B; split appears at round 1 so the
+        # election closes at round 2 (decisions use round-(r-1) histories).
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        sources = [FixedBitSource("000"), FixedBitSource("100")]
+        result = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, sources=sources
+        ).run(max_rounds=5)
+        assert result.leaders() == (2,)
+        assert result.rounds == 2
+
+    def test_delayed_split(self):
+        # Identical prefixes delay the election until the sources diverge.
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        sources = [FixedBitSource("00010"), FixedBitSource("00000")]
+        result = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, sources=sources
+        ).run(max_rounds=6)
+        assert result.leaders() == (2,)
+        assert result.rounds == 5  # divergence at round 4, decision at 5
+
+    def test_all_decide_same_round(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2, 2])
+        result = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, seed=2
+        ).run(max_rounds=64)
+        assert len(set(result.decision_rounds)) == 1
+
+    def test_two_leader_variant(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 3])
+        result = BlackboardNetwork(
+            alpha, lambda: BlackboardLeaderNode(k=2), seed=1
+        ).run(max_rounds=64)
+        assert result.all_decided
+        assert len(result.leaders()) == 2
+
+    def test_two_leader_impossible_shape(self):
+        # sizes (3, 4): no sub-multiset sums to 2.
+        alpha = RandomnessConfiguration.from_group_sizes([3, 4])
+        result = BlackboardNetwork(
+            alpha, lambda: BlackboardLeaderNode(k=2), seed=1
+        ).run(max_rounds=40)
+        assert not result.all_decided
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            BlackboardLeaderNode(k=0)

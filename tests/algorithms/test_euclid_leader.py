@@ -1,0 +1,132 @@
+"""Unit tests for the Euclid-style clique election (Theorem 4.2 algorithm)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import CliqueNetwork, EuclidLeaderNode
+from repro.models import (
+    MessagePassingModel,
+    adversarial_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.randomness import RandomnessConfiguration, enumerate_size_shapes
+
+
+def run_election(sizes, ports, seed, k=1, max_rounds=96):
+    alpha = RandomnessConfiguration.from_group_sizes(sizes)
+    network = CliqueNetwork(
+        alpha, ports, lambda: EuclidLeaderNode(k=k), seed=seed
+    )
+    return network.run(max_rounds=max_rounds)
+
+
+class TestLiveness:
+    @pytest.mark.parametrize(
+        "sizes", [(1,), (1, 1), (1, 2), (2, 3), (3, 4), (2, 3, 4), (1, 5)]
+    )
+    def test_gcd_one_elects_under_adversarial_ports(self, sizes):
+        ports = adversarial_assignment(sizes)
+        for seed in range(3):
+            result = run_election(sizes, ports, seed)
+            assert result.all_decided, (sizes, seed)
+            assert len(result.leaders()) == 1
+
+    @pytest.mark.parametrize("sizes", [(2, 3), (3, 4), (2, 2, 3)])
+    def test_gcd_one_elects_under_benign_ports(self, sizes):
+        n = sum(sizes)
+        for ports in (round_robin_assignment(n), random_assignment(n, 5)):
+            result = run_election(sizes, ports, seed=1)
+            assert result.all_decided
+            assert len(result.leaders()) == 1
+
+    def test_single_node(self):
+        result = run_election((1,), adversarial_assignment((1,)), seed=0)
+        assert result.leaders() == (0,)
+        assert result.rounds == 1
+
+
+class TestImpossibilityWitness:
+    @pytest.mark.parametrize("sizes", [(2, 2), (3, 3), (2, 4), (2, 2, 2)])
+    def test_gcd_gt_one_never_decides_under_adversarial_ports(self, sizes):
+        ports = adversarial_assignment(sizes)
+        for seed in range(2):
+            result = run_election(sizes, ports, seed, max_rounds=48)
+            assert not result.all_decided
+            assert all(out is None for out in result.outputs)
+
+    def test_class_sizes_stay_divisible_by_g(self):
+        """Lemma 4.3's invariant holds along a protocol run."""
+        sizes = (2, 4)
+        g = math.gcd(*sizes)
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        ports = adversarial_assignment(sizes)
+        network = CliqueNetwork(alpha, ports, EuclidLeaderNode, seed=3)
+        for _ in range(12):
+            network.run(max_rounds=1)
+            tags = [node._tag for node in network.nodes]
+            counts = {}
+            for tag in tags:
+                counts[tag] = counts.get(tag, 0) + 1
+            assert all(c % g == 0 for c in counts.values()), counts
+
+
+class TestSafety:
+    def test_exactly_k_leaders_whenever_decided(self):
+        """Safety sweep: across shapes, ports, and seeds, a decided run has
+        exactly k leaders and all nodes decide in the same round."""
+        for n in range(2, 6):
+            for shape in enumerate_size_shapes(n):
+                for ports in (
+                    adversarial_assignment(shape),
+                    random_assignment(n, 13),
+                ):
+                    result = run_election(shape, ports, seed=7, max_rounds=48)
+                    if result.all_decided:
+                        assert len(result.leaders()) == 1
+                        assert len(set(result.decision_rounds)) == 1
+                    else:
+                        assert all(o is None for o in result.outputs)
+
+
+class TestKLeaderGeneralization:
+    def test_two_leaders_with_gcd_two(self):
+        result = run_election((2, 4), adversarial_assignment((2, 4)), 1, k=2)
+        assert result.all_decided
+        assert len(result.leaders()) == 2
+
+    def test_two_leaders_with_gcd_one(self):
+        result = run_election((2, 3), adversarial_assignment((2, 3)), 1, k=2)
+        assert result.all_decided
+        assert len(result.leaders()) == 2
+
+    def test_two_leaders_impossible_with_gcd_three(self):
+        result = run_election(
+            (3, 3), adversarial_assignment((3, 3)), 1, k=2, max_rounds=48
+        )
+        assert not result.all_decided
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            EuclidLeaderNode(k=0)
+
+
+class TestAgreementWithFramework:
+    def test_tags_track_knowledge_partition_without_requests(self):
+        """Before any matching request fires, the protocol's tag classes
+        coincide with the Eq. (2) knowledge partition."""
+        sizes = (2, 3)
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        ports = round_robin_assignment(5)
+        network = CliqueNetwork(alpha, ports, EuclidLeaderNode, seed=9)
+        network.run(max_rounds=1)  # round 1: no requests were sent yet
+        tags = [node._tag for node in network.nodes]
+        tag_partition = {}
+        for node, tag in enumerate(tags):
+            tag_partition.setdefault(tag, set()).add(node)
+
+        model = MessagePassingModel(ports)
+        bits = tuple((node._bits[0],) for node in network.nodes)
+        knowledge_blocks = set(map(frozenset, model.partition(bits)))
+        assert set(map(frozenset, tag_partition.values())) == knowledge_blocks

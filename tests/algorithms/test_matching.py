@@ -1,0 +1,101 @@
+"""Unit tests for the literal CreateMatching protocol (Algorithm 1)."""
+
+import pytest
+
+from repro.algorithms import (
+    OBSERVER,
+    V1,
+    V2,
+    CliqueNetwork,
+    CreateMatchingNode,
+    matching_summary,
+)
+from repro.models import adversarial_assignment, random_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+def run_matching(n1, n2, observers=0, seed=0, ports=None, sizes=None):
+    n = n1 + n2 + observers
+    alpha = (
+        RandomnessConfiguration.from_group_sizes(sizes)
+        if sizes
+        else RandomnessConfiguration.independent(n)
+    )
+    roles = iter([V1] * n1 + [V2] * n2 + [OBSERVER] * observers)
+    network = CliqueNetwork(
+        alpha,
+        ports or random_assignment(n, seed + 17),
+        lambda: CreateMatchingNode(next(roles)),
+        seed=seed,
+    )
+    return network.run(max_rounds=3 * (n1 + 2))
+
+
+class TestLemma48:
+    @pytest.mark.parametrize("n1,n2", [(1, 1), (1, 3), (2, 3), (3, 5), (4, 4)])
+    def test_all_of_v1_matched(self, n1, n2):
+        for seed in range(3):
+            result = run_matching(n1, n2, seed=seed)
+            summary = matching_summary(result.outputs)
+            assert summary["matched"] == 2 * n1, (n1, n2, seed)
+            assert summary["unmatched"] == n2 - n1
+            assert summary["undecided"] == 0
+
+    @pytest.mark.parametrize("n1,n2", [(2, 4), (3, 6), (4, 7)])
+    def test_iteration_bound(self, n1, n2):
+        for seed in range(3):
+            result = run_matching(n1, n2, seed=seed)
+            summary = matching_summary(result.outputs)
+            assert 1 <= summary["iterations"] <= n1
+
+    def test_matching_is_injective(self):
+        """Each matched V1 node pairs with a distinct V2 node: matched
+        counts on the two sides are equal."""
+        result = run_matching(3, 5, seed=1)
+        v1_matched = sum(
+            1
+            for out in result.outputs[:3]
+            if out and out[0] == "matched"
+        )
+        v2_matched = sum(
+            1
+            for out in result.outputs[3:8]
+            if out and out[0] == "matched"
+        )
+        assert v1_matched == v2_matched == 3
+
+    def test_observers_unaffected(self):
+        result = run_matching(2, 3, observers=2, seed=2)
+        assert result.outputs[-2:] == (("observer",), ("observer",))
+
+    def test_works_with_correlated_randomness(self):
+        """All V1 nodes on one source, all V2 on another -- the paper's
+        actual use case; termination is deterministic, not statistical."""
+        result = run_matching(2, 4, sizes=(2, 4), seed=0)
+        summary = matching_summary(result.outputs)
+        assert summary["matched"] == 4
+        assert summary["unmatched"] == 2
+
+    def test_works_under_adversarial_ports(self):
+        sizes = (2, 4)
+        result = run_matching(
+            2, 4, sizes=sizes, ports=adversarial_assignment(sizes), seed=0
+        )
+        summary = matching_summary(result.outputs)
+        assert summary["matched"] == 4
+
+    def test_role_validation(self):
+        with pytest.raises(ValueError):
+            CreateMatchingNode("bogus")
+
+
+class TestSplitSizes:
+    def test_lemma47_split(self):
+        """After matching, V2 splits into parts of sizes (n1, n2-n1)."""
+        for n1, n2 in [(1, 4), (2, 5), (3, 7)]:
+            result = run_matching(n1, n2, seed=4)
+            outputs_v2 = result.outputs[n1 : n1 + n2]
+            matched = [o for o in outputs_v2 if o and o[0] == "matched"]
+            unmatched = [o for o in outputs_v2 if o == ("unmatched",)]
+            assert len(matched) == n1
+            assert len(unmatched) == n2 - n1

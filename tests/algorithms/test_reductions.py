@@ -1,0 +1,84 @@
+"""Unit tests for the Theorem C.1 reduction."""
+
+import pytest
+
+from repro.algorithms import (
+    consensus_on_max,
+    frequency_rank,
+    is_name_independent,
+    parity_of_sum,
+    solve_name_independent_task,
+)
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestSpecifications:
+    def test_consensus_on_max(self):
+        mapping = consensus_on_max((3, 1, 4, 1))
+        assert set(mapping.values()) == {4}
+
+    def test_parity(self):
+        assert set(parity_of_sum((1, 2, 2)).values()) == {1}
+        assert set(parity_of_sum((2, 2)).values()) == {0}
+
+    def test_frequency_rank(self):
+        mapping = frequency_rank(("a", "a", "b"))
+        assert mapping["a"] == 0
+        assert mapping["b"] == 1
+
+    def test_is_name_independent(self):
+        assert is_name_independent((1, 2, 1), ("x", "y", "x"))
+        assert not is_name_independent((1, 2, 1), ("x", "y", "z"))
+
+
+class TestReduction:
+    def test_blackboard_consensus(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        outputs, election = solve_name_independent_task(
+            alpha, (5, 1, 3), consensus_on_max, seed=0
+        )
+        assert outputs == (5, 5, 5)
+        assert len(election.leaders()) == 1
+
+    def test_clique_parity(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 3])
+        outputs, _ = solve_name_independent_task(
+            alpha,
+            (1, 1, 0, 1, 0),
+            parity_of_sum,
+            ports=adversarial_assignment((2, 3)),
+            seed=1,
+        )
+        assert outputs == (1, 1, 1, 1, 1)
+
+    def test_fails_when_election_impossible(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 2])
+        outputs, election = solve_name_independent_task(
+            alpha, (1, 2, 3, 4), consensus_on_max, max_rounds=24, seed=0
+        )
+        assert outputs is None
+        assert not election.all_decided
+
+    def test_outputs_respect_name_independence(self):
+        alpha = RandomnessConfiguration.independent(4)
+        inputs = ("x", "y", "x", "z")
+        outputs, _ = solve_name_independent_task(
+            alpha, inputs, frequency_rank, seed=3
+        )
+        assert outputs is not None
+        assert is_name_independent(inputs, outputs)
+
+    def test_input_arity_validated(self):
+        alpha = RandomnessConfiguration.independent(3)
+        with pytest.raises(ValueError):
+            solve_name_independent_task(alpha, (1, 2), consensus_on_max)
+
+    def test_incomplete_specification_rejected(self):
+        alpha = RandomnessConfiguration.independent(2)
+
+        def partial(values):
+            return {}
+
+        with pytest.raises(ValueError):
+            solve_name_independent_task(alpha, (1, 2), partial, seed=0)

@@ -1,0 +1,52 @@
+"""Tests for the convergence-rate analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import convergence_rates, exact_tail_ratio, fitted_decay_rate
+from repro.core import ConsistencyChain, leader_election
+from repro.randomness import RandomnessConfiguration
+
+
+class TestFittedRate:
+    def test_pure_geometric_series(self):
+        series = [1 - Fraction(1, 2**t) for t in range(1, 12)]
+        assert abs(fitted_decay_rate(series) - 0.5) < 1e-9
+
+    def test_skip_drops_transient(self):
+        # transient followed by clean 1/3 decay
+        series = [0.1, 0.2] + [1 - (1 / 3) ** t for t in range(1, 10)]
+        fit = fitted_decay_rate(series, skip=4)
+        assert abs(fit - 1 / 3) < 0.02
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fitted_decay_rate([Fraction(1)])
+
+
+class TestExactTailRatio:
+    def test_two_private_sources_exact_half(self):
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        ratio = exact_tail_ratio(chain, leader_election(2), horizon=10)
+        assert ratio == Fraction(1, 2)
+
+    def test_unsolvable_returns_none(self):
+        alpha = RandomnessConfiguration.shared(3)
+        chain = ConsistencyChain(alpha)
+        assert (
+            exact_tail_ratio(chain, leader_election(3), horizon=6) is None
+        )
+
+    def test_ratio_is_rational(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        chain = ConsistencyChain(alpha)
+        ratio = exact_tail_ratio(chain, leader_election(5), horizon=12)
+        assert isinstance(ratio, Fraction)
+        assert abs(float(ratio) - 0.5) < 0.01
+
+
+class TestExperiment:
+    def test_passes(self):
+        convergence_rates(horizon=16).require_pass()

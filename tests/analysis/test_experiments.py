@@ -1,0 +1,115 @@
+"""The reproduction sweep itself, as tests: every experiment must PASS.
+
+These are the repository's headline integration tests -- each asserts that
+a figure/theorem of the paper is reproduced by the implementation.  Small
+parameters are used where the default benchmark parameters would be slow.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ALL_EXPERIMENTS,
+    algorithm1_matching,
+    euclid_protocol,
+    extension_expected_times,
+    extension_k_leader,
+    extension_task_zoo,
+    figure1_protocol_complex,
+    figure2_realization_complex,
+    figure3_output_projection,
+    figure4_solvability_equivalence,
+    lemma43_divisibility,
+    lemma_b1_equiprobability,
+    theoremC1_reduction,
+    theorem41_blackboard,
+    theorem41_convergence,
+    theorem42_message_passing,
+)
+
+
+class TestFigures:
+    def test_figure1(self):
+        figure1_protocol_complex(t_max=2).require_pass()
+
+    def test_figure2(self):
+        figure2_realization_complex(n=3, t_max=1).require_pass()
+
+    def test_figure3(self):
+        figure3_output_projection(n=3).require_pass()
+
+    def test_figure3_larger(self):
+        figure3_output_projection(n=5).require_pass()
+
+    def test_figure4(self):
+        figure4_solvability_equivalence(n=3, t=1).require_pass()
+
+
+class TestTheorems:
+    def test_theorem41(self):
+        theorem41_blackboard(n_max=4, t_max=5).require_pass()
+
+    def test_theorem41_convergence(self):
+        theorem41_convergence(k_values=(2, 3), t_max=6).require_pass()
+
+    def test_theorem42(self):
+        theorem42_message_passing(n_max=5, t_max=3).require_pass()
+
+    def test_lemma_b1(self):
+        lemma_b1_equiprobability(n_max=3, t_max=2).require_pass()
+
+    def test_extension_k_leader(self):
+        extension_k_leader(n_max=5).require_pass()
+
+    def test_extension_task_zoo(self):
+        extension_task_zoo(n_max=4).require_pass()
+
+    def test_extension_expected_times(self):
+        extension_expected_times(n_max=5).require_pass()
+
+    def test_registry_covers_all_paper_items(self):
+        ids = {gen().experiment_id for gen in ALL_EXPERIMENTS}
+        required = {
+            "figure-1",
+            "figure-2",
+            "figure-3",
+            "figure-4",
+            "lemma-B.1",
+            "theorem-4.1",
+            "theorem-4.1-rate",
+            "theorem-4.2",
+            "lemma-4.3",
+            "algorithm-1",
+            "euclid-protocol",
+            "theorem-C.1",
+        }
+        assert required <= ids
+
+
+class TestProtocolExperiments:
+    def test_lemma43(self):
+        lemma43_divisibility(shapes=((2, 2), (3, 3)), t=2).require_pass()
+
+    def test_algorithm1(self):
+        algorithm1_matching(
+            pairs=((1, 2), (2, 3)), seeds=(0, 1)
+        ).require_pass()
+
+    def test_euclid_protocol(self):
+        euclid_protocol(n_max=5, seeds=(0, 1), max_rounds=80).require_pass()
+
+    def test_theoremC1(self):
+        theoremC1_reduction(seeds=(0,)).require_pass()
+
+
+class TestResultRendering:
+    def test_render_contains_verdict(self):
+        result = figure3_output_projection(n=3)
+        text = result.render()
+        assert "figure-3" in text
+        assert "PASS" in text
+
+    def test_require_pass_raises_on_failure(self):
+        result = figure3_output_projection(n=3)
+        result.passed = False
+        with pytest.raises(AssertionError):
+            result.require_pass()

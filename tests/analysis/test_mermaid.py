@@ -1,0 +1,51 @@
+"""Tests for the mermaid chain renderer."""
+
+import pytest
+
+from repro.core import ConsistencyChain, leader_election
+from repro.randomness import RandomnessConfiguration
+from repro.viz import chain_to_mermaid
+
+
+class TestMermaid:
+    def test_header_and_initial(self):
+        alpha = RandomnessConfiguration.independent(2)
+        text = chain_to_mermaid(ConsistencyChain(alpha))
+        assert text.startswith("stateDiagram-v2")
+        assert "[*] -->" in text
+
+    def test_solving_states_marked(self):
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        text = chain_to_mermaid(chain, leader_election(2))
+        assert "[solves]" in text
+        # the initial single-block state does not solve
+        assert "s01 : {1,2}\n" in text + "\n"
+
+    def test_one_based_labels(self):
+        alpha = RandomnessConfiguration.independent(2)
+        text = chain_to_mermaid(ConsistencyChain(alpha))
+        assert "{1,2}" in text
+        assert "{0" not in text
+
+    def test_transition_probabilities(self):
+        alpha = RandomnessConfiguration.independent(2)
+        text = chain_to_mermaid(ConsistencyChain(alpha))
+        assert ": 1/2" in text
+
+    def test_absorbing_self_loops_skipped(self):
+        alpha = RandomnessConfiguration.shared(2)
+        text = chain_to_mermaid(ConsistencyChain(alpha))
+        # single state, fully absorbing: no self edge rendered
+        assert "-->" not in text.replace("[*] -->", "")
+
+    def test_max_states_guard(self):
+        alpha = RandomnessConfiguration.independent(5)
+        with pytest.raises(ValueError):
+            chain_to_mermaid(ConsistencyChain(alpha), max_states=3)
+
+    def test_every_reachable_state_listed(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = ConsistencyChain(alpha)
+        text = chain_to_mermaid(chain)
+        assert text.count(" : ") >= len(chain.reachable_states())

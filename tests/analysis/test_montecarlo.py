@@ -1,0 +1,102 @@
+"""Unit tests for the Monte-Carlo estimators."""
+
+import math
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    Estimate,
+    adaptive_estimate,
+    estimate_solving_probability,
+    wilson_interval,
+    _normal_quantile,
+)
+from repro.core import ConsistencyChain, leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestWilsonInterval:
+    def test_contains_phat(self):
+        low, high = wilson_interval(40, 100)
+        assert low < 0.4 < high
+
+    def test_clamped_to_unit(self):
+        low, _ = wilson_interval(0, 50)
+        _, high = wilson_interval(50, 50)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrows_with_samples(self):
+        w_small = wilson_interval(10, 20)
+        w_big = wilson_interval(1000, 2000)
+        assert (w_big[1] - w_big[0]) < (w_small[1] - w_small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.5)
+
+    def test_quantile_symmetry(self):
+        assert math.isclose(
+            _normal_quantile(0.975), 1.959964, rel_tol=1e-4
+        )
+        assert math.isclose(
+            _normal_quantile(0.025), -_normal_quantile(0.975), rel_tol=1e-9
+        )
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+
+class TestEstimators:
+    def test_interval_covers_exact_value(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        task = leader_election(3)
+        exact = float(ConsistencyChain(alpha).solving_probability(task, 3))
+        estimate = estimate_solving_probability(
+            alpha, task, 3, samples=3000, seed=1
+        )
+        assert estimate.contains(exact)
+
+    def test_message_passing_estimate(self):
+        shape = (2, 3)
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        ports = adversarial_assignment(shape)
+        task = leader_election(5)
+        exact = float(
+            ConsistencyChain(alpha, ports).solving_probability(task, 2)
+        )
+        estimate = estimate_solving_probability(
+            alpha, task, 2, ports, samples=3000, seed=2
+        )
+        assert estimate.contains(exact)
+
+    def test_adaptive_stops_at_target_width(self):
+        alpha = RandomnessConfiguration.independent(2)
+        task = leader_election(2)
+        estimate = adaptive_estimate(
+            alpha, task, 2, target_width=0.06, seed=3
+        )
+        assert estimate.width() <= 0.06 or estimate.samples == 20000
+
+    def test_adaptive_validation(self):
+        alpha = RandomnessConfiguration.independent(2)
+        with pytest.raises(ValueError):
+            adaptive_estimate(
+                alpha, leader_election(2), 1, target_width=0
+            )
+
+    def test_estimate_dataclass(self):
+        estimate = Estimate(0.5, 0.4, 0.6, 100, 0.95)
+        assert math.isclose(estimate.width(), 0.2)
+        assert estimate.contains(0.45)
+        assert not estimate.contains(0.7)
+
+    def test_degenerate_probability_zero(self):
+        alpha = RandomnessConfiguration.shared(3)
+        estimate = estimate_solving_probability(
+            alpha, leader_election(3), 3, samples=300, seed=0
+        )
+        assert estimate.probability == 0.0
+        assert estimate.low == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,88 @@
+"""Unit tests for report serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    figure3_output_projection,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+    result_to_markdown,
+    results_from_json,
+    results_to_json,
+    write_report,
+)
+from repro.analysis.result import ExperimentResult
+
+
+@pytest.fixture
+def sample():
+    return figure3_output_projection(n=3)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_content(self, sample):
+        rebuilt = result_from_dict(result_to_dict(sample))
+        assert rebuilt.experiment_id == sample.experiment_id
+        assert rebuilt.title == sample.title
+        assert list(rebuilt.headers) == list(sample.headers)
+        assert len(rebuilt.rows) == len(sample.rows)
+        assert rebuilt.passed == sample.passed
+
+    def test_cells_stringified(self, sample):
+        payload = result_to_dict(sample)
+        assert all(
+            isinstance(cell, str) for row in payload["rows"] for cell in row
+        )
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"experiment_id": "x"})
+
+
+class TestJson:
+    def test_json_round_trip(self, sample):
+        text = results_to_json([sample, sample])
+        loaded = results_from_json(text)
+        assert len(loaded) == 2
+        assert loaded[0].experiment_id == sample.experiment_id
+
+    def test_json_is_valid(self, sample):
+        json.loads(results_to_json([sample]))
+
+
+class TestCsvAndMarkdown:
+    def test_csv_shape(self, sample):
+        lines = result_to_csv(sample).strip().splitlines()
+        assert len(lines) == 1 + len(sample.rows)
+        assert lines[0].startswith(str(sample.headers[0]))
+
+    def test_markdown_structure(self, sample):
+        text = result_to_markdown(sample)
+        assert text.startswith("### figure-3")
+        assert "| --- |" not in text  # separator has no padding
+        assert "**Verdict: PASS**" in text
+
+    def test_markdown_failure_verdict(self):
+        result = ExperimentResult(
+            "x", "t", ("a",), [(1,)], passed=False
+        )
+        assert "FAIL" in result_to_markdown(result)
+
+
+class TestWriteReport:
+    def test_writes_all_kinds(self, sample, tmp_path):
+        paths = write_report([sample], tmp_path, stem="r")
+        assert paths["json"].exists()
+        assert paths["markdown"].exists()
+        assert paths["csv"].exists()
+        loaded = results_from_json(paths["json"].read_text())
+        assert loaded[0].experiment_id == sample.experiment_id
+        assert "figure-3" in paths["markdown"].read_text()
+
+    def test_creates_directory(self, sample, tmp_path):
+        target = tmp_path / "nested" / "deeper"
+        write_report([sample], target)
+        assert (target / "experiments.json").exists()

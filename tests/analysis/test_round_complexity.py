@@ -1,0 +1,29 @@
+"""Tests for the round-complexity experiment (analysis vs protocols)."""
+
+from repro.analysis import protocol_round_complexity
+from repro.analysis.round_complexity import _protocol_mean_rounds
+
+
+class TestProtocolMeans:
+    def test_blackboard_two_independent(self):
+        mean, stderr = _protocol_mean_rounds((1, 1), clique=False, runs=300)
+        # E[T] + 1 = 3 for two private sources.
+        assert abs(mean - 3.0) < 5 * stderr + 0.05
+        assert stderr < 0.2
+
+    def test_clique_mean_bounded(self):
+        mean, _ = _protocol_mean_rounds((2, 3), clique=True, runs=120)
+        assert 2.0 <= mean <= 7.0
+
+    def test_failure_raises(self):
+        import pytest
+
+        with pytest.raises(AssertionError):
+            _protocol_mean_rounds(
+                (2, 2), clique=True, runs=2, max_rounds=16
+            )
+
+
+class TestExperiment:
+    def test_passes(self):
+        protocol_round_complexity(runs=200).require_pass()

@@ -1,0 +1,101 @@
+"""Unit tests for the text renderers."""
+
+from repro.core import knowledge_projection, leader_election_complex
+from repro.models import BlackboardModel
+from repro.topology import Simplex, SimplicialComplex, Vertex
+from repro.viz import (
+    complex_to_dot,
+    format_simplex,
+    format_table,
+    format_vertex,
+    render_complex,
+    render_partition,
+)
+
+
+class TestVertexAndSimplexFormatting:
+    def test_one_based_by_default(self):
+        assert format_vertex(Vertex(0, 1)) == "(1,1)"
+
+    def test_zero_based_option(self):
+        assert format_vertex(Vertex(0, 1), one_based=False) == "(0,1)"
+
+    def test_bottom_rendering(self):
+        assert "⊥" in format_vertex(Vertex(0, None))
+
+    def test_bitstring_rendering(self):
+        assert format_vertex(Vertex(0, (0, 1, 1))) == "(1,011)"
+
+    def test_empty_bits_are_bottom(self):
+        assert "⊥" in format_vertex(Vertex(0, ()))
+
+    def test_simplex_sorted(self):
+        s = Simplex([(1, 0), (0, 1)])
+        assert format_simplex(s) == "{(1,1), (2,0)}"
+
+
+class TestComplexRendering:
+    def test_contains_all_facets(self):
+        text = render_complex(leader_election_complex(3))
+        assert text.count("{") == 3
+
+    def test_summary_line(self):
+        text = render_complex(leader_election_complex(3))
+        assert "facets=3" in text
+        assert "dim=2" in text
+
+    def test_empty_complex(self):
+        assert "empty" in render_complex(SimplicialComplex.empty())
+
+    def test_title(self):
+        text = render_complex(leader_election_complex(2), title="O_LE")
+        assert text.startswith("O_LE")
+
+    def test_projection_rendering_round_trip(self):
+        model = BlackboardModel(3)
+        projected = knowledge_projection(model, ((0,), (0,), (1,)))
+        text = render_complex(projected)
+        assert "facets=2" in text
+
+
+class TestPartitionRendering:
+    def test_blocks(self):
+        text = render_partition([frozenset({0, 1}), frozenset({2})])
+        assert text == "{1,2} | {3}"
+
+    def test_zero_based(self):
+        text = render_partition([frozenset({0})], one_based=False)
+        assert text == "{0}"
+
+
+class TestTableRendering:
+    def test_alignment(self):
+        table = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_values_stringified(self):
+        table = format_table(("x",), [((1, 2),)])
+        assert "(1, 2)" in table
+
+
+class TestDotExport:
+    def test_structure(self):
+        dot = complex_to_dot(leader_election_complex(2), name="OLE")
+        assert dot.startswith("graph OLE {")
+        assert dot.rstrip().endswith("}")
+        assert "--" in dot
+
+    def test_isolated_highlight(self):
+        from repro.core import project_complex
+
+        projected = project_complex(leader_election_complex(3))
+        dot = complex_to_dot(projected)
+        assert "gold" in dot
+
+    def test_no_duplicate_edges(self):
+        dot = complex_to_dot(leader_election_complex(3))
+        edges = [line for line in dot.splitlines() if "--" in line]
+        assert len(edges) == len(set(edges))

@@ -1,0 +1,81 @@
+"""Tests for the exhaustive worst-case port search."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    exhaustive_worst_case,
+    iter_all_port_assignments,
+    worst_case_port_search,
+)
+from repro.core import ConsistencyChain, leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert sum(1 for _ in iter_all_port_assignments(2)) == 1
+        assert sum(1 for _ in iter_all_port_assignments(3)) == 8
+        assert sum(1 for _ in iter_all_port_assignments(4)) == 1296
+
+    def test_all_distinct(self):
+        found = list(iter_all_port_assignments(3))
+        assert len(set(found)) == len(found)
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            list(iter_all_port_assignments(5, limit=100))
+
+
+class TestExhaustiveWorstCase:
+    def test_gcd_one_all_assignments_solve(self):
+        lowest, highest, solvable, total = exhaustive_worst_case((1, 2))
+        assert lowest == highest == 1
+        assert solvable == total == 8
+
+    def test_shared_source_no_assignment_solves(self):
+        lowest, highest, solvable, total = exhaustive_worst_case((3,))
+        assert lowest == highest == 0
+        assert solvable == 0
+
+    def test_two_two_mixed(self):
+        """(2,2): most assignments solve, the adversarial ones do not."""
+        lowest, highest, solvable, total = exhaustive_worst_case((2, 2))
+        assert lowest == 0
+        assert highest == 1
+        assert 0 < solvable < total
+
+    def test_lemma43_attains_minimum(self):
+        for shape in ((2, 2), (1, 3)):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            task = leader_election(alpha.n)
+            lemma_limit = ConsistencyChain(
+                alpha, adversarial_assignment(shape)
+            ).limit_solving_probability(task)
+            lowest, _, _, _ = exhaustive_worst_case(shape)
+            assert lemma_limit == lowest
+
+    def test_limits_always_zero_or_one(self):
+        """Zero-one law over the whole assignment space of n=3."""
+        for shape in ((1, 2), (3,), (1, 1, 1)):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            task = leader_election(3)
+            for ports in iter_all_port_assignments(3):
+                limit = ConsistencyChain(
+                    alpha, ports
+                ).limit_solving_probability(task)
+                assert limit in (Fraction(0), Fraction(1))
+
+
+class TestExperiment:
+    def test_small_sweep_passes(self):
+        worst_case_port_search(shapes=((1, 2), (3,), (2, 2))).require_pass()
+
+    def test_prediction_matches_gcd(self):
+        result = worst_case_port_search(shapes=((2, 2), (1, 3)))
+        for row in result.rows:
+            shape = row[0]
+            assert (row[4] == 1.0) == (math.gcd(*shape) == 1)

@@ -1,0 +1,112 @@
+"""Unit tests for the closed-form characterizations."""
+
+import pytest
+
+from repro.core import (
+    blackboard_k_leader_solvable,
+    blackboard_solvable,
+    blackboard_task_solvable,
+    k_leader_election,
+    leader_election,
+    message_passing_worst_case_k_leader_solvable,
+    message_passing_worst_case_solvable,
+    message_passing_worst_case_task_solvable,
+    two_leader_blackboard_solvable,
+    two_leader_message_passing_solvable,
+    weak_symmetry_breaking,
+)
+from repro.randomness import RandomnessConfiguration
+
+
+def alpha_of(*sizes):
+    return RandomnessConfiguration.from_group_sizes(sizes)
+
+
+class TestTheorem41:
+    def test_examples(self):
+        assert blackboard_solvable(alpha_of(1, 4))
+        assert blackboard_solvable(alpha_of(1))
+        assert not blackboard_solvable(alpha_of(2, 2))
+        assert not blackboard_solvable(alpha_of(5))
+
+
+class TestTheorem42:
+    def test_examples(self):
+        assert message_passing_worst_case_solvable(alpha_of(2, 3))
+        assert message_passing_worst_case_solvable(alpha_of(1, 1))
+        assert not message_passing_worst_case_solvable(alpha_of(2, 4))
+        assert not message_passing_worst_case_solvable(alpha_of(3,))
+
+    def test_km_n_corollary(self):
+        """The paper cites leader election on K_{m,n}-style splits being
+        possible iff gcd(m,n)=1 (Codenotti et al.)."""
+        assert message_passing_worst_case_solvable(alpha_of(4, 9))
+        assert not message_passing_worst_case_solvable(alpha_of(4, 6))
+
+
+class TestGeneralTasks:
+    def test_blackboard_task_solvable_uses_source_partition(self):
+        alpha = alpha_of(2, 3)
+        assert not blackboard_task_solvable(alpha, leader_election(5))
+        assert blackboard_task_solvable(alpha, weak_symmetry_breaking(5))
+
+    def test_blackboard_task_size_mismatch(self):
+        with pytest.raises(ValueError):
+            blackboard_task_solvable(alpha_of(2, 2), leader_election(3))
+
+    def test_mp_worst_case_task_solvable(self):
+        alpha = alpha_of(2, 4)
+        # gcd 2: leader election impossible, 2-leader possible
+        assert not message_passing_worst_case_task_solvable(
+            alpha, leader_election(6)
+        )
+        assert message_passing_worst_case_task_solvable(
+            alpha, k_leader_election(6, 2)
+        )
+
+    def test_weak_sb_blackboard_iff_two_sources(self):
+        assert blackboard_task_solvable(
+            alpha_of(3, 3), weak_symmetry_breaking(6)
+        )
+        assert not blackboard_task_solvable(
+            alpha_of(6), weak_symmetry_breaking(6)
+        )
+
+    def test_weak_sb_mp_iff_two_sources(self):
+        assert message_passing_worst_case_task_solvable(
+            alpha_of(3, 3), weak_symmetry_breaking(6)
+        )
+        assert not message_passing_worst_case_task_solvable(
+            alpha_of(6), weak_symmetry_breaking(6)
+        )
+
+
+class TestKLeader:
+    def test_blackboard_subset_sum(self):
+        assert blackboard_k_leader_solvable(alpha_of(2, 3), 2)
+        assert blackboard_k_leader_solvable(alpha_of(2, 3), 3)
+        assert blackboard_k_leader_solvable(alpha_of(2, 3), 5)
+        assert not blackboard_k_leader_solvable(alpha_of(2, 3), 1)
+        assert not blackboard_k_leader_solvable(alpha_of(2, 3), 4)
+
+    def test_blackboard_k_bounds(self):
+        with pytest.raises(ValueError):
+            blackboard_k_leader_solvable(alpha_of(2, 3), 0)
+
+    def test_mp_gcd_divides_k(self):
+        assert message_passing_worst_case_k_leader_solvable(alpha_of(2, 4), 2)
+        assert message_passing_worst_case_k_leader_solvable(alpha_of(2, 4), 4)
+        assert not message_passing_worst_case_k_leader_solvable(
+            alpha_of(2, 4), 3
+        )
+
+    def test_two_leader_exercise(self):
+        """The Section 1.2 challenge, both models."""
+        # blackboard: subset-sum 2
+        assert two_leader_blackboard_solvable(alpha_of(2, 3))
+        assert two_leader_blackboard_solvable(alpha_of(1, 1, 4))
+        assert not two_leader_blackboard_solvable(alpha_of(3, 4))
+        # clique worst case: gcd | 2
+        assert two_leader_message_passing_solvable(alpha_of(2, 4))
+        assert two_leader_message_passing_solvable(alpha_of(3, 4))
+        assert not two_leader_message_passing_solvable(alpha_of(3, 3))

@@ -1,0 +1,132 @@
+"""Tests for solving-time distributions, quantiles, and the chain export."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ConsistencyChain,
+    expected_solving_time,
+    leader_election,
+    solving_time_distribution,
+    solving_time_quantile,
+)
+from repro.randomness import RandomnessConfiguration
+
+
+class TestDistribution:
+    def test_two_independent_nodes_geometric(self):
+        """T ~ Geometric(1/2): Pr[T = t] = 2^-t."""
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        dist = solving_time_distribution(chain, leader_election(2), 6)
+        assert dist == [Fraction(1, 2**t) for t in range(1, 7)]
+
+    def test_mass_never_exceeds_one(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        chain = ConsistencyChain(alpha)
+        dist = solving_time_distribution(chain, leader_election(5), 10)
+        assert all(p >= 0 for p in dist)
+        assert sum(dist) <= 1
+
+    def test_unsolvable_all_zero(self):
+        alpha = RandomnessConfiguration.shared(3)
+        chain = ConsistencyChain(alpha)
+        dist = solving_time_distribution(chain, leader_election(3), 5)
+        assert dist == [Fraction(0)] * 5
+
+    def test_expectation_consistency(self):
+        """Partial expectation from the distribution lower-bounds E[T] and
+        approaches it as the horizon grows."""
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = ConsistencyChain(alpha)
+        task = leader_election(3)
+        exact = expected_solving_time(chain, task)
+        dist = solving_time_distribution(chain, task, 40)
+        partial = sum(t * p for t, p in enumerate(dist, start=1))
+        assert partial <= exact
+        assert float(exact - partial) < 1e-9
+
+
+class TestQuantile:
+    def test_median_of_geometric(self):
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        assert solving_time_quantile(chain, leader_election(2), Fraction(1, 2)) == 1
+        assert solving_time_quantile(chain, leader_election(2), Fraction(3, 4)) == 2
+
+    def test_unsolvable_returns_none(self):
+        alpha = RandomnessConfiguration.shared(3)
+        chain = ConsistencyChain(alpha)
+        assert (
+            solving_time_quantile(
+                chain, leader_election(3), 0.9, t_cap=20
+            )
+            is None
+        )
+
+    def test_validation(self):
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        with pytest.raises(ValueError):
+            solving_time_quantile(chain, leader_election(2), 0)
+
+
+class TestNetworkxExport:
+    def test_graph_structure(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = ConsistencyChain(alpha)
+        graph = chain.to_networkx()
+        assert set(graph.nodes()) == chain.reachable_states()
+        for state in graph.nodes():
+            out = sum(
+                graph.edges[state, nxt]["weight"]
+                for nxt in graph.successors(state)
+            )
+            assert out == 1
+
+    def test_absorption_matches_internal_solver(self):
+        """Cross-validate the limit against a networkx-based solve."""
+        import networkx as nx
+
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        task = leader_election(5)
+        chain = ConsistencyChain(alpha)
+        graph = chain.to_networkx()
+
+        solved = {
+            state
+            for state in graph.nodes()
+            if task.solvable_from_partition([frozenset(b) for b in state])
+        }
+        # Absorption probability via reverse topological order on the DAG
+        # of non-self-loop edges.
+        dag = nx.DiGraph(
+            (u, v) for u, v in graph.edges() if u != v
+        )
+        prob: dict = {}
+        order = list(nx.topological_sort(dag))
+        for state in reversed(order):
+            if state in solved:
+                prob[state] = Fraction(1)
+                continue
+            self_loop = (
+                graph.edges[state, state]["weight"]
+                if graph.has_edge(state, state)
+                else Fraction(0)
+            )
+            if self_loop == 1:
+                prob[state] = Fraction(0)
+                continue
+            total = sum(
+                (
+                    graph.edges[state, nxt]["weight"] * prob[nxt]
+                    for nxt in dag.successors(state)
+                ),
+                Fraction(0),
+            )
+            prob[state] = total / (1 - self_loop)
+        from repro.core import single_block_state
+
+        start = single_block_state(5)
+        assert prob[start] == chain.limit_solving_probability(task)

@@ -1,0 +1,108 @@
+"""Unit tests for exact expected solving times."""
+
+from fractions import Fraction
+
+from repro.core import (
+    ConsistencyChain,
+    expected_solving_time,
+    expected_time_table,
+    leader_election,
+    single_block_state,
+    weak_symmetry_breaking,
+)
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestClosedForms:
+    def test_two_independent_nodes(self):
+        """Solved when the strings first differ: E[T] = sum t/2^t = 2."""
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        assert expected_solving_time(chain, leader_election(2)) == 2
+
+    def test_three_independent_nodes(self):
+        """Solved when some node separates; a short geometric mixture."""
+        alpha = RandomnessConfiguration.independent(3)
+        chain = ConsistencyChain(alpha)
+        expected = expected_solving_time(chain, leader_election(3))
+        # From the all-equal state: round splits into {3}:1/4, {1,2}:3/4.
+        # {1,2} already solves; {3} restarts.  E = 4/3.
+        assert expected == Fraction(4, 3)
+
+    def test_single_node_zero(self):
+        alpha = RandomnessConfiguration.independent(1)
+        chain = ConsistencyChain(alpha)
+        assert expected_solving_time(chain, leader_election(1)) == 0
+
+    def test_unsolvable_is_none(self):
+        alpha = RandomnessConfiguration.shared(4)
+        chain = ConsistencyChain(alpha)
+        assert expected_solving_time(chain, leader_election(4)) is None
+
+    def test_weak_sb_two_sources(self):
+        """Weak symmetry breaking with two pair-sources: solved when the
+        sources first differ: E[T] = 2."""
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        chain = ConsistencyChain(alpha)
+        assert expected_solving_time(chain, weak_symmetry_breaking(4)) == 2
+
+
+class TestAgainstSimulation:
+    def test_matches_monte_carlo(self):
+        import random
+
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        task = leader_election(3)
+        exact = float(
+            expected_solving_time(ConsistencyChain(alpha), task)
+        )
+        rng = random.Random(0)
+        total = 0
+        runs = 4000
+        for _ in range(runs):
+            strings = ["", ""]
+            t = 0
+            while True:
+                t += 1
+                strings = [s + str(rng.getrandbits(1)) for s in strings]
+                # partition solves iff the singleton-source node separates
+                if strings[0] != strings[1]:
+                    break
+            total += t
+        assert abs(total / runs - exact) < 0.1
+
+    def test_ports_never_slow_things_down(self):
+        for shape in [(1, 2), (2, 3), (1, 1, 2)]:
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            task = leader_election(alpha.n)
+            bb = expected_solving_time(ConsistencyChain(alpha), task)
+            mp = expected_solving_time(
+                ConsistencyChain(alpha, adversarial_assignment(shape)), task
+            )
+            if bb is None:
+                continue
+            assert mp is not None and mp <= bb
+
+
+class TestTable:
+    def test_solving_states_zero(self):
+        alpha = RandomnessConfiguration.independent(2)
+        chain = ConsistencyChain(alpha)
+        table = expected_time_table(chain, leader_election(2))
+        assert table[((0,), (1,))] == 0
+
+    def test_initial_state_matches_function(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = ConsistencyChain(alpha)
+        task = leader_election(3)
+        table = expected_time_table(chain, task)
+        assert table[single_block_state(3)] == expected_solving_time(
+            chain, task
+        )
+
+    def test_stuck_states_are_none(self):
+        alpha = RandomnessConfiguration.shared(3)
+        chain = ConsistencyChain(alpha)
+        table = expected_time_table(chain, leader_election(3))
+        assert table[single_block_state(3)] is None

@@ -1,0 +1,85 @@
+"""Unit tests for the election task builders."""
+
+import pytest
+
+from repro.core import (
+    FOLLOWER,
+    LEADER,
+    k_leader_election,
+    leader_election,
+    leader_election_complex,
+    leader_election_facet,
+    weak_symmetry_breaking,
+)
+from repro.core.projection import project_complex
+
+
+class TestLeaderElection:
+    def test_single_node(self):
+        task = leader_election(1)
+        assert task.solvable_from_sizes([1])
+
+    def test_complex_facets(self):
+        complex_ = leader_election_complex(4)
+        assert complex_.facet_count() == 4
+        for facet in complex_.facets:
+            values = [facet.value_of(i) for i in range(4)]
+            assert values.count(LEADER) == 1
+            assert values.count(FOLLOWER) == 3
+
+    def test_facet_builder(self):
+        facet = leader_election_facet(3, leader=1)
+        assert facet.value_of(1) == LEADER
+        assert facet.value_of(0) == FOLLOWER
+
+    def test_facet_builder_bounds(self):
+        with pytest.raises(ValueError):
+            leader_election_facet(3, leader=3)
+
+    def test_projection_structure(self):
+        projected = project_complex(leader_election_complex(3))
+        assert len(projected.isolated_vertices()) == 3
+        assert projected.facet_count() == 6
+
+
+class TestKLeaderElection:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            k_leader_election(3, 0)
+        with pytest.raises(ValueError):
+            k_leader_election(3, 4)
+
+    def test_k_equals_n(self):
+        task = k_leader_election(3, 3)
+        assert task.solvable_from_sizes([3])
+        assert task.solvable_from_sizes([1, 2])
+
+    def test_two_leader_solvability(self):
+        task = k_leader_election(4, 2)
+        assert task.solvable_from_sizes([2, 2])
+        assert task.solvable_from_sizes([1, 1, 2])
+        assert not task.solvable_from_sizes([4])
+        assert not task.solvable_from_sizes([1, 3])
+
+    def test_output_complex_count(self):
+        # C(4,2) = 6 facets
+        assert k_leader_election(4, 2).output_complex().facet_count() == 6
+
+
+class TestWeakSymmetryBreaking:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            weak_symmetry_breaking(1)
+
+    def test_any_split_works(self):
+        task = weak_symmetry_breaking(4)
+        assert task.solvable_from_sizes([1, 3])
+        assert task.solvable_from_sizes([2, 2])
+        assert task.solvable_from_sizes([1, 1, 1, 1])
+        assert not task.solvable_from_sizes([4])
+
+    def test_output_complex_is_everything_but_constants(self):
+        complex_ = weak_symmetry_breaking(3).output_complex()
+        # 2^3 assignments minus the two constant ones.
+        assert complex_.facet_count() == 6
+        assert complex_.is_symmetric()

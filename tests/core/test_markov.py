@@ -1,0 +1,160 @@
+"""Unit tests for the consistency-partition Markov chain."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ConsistencyChain,
+    canonical_state,
+    is_refinement,
+    leader_election,
+    single_block_state,
+    solving_probability_enumerated,
+)
+from repro.models import adversarial_assignment, random_assignment, round_robin_assignment
+from repro.randomness import RandomnessConfiguration, enumerate_size_shapes
+
+
+class TestStateHelpers:
+    def test_canonical_state_sorts(self):
+        state = canonical_state([frozenset({2, 0}), frozenset({1})])
+        assert state == ((0, 2), (1,))
+
+    def test_single_block(self):
+        assert single_block_state(3) == ((0, 1, 2),)
+
+    def test_is_refinement(self):
+        coarse = ((0, 1, 2),)
+        fine = ((0,), (1, 2))
+        assert is_refinement(fine, coarse)
+        assert not is_refinement(coarse, fine)
+        assert is_refinement(fine, fine)
+
+
+class TestRefinement:
+    def test_blackboard_splits_by_source_bits(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        chain = ConsistencyChain(alpha)
+        start = single_block_state(3)
+        same = chain.refine(start, (0, 0))
+        split = chain.refine(start, (0, 1))
+        assert same == start
+        assert split == ((0, 1), (2,))
+
+    def test_refinement_is_monotone(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 2])
+        chain = ConsistencyChain(alpha)
+        state = single_block_state(4)
+        for bits in ((0, 1), (0, 0), (1, 0)):
+            nxt = chain.refine(state, bits)
+            assert is_refinement(nxt, state)
+            state = nxt
+
+    def test_mp_ports_condition_refines_more(self):
+        # Nodes with equal bits may still split through their port views.
+        alpha = RandomnessConfiguration.from_group_sizes([2, 2])
+        ports = random_assignment(4, 1)
+        bb = ConsistencyChain(alpha)
+        mp = ConsistencyChain(alpha, ports)
+        state = bb.refine(single_block_state(4), (0, 1))
+        bb_next = bb.refine(state, (0, 0))
+        mp_next = mp.refine(state, (0, 0))
+        assert is_refinement(mp_next, bb_next)
+
+    def test_transitions_sum_to_one(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2, 2])
+        chain = ConsistencyChain(alpha)
+        for state in list(chain.reachable_states())[:10]:
+            assert sum(chain.transitions(state).values()) == 1
+
+    def test_max_nodes_guard(self):
+        with pytest.raises(ValueError):
+            ConsistencyChain(RandomnessConfiguration.independent(11))
+
+    def test_port_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ConsistencyChain(
+                RandomnessConfiguration.independent(3),
+                round_robin_assignment(4),
+            )
+
+
+class TestFiniteTimeExactness:
+    """The chain must match literal enumeration over realizations."""
+
+    @pytest.mark.parametrize("shape", [(1, 2), (2, 2), (1, 1, 1), (3,)])
+    def test_blackboard_matches_enumeration(self, shape):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        task = leader_election(alpha.n)
+        chain = ConsistencyChain(alpha)
+        for t in (1, 2, 3):
+            assert chain.solving_probability(
+                task, t
+            ) == solving_probability_enumerated(alpha, task, t)
+
+    @pytest.mark.parametrize("shape", [(1, 2), (2, 2), (2, 3)])
+    def test_message_passing_matches_enumeration(self, shape):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        ports = adversarial_assignment(shape)
+        task = leader_election(alpha.n)
+        chain = ConsistencyChain(alpha, ports)
+        for t in (1, 2):
+            assert chain.solving_probability(
+                task, t
+            ) == solving_probability_enumerated(alpha, task, t, ports)
+
+    def test_series_matches_pointwise(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        task = leader_election(3)
+        chain = ConsistencyChain(alpha)
+        series = chain.solving_probability_series(task, 4)
+        assert series == [chain.solving_probability(task, t) for t in (1, 2, 3, 4)]
+
+    def test_distribution_at_zero(self):
+        alpha = RandomnessConfiguration.independent(3)
+        dist = ConsistencyChain(alpha).state_distribution(0)
+        assert dist == {single_block_state(3): Fraction(1)}
+
+    def test_distribution_mass_one(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 3])
+        dist = ConsistencyChain(alpha).state_distribution(3)
+        assert sum(dist.values()) == 1
+
+
+class TestLimits:
+    def test_zero_one_law_holds_on_sweep(self):
+        """Lemma 3.2, machine-checked: every limit is exactly 0 or 1."""
+        for n in range(1, 6):
+            task = leader_election(n)
+            for shape in enumerate_size_shapes(n):
+                alpha = RandomnessConfiguration.from_group_sizes(shape)
+                for ports in (None, adversarial_assignment(shape)):
+                    limit = ConsistencyChain(
+                        alpha, ports
+                    ).limit_solving_probability(task)
+                    assert limit in (Fraction(0), Fraction(1)), (shape, ports)
+
+    def test_blackboard_limits_match_theorem41(self):
+        for shape in enumerate_size_shapes(5):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            limit = ConsistencyChain(alpha).limit_solving_probability(
+                leader_election(5)
+            )
+            assert (limit == 1) == (1 in shape)
+
+    def test_known_limit_values(self):
+        alpha = RandomnessConfiguration.shared(3)
+        chain = ConsistencyChain(alpha)
+        assert chain.limit_solving_probability(leader_election(3)) == 0
+
+    def test_eventually_solvable_wrapper(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 3])
+        assert ConsistencyChain(alpha).eventually_solvable(leader_election(4))
+
+    def test_monotone_series(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2, 3])
+        series = ConsistencyChain(alpha).solving_probability_series(
+            leader_election(6), 5
+        )
+        assert all(a <= b for a, b in zip(series, series[1:]))

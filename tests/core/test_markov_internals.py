@@ -1,0 +1,121 @@
+"""White-box tests of the consistency chain's internals.
+
+The chain implements two optimizations whose correctness the black-box
+tests cannot isolate: transition caching and the bit-complement halving
+(a source-bit vector and its complement refine identically).  These tests
+pin both down, plus the refine function's behaviour on graph topologies
+and with back-port semantics.
+"""
+
+import itertools
+from fractions import Fraction
+
+from repro.core import ConsistencyChain, leader_election, single_block_state
+from repro.models import GraphTopology, adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestComplementOptimization:
+    def test_transitions_match_full_enumeration(self):
+        """The halved enumeration must equal the full 2^k average."""
+        for shape in ((1, 2), (2, 2), (1, 1, 2)):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            for ports in (None, adversarial_assignment(shape)):
+                chain = ConsistencyChain(alpha, ports)
+                state = single_block_state(alpha.n)
+                # full enumeration, no halving
+                full: dict = {}
+                weight = Fraction(1, 2**alpha.k)
+                for bits in itertools.product((0, 1), repeat=alpha.k):
+                    nxt = chain.refine(state, bits)
+                    full[nxt] = full.get(nxt, Fraction(0)) + weight
+                assert chain.transitions(state) == full
+
+    def test_complement_invariance_of_refine(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        chain = ConsistencyChain(alpha)
+        state = single_block_state(5)
+        for bits in itertools.product((0, 1), repeat=3):
+            complement = tuple(1 - b for b in bits)
+            assert chain.refine(state, bits) == chain.refine(
+                state, complement
+            )
+
+
+class TestTransitionCache:
+    def test_cache_hit_returns_same_object(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = ConsistencyChain(alpha)
+        state = single_block_state(3)
+        first = chain.transitions(state)
+        second = chain.transitions(state)
+        assert first is second
+
+    def test_cache_isolated_per_chain(self):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        plain = ConsistencyChain(alpha, adversarial_assignment((2, 2)))
+        classical = ConsistencyChain(
+            alpha,
+            adversarial_assignment((2, 2)),
+            include_back_ports=True,
+        )
+        state = single_block_state(4)
+        # Both are valid distributions; the caches must not bleed.
+        assert sum(plain.transitions(state).values()) == 1
+        assert sum(classical.transitions(state).values()) == 1
+
+
+class TestGraphRefinement:
+    def test_degree_split_in_one_round(self):
+        path = GraphTopology.path(4)
+        alpha = RandomnessConfiguration.shared(4)
+        chain = ConsistencyChain(alpha, path)
+        nxt = chain.refine(single_block_state(4), (0,))
+        # endpoints (degree 1) separate from the middle (degree 2)
+        assert nxt == ((0, 3), (1, 2))
+
+    def test_back_ports_only_refine(self):
+        base = GraphTopology.complete_bipartite(2, 2)
+        alpha = RandomnessConfiguration.shared(4)
+        for labeled in base.iter_labelings():
+            plain = ConsistencyChain(alpha, labeled)
+            classical = ConsistencyChain(
+                alpha, labeled, include_back_ports=True
+            )
+            state = single_block_state(4)
+            for _ in range(3):
+                p_next = plain.refine(state, (0,))
+                c_next = classical.refine(state, (0,))
+                from repro.core import is_refinement
+
+                assert is_refinement(c_next, p_next)
+                state = p_next
+
+    def test_limit_on_graph_topology(self):
+        ring = GraphTopology.ring(4)
+        alpha = RandomnessConfiguration.independent(4)
+        chain = ConsistencyChain(alpha, ring)
+        assert chain.limit_solving_probability(leader_election(4)) == 1
+
+
+class TestDistributionEvolution:
+    def test_states_only_refine_along_support(self):
+        from repro.core import is_refinement
+
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        chain = ConsistencyChain(alpha)
+        previous_support = {single_block_state(5)}
+        for t in range(1, 5):
+            support = set(chain.state_distribution(t))
+            for state in support:
+                assert any(
+                    is_refinement(state, prev) for prev in previous_support
+                )
+            previous_support = support
+
+    def test_reachable_states_cover_all_supports(self):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = ConsistencyChain(alpha, adversarial_assignment((2, 3)))
+        reachable = chain.reachable_states()
+        for t in (1, 2, 3):
+            assert set(chain.state_distribution(t)) <= reachable

@@ -1,0 +1,127 @@
+"""Unit tests for the probability engines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    leader_election,
+    model_for,
+    solves_by_definition_34,
+    solving_probability_enumerated,
+    solving_probability_exact,
+    solving_probability_sampled,
+    solving_probability_series,
+    solving_realizations,
+)
+from repro.models import BlackboardModel, MessagePassingModel, round_robin_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+class TestModelFor:
+    def test_blackboard_default(self):
+        alpha = RandomnessConfiguration.independent(3)
+        assert isinstance(model_for(alpha), BlackboardModel)
+
+    def test_message_passing_with_ports(self):
+        alpha = RandomnessConfiguration.independent(3)
+        model = model_for(alpha, round_robin_assignment(3))
+        assert isinstance(model, MessagePassingModel)
+
+    def test_size_mismatch(self):
+        alpha = RandomnessConfiguration.independent(3)
+        with pytest.raises(ValueError):
+            model_for(alpha, round_robin_assignment(4))
+
+
+class TestEnumeratedProbability:
+    def test_two_independent_nodes(self):
+        # n=2 private sources: solved at time t iff the two strings differ:
+        # Pr = 1 - 2^-t.
+        alpha = RandomnessConfiguration.independent(2)
+        task = leader_election(2)
+        for t in (1, 2, 3):
+            assert solving_probability_enumerated(alpha, task, t) == 1 - Fraction(
+                1, 2**t
+            )
+
+    def test_shared_source_never_solves(self):
+        alpha = RandomnessConfiguration.shared(3)
+        task = leader_election(3)
+        assert solving_probability_enumerated(alpha, task, 3) == 0
+
+    def test_custom_solver_injection(self):
+        alpha = RandomnessConfiguration.independent(2)
+        task = leader_election(2)
+        literal = solving_probability_enumerated(
+            alpha, task, 2, solver=solves_by_definition_34
+        )
+        fast = solving_probability_enumerated(alpha, task, 2)
+        assert literal == fast
+
+    def test_enumeration_guard(self):
+        alpha = RandomnessConfiguration.independent(6)
+        with pytest.raises(ValueError):
+            solving_probability_enumerated(alpha, leader_election(6), 5)
+
+
+class TestChainBackedAPI:
+    def test_exact_equals_enumerated(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        task = leader_election(3)
+        for t in (1, 2, 3):
+            assert solving_probability_exact(
+                alpha, task, t
+            ) == solving_probability_enumerated(alpha, task, t)
+
+    def test_series_shape(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 1, 2])
+        series = solving_probability_series(alpha, leader_election(4), 5)
+        assert len(series) == 5
+        assert all(isinstance(p, Fraction) for p in series)
+
+
+class TestSampledProbability:
+    def test_close_to_exact(self):
+        alpha = RandomnessConfiguration.independent(2)
+        task = leader_election(2)
+        exact = float(solving_probability_exact(alpha, task, 2))
+        sampled = solving_probability_sampled(
+            alpha, task, 2, samples=4000, seed=0
+        )
+        assert abs(sampled - exact) < 0.03
+
+    def test_extremes(self):
+        alpha = RandomnessConfiguration.shared(3)
+        assert (
+            solving_probability_sampled(
+                alpha, leader_election(3), 3, samples=200
+            )
+            == 0.0
+        )
+
+    def test_samples_validation(self):
+        alpha = RandomnessConfiguration.independent(2)
+        with pytest.raises(ValueError):
+            solving_probability_sampled(
+                alpha, leader_election(2), 1, samples=0
+            )
+
+
+class TestSolvingRealizations:
+    def test_members_actually_solve(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        task = leader_election(3)
+        model = model_for(alpha)
+        members = list(solving_realizations(model, alpha, task, 2))
+        assert members
+        for rho in members:
+            assert task.solvable_from_partition(model.partition(rho))
+
+    def test_count_matches_probability(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        task = leader_election(3)
+        model = model_for(alpha)
+        count = sum(1 for _ in solving_realizations(model, alpha, task, 2))
+        prob = solving_probability_enumerated(alpha, task, 2)
+        assert Fraction(count, 2 ** (2 * alpha.k)) == prob

@@ -1,0 +1,90 @@
+"""Unit tests for the consistency projections pi and pi~."""
+
+from repro.core import (
+    knowledge_projection,
+    project_complex,
+    project_facet,
+    projected_realization_complex,
+    realization_facet,
+)
+from repro.core.leader_election import leader_election_complex
+from repro.models import BlackboardModel, MessagePassingModel, round_robin_assignment
+from repro.topology import (
+    Simplex,
+    is_disjoint_union_of_simplices,
+)
+
+
+class TestProjectFacet:
+    def test_groups_by_value(self):
+        facet = Simplex([(0, "x"), (1, "y"), (2, "x")])
+        projected = project_facet(facet)
+        assert projected.facet_count() == 2
+        assert is_disjoint_union_of_simplices(projected)
+
+    def test_all_equal_values_single_facet(self):
+        facet = Simplex([(0, "v"), (1, "v")])
+        assert project_facet(facet).facet_count() == 1
+
+    def test_leader_election_facet(self):
+        facet = Simplex([(0, 1), (1, 0), (2, 0)])
+        projected = project_facet(facet)
+        assert projected.isolated_vertices() == [(0, 1)]
+
+    def test_projection_preserves_vertices(self):
+        facet = Simplex([(0, "a"), (1, "b"), (2, "a")])
+        assert project_facet(facet).vertices() == facet.vertices
+
+
+class TestProjectComplex:
+    def test_figure3(self):
+        projected = project_complex(leader_election_complex(3))
+        # n isolated leaders + n follower simplices
+        assert projected.facet_count() == 6
+        assert len(projected.isolated_vertices()) == 3
+
+    def test_projection_is_subcomplex(self):
+        complex_ = leader_election_complex(3)
+        assert project_complex(complex_).is_subcomplex_of(complex_)
+
+
+class TestKnowledgeProjection:
+    def test_blackboard_blocks(self):
+        model = BlackboardModel(3)
+        rho = ((0, 1), (0, 1), (1, 1))
+        projected = knowledge_projection(model, rho)
+        assert is_disjoint_union_of_simplices(projected)
+        assert projected.facet_count() == 2
+        assert projected.isolated_vertices() == [(2, (1, 1))]
+
+    def test_vertices_carry_bits_not_knowledge(self):
+        model = BlackboardModel(2)
+        rho = ((0,), (1,))
+        projected = knowledge_projection(model, rho)
+        assert projected.vertices() == realization_facet(rho).vertices
+
+    def test_message_passing_projection(self):
+        model = MessagePassingModel(round_robin_assignment(3))
+        rho = ((0, 0), (0, 0), (1, 0))
+        projected = knowledge_projection(model, rho)
+        assert is_disjoint_union_of_simplices(projected)
+
+    def test_union_over_realizations(self):
+        model = BlackboardModel(2)
+        realizations = [((0,), (0,)), ((0,), (1,)), ((1,), (0,)), ((1,), (1,))]
+        union = projected_realization_complex(model, realizations)
+        # vertices: 2 nodes x 2 strings; facets: the two monochromatic
+        # edges plus four isolated-vertex... isolated vertices are faces of
+        # edges? vertex (0,(0,)) is isolated in the split realizations but
+        # belongs to the edge of ((0,),(0,)) -- the union keeps maximal
+        # simplices only.
+        assert len(union.vertices()) == 4
+        assert union.facet_count() == 2
+        assert all(f.dimension == 1 for f in union.facets)
+
+
+class TestRealizationFacet:
+    def test_structure(self):
+        facet = realization_facet(((0, 1), (1, 1)))
+        assert facet.value_of(0) == (0, 1)
+        assert facet.dimension == 1

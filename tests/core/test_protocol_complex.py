@@ -1,0 +1,72 @@
+"""Unit tests for P(t) and the facet isomorphism h."""
+
+import pytest
+
+from repro.core import (
+    build_protocol_complex,
+    facet_correspondence_is_bijective,
+    protocol_facet,
+)
+from repro.models import BlackboardModel, MessagePassingModel, round_robin_assignment
+
+
+class TestProtocolComplex:
+    def test_figure1_counts(self):
+        model = BlackboardModel(2)
+        for t, (verts, facets) in {
+            0: (2, 1),
+            1: (4, 4),
+            2: (16, 16),
+        }.items():
+            build = build_protocol_complex(model, t)
+            assert build.vertex_count() == verts
+            assert build.facet_count() == facets
+
+    def test_facet_bijection(self):
+        model = BlackboardModel(2)
+        for t in (0, 1, 2):
+            assert facet_correspondence_is_bijective(
+                build_protocol_complex(model, t)
+            )
+
+    def test_message_passing_bijection(self):
+        model = MessagePassingModel(round_robin_assignment(3))
+        assert facet_correspondence_is_bijective(
+            build_protocol_complex(model, 1)
+        )
+
+    def test_h_vertex_map_well_defined(self):
+        model = BlackboardModel(2)
+        build = build_protocol_complex(model, 2)
+        h = build.h_vertex_map()
+        # h maps each knowledge vertex to a bits vertex with the same name.
+        for src, dst in h.items():
+            assert src.name == dst.name
+        # h is many-to-one on vertices in general but must be single-valued.
+        assert len(h) == build.vertex_count()
+
+    def test_h_is_many_to_one_on_vertices(self):
+        # In R(1) for n=2 there are 4 vertices; P(1) also has 4 here, but
+        # at t=2, P(2) has 16 vertices mapping onto R(2)'s 8.
+        model = BlackboardModel(2)
+        build = build_protocol_complex(model, 2)
+        h = build.h_vertex_map()
+        images = {dst for dst in h.values()}
+        assert len(images) == 8
+        assert build.vertex_count() == 16
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            build_protocol_complex(BlackboardModel(5), 4)
+
+    def test_protocol_facet_is_chromatic(self):
+        model = BlackboardModel(3)
+        facet = protocol_facet(model, ((0,), (0,), (1,)))
+        assert facet.is_chromatic()
+        assert facet.dimension == 2
+
+    def test_equal_knowledge_shares_vertices(self):
+        model = BlackboardModel(2)
+        facet = protocol_facet(model, ((1,), (1,)))
+        # both nodes have the same knowledge value but different names
+        assert facet.value_of(0) == facet.value_of(1)

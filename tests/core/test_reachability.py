@@ -1,0 +1,98 @@
+"""Unit tests for the worst-case matching closure."""
+
+import math
+
+import pytest
+
+from repro.core.reachability import (
+    gcd_divides_k,
+    has_submultiset_sum,
+    matching_moves,
+    minimum_reachable_class,
+    reachable_multisets,
+    worst_case_k_leader_solvable,
+    worst_case_leader_election_solvable,
+)
+from repro.randomness import enumerate_size_shapes
+
+
+class TestMatchingMoves:
+    def test_basic_split(self):
+        # Matching 2 into 3 splits the 3 into (2, 1); multisets are sorted.
+        assert (1, 2, 2) in matching_moves((2, 3))
+
+    def test_equal_pair_is_noop(self):
+        assert matching_moves((3, 3)) == set()
+
+    def test_exhausting_split_drops_zero(self):
+        # (2,2) from matching 2 into 4 twice: (2,4) -> (2,2,2)
+        assert (2, 2, 2) in matching_moves((2, 4))
+
+    def test_moves_preserve_total(self):
+        for move in matching_moves((2, 3, 5)):
+            assert sum(move) == 10
+
+    def test_moves_preserve_gcd(self):
+        for sizes in [(2, 4), (3, 6), (2, 3), (4, 6, 8)]:
+            g = math.gcd(*sizes)
+            for move in matching_moves(sizes):
+                assert math.gcd(*move) == g
+
+
+class TestClosure:
+    def test_euclid_reaches_gcd(self):
+        for sizes in [(2, 3), (4, 6), (3, 5), (6, 10, 15), (2, 2), (5,)]:
+            assert minimum_reachable_class(sizes) == math.gcd(*sizes)
+
+    def test_closure_contains_start(self):
+        start = (2, 3)
+        assert start in reachable_multisets(start)
+
+    def test_closure_members_are_partitions(self):
+        for multiset in reachable_multisets((2, 3, 4)):
+            assert sum(multiset) == 9
+            assert tuple(sorted(multiset)) == multiset
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            reachable_multisets((0, 2))
+
+
+class TestSubsetSum:
+    def test_positive(self):
+        assert has_submultiset_sum((1, 2, 4), 3)
+        assert has_submultiset_sum((2, 2), 4)
+
+    def test_negative(self):
+        assert not has_submultiset_sum((2, 4), 3)
+        assert not has_submultiset_sum((5,), 2)
+
+
+class TestOracle:
+    def test_leader_election_iff_gcd_one(self):
+        """The computed oracle reproduces Theorem 4.2 via Euclid."""
+        for n in range(1, 10):
+            for shape in enumerate_size_shapes(n):
+                assert worst_case_leader_election_solvable(shape) == (
+                    math.gcd(*shape) == 1
+                )
+
+    def test_k_leader_matches_gcd_divides_k(self):
+        """Closure oracle == closed form g | k, exhaustively to n=9."""
+        for n in range(1, 10):
+            for shape in enumerate_size_shapes(n):
+                for k in range(1, n + 1):
+                    assert worst_case_k_leader_solvable(
+                        shape, k
+                    ) == gcd_divides_k(shape, k), (shape, k)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            worst_case_k_leader_solvable((2, 3), 0)
+        with pytest.raises(ValueError):
+            worst_case_k_leader_solvable((2, 3), 6)
+
+    def test_two_leader_examples(self):
+        assert worst_case_k_leader_solvable((2, 2), 2)  # gcd 2 | 2
+        assert worst_case_k_leader_solvable((1, 3), 2)  # gcd 1
+        assert not worst_case_k_leader_solvable((3, 3), 2)  # gcd 3

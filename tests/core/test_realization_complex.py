@@ -1,0 +1,59 @@
+"""Unit tests for R(t)."""
+
+import pytest
+
+from repro.core import (
+    facet_count,
+    iter_realizations,
+    realization_complex,
+    succeeds,
+    vertex_count,
+)
+
+
+class TestCounts:
+    def test_closed_forms(self):
+        assert vertex_count(3, 1) == 6
+        assert facet_count(3, 1) == 8
+        assert facet_count(2, 2) == 16
+
+    def test_iterator_matches_count(self):
+        assert sum(1 for _ in iter_realizations(2, 2)) == facet_count(2, 2)
+
+    def test_complex_figure2(self):
+        complex_ = realization_complex(3, 1)
+        assert len(complex_.vertices()) == 6
+        assert complex_.facet_count() == 8
+        assert complex_.is_pure()
+        assert complex_.dimension == 2
+
+    def test_time_zero(self):
+        complex_ = realization_complex(3, 0)
+        assert complex_.facet_count() == 1
+        assert len(complex_.vertices()) == 3
+
+    def test_materialization_guard(self):
+        with pytest.raises(ValueError):
+            realization_complex(5, 5)
+
+    def test_chromatic(self):
+        assert realization_complex(2, 1).is_chromatic()
+
+
+class TestSucceeds:
+    def test_prefix_extension(self):
+        early = ((0,), (1,))
+        late = ((0, 1), (1, 1))
+        assert succeeds(early, late)
+
+    def test_non_prefix_rejected(self):
+        early = ((0,), (1,))
+        late = ((1, 1), (1, 1))
+        assert not succeeds(early, late)
+
+    def test_same_time_rejected(self):
+        rho = ((0,), (1,))
+        assert not succeeds(rho, rho)
+
+    def test_node_count_mismatch(self):
+        assert not succeeds(((0,),), ((0, 1), (1, 1)))

@@ -1,0 +1,81 @@
+"""Tests for the synchronous round operator on protocol complexes."""
+
+import pytest
+
+from repro.core.protocol_complex import build_protocol_complex
+from repro.core.round_operator import (
+    evolve_facet,
+    facet_successors,
+    initial_protocol_complex,
+    iterate_protocol_complex,
+    round_operator,
+)
+from repro.models import (
+    BlackboardModel,
+    MessagePassingModel,
+    round_robin_assignment,
+)
+from repro.topology import Simplex, Vertex
+
+
+class TestEvolveFacet:
+    def test_branching_factor(self):
+        model = BlackboardModel(2)
+        start = next(iter(initial_protocol_complex(model).facets))
+        successors = list(facet_successors(model, start))
+        assert len(successors) == 4
+        assert len(set(successors)) == 4
+
+    def test_bit_count_validated(self):
+        model = BlackboardModel(2)
+        start = next(iter(initial_protocol_complex(model).facets))
+        with pytest.raises(ValueError):
+            evolve_facet(model, start, (0,))
+
+    def test_facet_names_validated(self):
+        model = BlackboardModel(3)
+        with pytest.raises(ValueError):
+            evolve_facet(
+                model, Simplex([Vertex(0, 0), Vertex(1, 0)]), (0, 0, 0)
+            )
+
+    def test_unsupported_model_rejected(self):
+        from repro.models import GraphMessagePassingModel, GraphTopology
+
+        model = GraphMessagePassingModel(GraphTopology.complete(3))
+        start = next(iter(initial_protocol_complex(model).facets))
+        with pytest.raises(TypeError):
+            evolve_facet(model, start, (0, 0, 0))
+
+
+class TestOperatorIteration:
+    @pytest.mark.parametrize("t", [0, 1, 2, 3])
+    def test_matches_direct_construction_blackboard(self, t):
+        """Figure 1's evolution: iterated operator == direct P(t)."""
+        model = BlackboardModel(2)
+        iterated = iterate_protocol_complex(model, t)
+        direct = build_protocol_complex(model, t).complex
+        assert iterated == direct
+
+    @pytest.mark.parametrize("t", [0, 1, 2])
+    def test_matches_direct_construction_message_passing(self, t):
+        model = MessagePassingModel(round_robin_assignment(3))
+        iterated = iterate_protocol_complex(model, t)
+        direct = build_protocol_complex(model, t).complex
+        assert iterated == direct
+
+    def test_facet_counts_grow_by_2_to_n(self):
+        model = BlackboardModel(2)
+        complex_ = initial_protocol_complex(model)
+        for t in range(3):
+            complex_ = round_operator(model, complex_)
+            assert complex_.facet_count() == 4 ** (t + 1)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            iterate_protocol_complex(BlackboardModel(2), -1)
+
+    def test_chromaticity_preserved(self):
+        model = MessagePassingModel(round_robin_assignment(3))
+        complex_ = iterate_protocol_complex(model, 2)
+        assert complex_.is_chromatic()

@@ -1,0 +1,99 @@
+"""Unit tests for the solvability checkers (Definitions 3.1 / 3.4)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    k_leader_election,
+    leader_election,
+    realization_solves,
+    solves_by_definition_31,
+    solves_by_definition_34,
+    solves_by_forced_map,
+    weak_symmetry_breaking,
+)
+from repro.models import BlackboardModel, MessagePassingModel, round_robin_assignment
+
+ALL_CHECKERS = (
+    realization_solves,
+    solves_by_definition_34,
+    solves_by_forced_map,
+    solves_by_definition_31,
+)
+
+
+class TestLeaderElectionSolvability:
+    def test_unique_history_solves(self):
+        model = BlackboardModel(3)
+        task = leader_election(3)
+        rho = ((0, 0), (0, 0), (1, 1))
+        for checker in ALL_CHECKERS:
+            assert checker(model, rho, task), checker.__name__
+
+    def test_uniform_history_does_not_solve(self):
+        model = BlackboardModel(3)
+        task = leader_election(3)
+        rho = ((0, 0), (0, 0), (0, 0))
+        for checker in ALL_CHECKERS:
+            assert not checker(model, rho, task), checker.__name__
+
+    def test_all_distinct_solves(self):
+        model = BlackboardModel(3)
+        task = leader_election(3)
+        rho = ((0, 0), (0, 1), (1, 1))
+        for checker in ALL_CHECKERS:
+            assert checker(model, rho, task)
+
+    def test_single_node_always_solves(self):
+        model = BlackboardModel(1)
+        task = leader_election(1)
+        assert realization_solves(model, ((0, 1),), task)
+
+
+class TestOtherTasks:
+    def test_weak_symmetry_breaking(self):
+        model = BlackboardModel(4)
+        task = weak_symmetry_breaking(4)
+        assert realization_solves(model, ((0,), (0,), (1,), (1,)), task)
+        assert not realization_solves(model, ((0,), (0,), (0,), (0,)), task)
+
+    def test_two_leaders_need_pair_or_singletons(self):
+        model = BlackboardModel(4)
+        task = k_leader_election(4, 2)
+        assert realization_solves(model, ((0,), (0,), (1,), (1,)), task)
+        assert not realization_solves(model, ((0,), (1,), (1,), (1,)), task)
+        assert realization_solves(model, ((0,), (1,), (0,), (1,)), task)
+
+
+class TestLemma35Equivalence:
+    """All four checkers agree -- exhaustively, in both models."""
+
+    @pytest.mark.parametrize("n,t", [(2, 1), (2, 2), (3, 1)])
+    def test_blackboard_exhaustive(self, n, t):
+        model = BlackboardModel(n)
+        task = leader_election(n)
+        for rho in itertools.product(
+            list(itertools.product((0, 1), repeat=t)), repeat=n
+        ):
+            answers = [checker(model, rho, task) for checker in ALL_CHECKERS]
+            assert len(set(answers)) == 1, (rho, answers)
+
+    @pytest.mark.parametrize("n,t", [(3, 1), (3, 2)])
+    def test_message_passing_exhaustive(self, n, t):
+        model = MessagePassingModel(round_robin_assignment(n))
+        task = leader_election(n)
+        for rho in itertools.product(
+            list(itertools.product((0, 1), repeat=t)), repeat=n
+        ):
+            answers = [checker(model, rho, task) for checker in ALL_CHECKERS]
+            assert len(set(answers)) == 1, (rho, answers)
+
+    def test_weak_sb_equivalence_sample(self):
+        model = BlackboardModel(3)
+        task = weak_symmetry_breaking(3)
+        for rho in itertools.product(
+            list(itertools.product((0, 1), repeat=1)), repeat=3
+        ):
+            answers = [checker(model, rho, task) for checker in ALL_CHECKERS]
+            assert len(set(answers)) == 1

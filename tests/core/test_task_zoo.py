@@ -1,0 +1,172 @@
+"""Unit tests for the task zoo and its derived characterizations."""
+
+import pytest
+
+from repro.core import (
+    ConsistencyChain,
+    blackboard_leader_and_deputy_solvable,
+    blackboard_teams_solvable,
+    blackboard_threshold_solvable,
+    blackboard_unique_ids_solvable,
+    leader_and_deputy,
+    mp_worst_case_leader_and_deputy_solvable,
+    mp_worst_case_teams_solvable,
+    mp_worst_case_threshold_solvable,
+    mp_worst_case_unique_ids_solvable,
+    partition_into_teams,
+    threshold_election,
+    unique_ids,
+)
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration, enumerate_size_shapes
+
+
+def alpha_of(*sizes):
+    return RandomnessConfiguration.from_group_sizes(sizes)
+
+
+class TestTaskConstruction:
+    def test_unique_ids_profile(self):
+        task = unique_ids(3)
+        assert task.count_multisets() == ((1, 1, 1),)
+        assert task.output_complex().facet_count() == 6  # 3!
+
+    def test_unique_ids_solvable_only_discrete(self):
+        task = unique_ids(3)
+        assert task.solvable_from_sizes([1, 1, 1])
+        assert not task.solvable_from_sizes([1, 2])
+
+    def test_leader_and_deputy_needs_two_singletons(self):
+        task = leader_and_deputy(4)
+        assert task.solvable_from_sizes([1, 1, 2])
+        assert not task.solvable_from_sizes([2, 2])
+        assert not task.solvable_from_sizes([1, 3])
+
+    def test_leader_and_deputy_n2(self):
+        task = leader_and_deputy(2)
+        assert task.solvable_from_sizes([1, 1])
+        assert not task.solvable_from_sizes([2])
+
+    def test_threshold_window(self):
+        task = threshold_election(5, 2, 3)
+        assert task.solvable_from_sizes([2, 3])
+        assert task.solvable_from_sizes([3, 2])
+        assert task.solvable_from_sizes([1, 1, 3])
+        assert not task.solvable_from_sizes([5])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            threshold_election(3, 2, 1)
+        with pytest.raises(ValueError):
+            threshold_election(3, 0, 2)
+
+    def test_teams(self):
+        task = partition_into_teams((2, 3))
+        assert task.n == 5
+        assert task.solvable_from_sizes([2, 3])
+        assert task.solvable_from_sizes([1, 1, 3])
+        assert not task.solvable_from_sizes([5])
+        assert not task.solvable_from_sizes([4, 1])
+
+    def test_teams_validation(self):
+        with pytest.raises(ValueError):
+            partition_into_teams(())
+        with pytest.raises(ValueError):
+            partition_into_teams((0, 2))
+
+
+class TestClosedFormsVsExactLimits:
+    """Every derived characterization must match the chain limits."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_unique_ids(self, n):
+        task = unique_ids(n)
+        for shape in enumerate_size_shapes(n):
+            alpha = alpha_of(*shape)
+            assert ConsistencyChain(alpha).eventually_solvable(
+                task
+            ) == blackboard_unique_ids_solvable(alpha)
+            assert ConsistencyChain(
+                alpha, adversarial_assignment(shape)
+            ).eventually_solvable(task) == mp_worst_case_unique_ids_solvable(
+                alpha
+            )
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_leader_and_deputy(self, n):
+        task = leader_and_deputy(n)
+        for shape in enumerate_size_shapes(n):
+            alpha = alpha_of(*shape)
+            assert ConsistencyChain(alpha).eventually_solvable(
+                task
+            ) == blackboard_leader_and_deputy_solvable(alpha)
+            assert ConsistencyChain(
+                alpha, adversarial_assignment(shape)
+            ).eventually_solvable(
+                task
+            ) == mp_worst_case_leader_and_deputy_solvable(alpha)
+
+    @pytest.mark.parametrize("low,high", [(1, 1), (1, 2), (2, 3)])
+    def test_threshold(self, low, high):
+        n = 4
+        task = threshold_election(n, low, high)
+        for shape in enumerate_size_shapes(n):
+            alpha = alpha_of(*shape)
+            assert ConsistencyChain(alpha).eventually_solvable(
+                task
+            ) == blackboard_threshold_solvable(alpha, low, high)
+            assert ConsistencyChain(
+                alpha, adversarial_assignment(shape)
+            ).eventually_solvable(task) == mp_worst_case_threshold_solvable(
+                alpha, low, high
+            )
+
+    def test_teams_vs_limits(self):
+        team_sizes = (2, 3)
+        task = partition_into_teams(team_sizes)
+        for shape in enumerate_size_shapes(5):
+            alpha = alpha_of(*shape)
+            assert ConsistencyChain(alpha).eventually_solvable(
+                task
+            ) == blackboard_teams_solvable(alpha, team_sizes)
+            assert ConsistencyChain(
+                alpha, adversarial_assignment(shape)
+            ).eventually_solvable(task) == mp_worst_case_teams_solvable(
+                alpha, team_sizes
+            )
+
+
+class TestNotableConsequences:
+    def test_deputy_as_hard_as_leader_on_clique(self):
+        """Worst-case clique: leader+deputy solvable iff plain leader
+        election is (gcd = 1) -- adding a deputy costs nothing."""
+        for shape in enumerate_size_shapes(5):
+            alpha = alpha_of(*shape)
+            assert mp_worst_case_leader_and_deputy_solvable(alpha) == (
+                alpha.n >= 2 and alpha.gcd == 1
+            )
+
+    def test_deputy_strictly_harder_on_blackboard(self):
+        """Blackboard: (1,4) elects a leader but no deputy."""
+        alpha = alpha_of(1, 4)
+        assert not blackboard_leader_and_deputy_solvable(alpha)
+        assert alpha.has_singleton_source  # leader alone is fine
+
+    def test_unique_ids_separates_models(self):
+        """(2,3): unique ids impossible on the blackboard (pairs never
+        split) yet worst-case solvable on the clique."""
+        alpha = alpha_of(2, 3)
+        assert not blackboard_unique_ids_solvable(alpha)
+        assert mp_worst_case_unique_ids_solvable(alpha)
+
+    def test_threshold_covers_weak_symmetry_breaking(self):
+        """threshold[1, n-1] == weak symmetry breaking."""
+        from repro.core import weak_symmetry_breaking
+
+        n = 4
+        a = threshold_election(n, 1, n - 1)
+        b = weak_symmetry_breaking(n)
+        for shape in enumerate_size_shapes(n):
+            assert a.solvable_from_sizes(shape) == b.solvable_from_sizes(
+                shape
+            )

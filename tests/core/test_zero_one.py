@@ -1,0 +1,67 @@
+"""Unit tests for the zero-one diagnostics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    blackboard_unique_source_linear_bound,
+    blackboard_unique_source_lower_bound,
+    classify_limit,
+    is_monotone_non_decreasing,
+)
+
+
+class TestMonotonicity:
+    def test_monotone(self):
+        assert is_monotone_non_decreasing([0, Fraction(1, 2), 1])
+
+    def test_not_monotone(self):
+        assert not is_monotone_non_decreasing([0.5, 0.4])
+
+    def test_empty_and_singleton(self):
+        assert is_monotone_non_decreasing([])
+        assert is_monotone_non_decreasing([0.3])
+
+
+class TestClassifyLimit:
+    def test_limit_one(self):
+        assert classify_limit([0.5, 0.9, 0.99]) == 1
+
+    def test_limit_zero(self):
+        assert classify_limit([0, 0, 0]) == 0
+
+    def test_undetermined(self):
+        assert classify_limit([0.1, 0.4, 0.5]) is None
+
+    def test_empty(self):
+        assert classify_limit([]) is None
+
+    def test_tolerance(self):
+        assert classify_limit([0.9], tolerance=0.2) == 1
+        assert classify_limit([0.9], tolerance=0.01) is None
+
+
+class TestBlackboardBounds:
+    def test_strong_ge_linear(self):
+        for k in (2, 3, 5):
+            for t in range(1, 10):
+                assert blackboard_unique_source_lower_bound(
+                    k, t
+                ) >= blackboard_unique_source_linear_bound(k, t)
+
+    def test_k1_trivial(self):
+        assert blackboard_unique_source_lower_bound(1, 3) == 1
+        assert blackboard_unique_source_linear_bound(1, 3) == 1
+
+    def test_values(self):
+        # k=2, t=1: (2^1-1)^1 / 2^1 = 1/2
+        assert blackboard_unique_source_lower_bound(2, 1) == Fraction(1, 2)
+        assert blackboard_unique_source_linear_bound(2, 1) == Fraction(1, 2)
+
+    def test_bounds_approach_one(self):
+        assert blackboard_unique_source_lower_bound(3, 20) > Fraction(99, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blackboard_unique_source_lower_bound(0, 1)

@@ -1,0 +1,115 @@
+"""Cross-model consistency: blackboard vs clique vs graph.
+
+The three communication models sit in a refinement hierarchy -- more
+structure can only create more distinctions -- and the clique is the
+complete-graph special case of the graph model.  These relations tie the
+model implementations together and are exactly what the paper's footnote 5
+and the conclusion's generalization rely on.
+"""
+
+import itertools
+
+from repro.core import ConsistencyChain, is_refinement, leader_election
+from repro.models import (
+    BlackboardModel,
+    GraphMessagePassingModel,
+    GraphTopology,
+    MessagePassingModel,
+    random_assignment,
+)
+from repro.randomness import RandomnessConfiguration
+
+
+def all_realizations(n, t):
+    return itertools.product(
+        list(itertools.product((0, 1), repeat=t)), repeat=n
+    )
+
+
+class TestRefinementHierarchy:
+    def test_clique_refines_blackboard_everywhere(self):
+        n = 4
+        bb = BlackboardModel(n)
+        mp = MessagePassingModel(random_assignment(n, 3))
+        for rho in all_realizations(n, 2):
+            mp_blocks = mp.partition(rho)
+            bb_blocks = bb.partition(rho)
+            for block in mp_blocks:
+                assert any(block <= other for other in bb_blocks)
+
+    def test_back_ports_refine_plain_graph_model(self):
+        topology = GraphTopology.complete_bipartite(2, 2)
+        plain = GraphMessagePassingModel(topology)
+        classical = GraphMessagePassingModel(
+            topology, include_back_ports=True
+        )
+        for rho in all_realizations(4, 2):
+            plain_blocks = plain.partition(rho)
+            classical_blocks = classical.partition(rho)
+            for block in classical_blocks:
+                assert any(block <= other for other in plain_blocks)
+
+    def test_clique_is_complete_graph_special_case(self):
+        """MessagePassingModel on round-robin ports == GraphModel on the
+        round-robin complete topology, knowledge id for knowledge id."""
+        n = 4
+        from repro.models import round_robin_assignment
+
+        mp = MessagePassingModel(round_robin_assignment(n))
+        graph = GraphMessagePassingModel(GraphTopology.complete(n))
+        for rho in all_realizations(n, 2):
+            assert mp.partition(rho) == graph.partition(rho)
+
+
+class TestChainVsModelAgreement:
+    def test_chain_refine_equals_model_partition_per_round(self):
+        """One chain step == one round of knowledge evolution, on graphs."""
+        topology = GraphTopology.ring(4)
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        chain = ConsistencyChain(alpha, topology)
+        model = GraphMessagePassingModel(topology)
+        for source_bits in itertools.product(
+            list(itertools.product((0, 1), repeat=2)), repeat=2
+        ):
+            # two rounds of bits for two sources
+            rho = tuple(
+                source_bits[alpha.source_of(i)] for i in range(4)
+            )
+            state = chain.refine(
+                chain.refine(
+                    ((0, 1, 2, 3),), tuple(b[0] for b in source_bits)
+                ),
+                tuple(b[1] for b in source_bits),
+            )
+            assert [frozenset(b) for b in state] == model.partition(rho)
+
+    def test_solvability_monotone_across_models(self):
+        """If the blackboard solves a shape, so does every richer model."""
+        for shape in ((1, 2), (1, 1, 2), (1, 4)):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            task = leader_election(alpha.n)
+            assert ConsistencyChain(alpha).eventually_solvable(task)
+            ports = random_assignment(alpha.n, 5)
+            assert ConsistencyChain(alpha, ports).eventually_solvable(task)
+
+    def test_partition_traces_are_monotone(self):
+        """Knowledge traces refine over time in every model."""
+        models = [
+            BlackboardModel(4),
+            MessagePassingModel(random_assignment(4, 9)),
+            GraphMessagePassingModel(GraphTopology.ring(4)),
+            GraphMessagePassingModel(
+                GraphTopology.star(4), include_back_ports=True
+            ),
+        ]
+        rho = ((0, 1, 0), (0, 1, 1), (1, 0, 0), (1, 0, 0))
+        for model in models:
+            previous = [frozenset(range(4))]
+            for t in range(4):
+                prefix = tuple(bits[:t] for bits in rho)
+                blocks = model.partition(prefix)
+                assert is_refinement(
+                    tuple(tuple(sorted(b)) for b in blocks),
+                    tuple(tuple(sorted(b)) for b in previous),
+                )
+                previous = blocks

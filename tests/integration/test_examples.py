@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are documentation; these tests keep them from rotting.  Each runs
+in a subprocess with the repository's interpreter; the slowest sweep
+scripts get a generous timeout, everything else must finish quickly.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "correlated_keys_fleet.py",
+    "topology_figures.py",
+    "chain_explorer.py",
+    "anonymous_networks.py",
+]
+
+SLOW_EXAMPLES = [
+    "gcd_phase_diagram.py",
+    "two_leader_election.py",
+    "expected_election_time.py",
+    "worst_case_adversary.py",
+]
+
+
+def run_example(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = run_example(name, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = run_example(name, timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_all_examples_are_covered():
+    """New example scripts must be added to one of the lists above."""
+    present = {
+        path.name
+        for path in EXAMPLES_DIR.glob("*.py")
+        if path.name != "reproduce_paper.py"  # covered by the registry test
+    }
+    assert present == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

@@ -1,0 +1,107 @@
+"""Failure injection: the simulator must fail loudly, not silently.
+
+Distributed-systems code earns trust by how it behaves when something is
+wrong: exhausted randomness, malformed payloads, mis-sized tables, and
+protocol misuse must surface as exceptions at the faulty round, never as
+corrupted results.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    BlackboardLeaderNode,
+    BlackboardNetwork,
+    CliqueNetwork,
+    EuclidLeaderNode,
+    NodeProtocol,
+)
+from repro.models import PortAssignment, round_robin_assignment
+from repro.randomness import FixedBitSource, RandomnessConfiguration
+
+
+class TestRandomnessExhaustion:
+    def test_scripted_source_exhaustion_raises(self):
+        """A protocol consuming more bits than budgeted must crash, not
+        silently reuse stale bits."""
+        alpha = RandomnessConfiguration.from_group_sizes([2, 2])
+        sources = [FixedBitSource("0101"), FixedBitSource("0101")]
+        network = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, sources=sources
+        )
+        # (2,2) never elects, so the run keeps consuming bits until the
+        # scripts run dry at round 5.
+        with pytest.raises(IndexError):
+            network.run(max_rounds=10)
+
+    def test_exhaustion_round_is_exact(self):
+        alpha = RandomnessConfiguration.shared(2)
+        network = BlackboardNetwork(
+            alpha, BlackboardLeaderNode, sources=[FixedBitSource("01")]
+        )
+        network.run(max_rounds=2)  # exactly the budget: fine
+        with pytest.raises(IndexError):
+            network.run(max_rounds=1)  # round 3 -> exhausted
+
+
+class MalformedCliqueNode(NodeProtocol):
+    """Returns a per-port mapping that misses a port."""
+
+    def compose(self):
+        return {1: ("only-port-one",)}
+
+    def absorb(self, bit, inbox):
+        pass
+
+
+class TestMalformedProtocols:
+    def test_missing_port_payload_raises(self):
+        alpha = RandomnessConfiguration.independent(3)
+        network = CliqueNetwork(
+            alpha, round_robin_assignment(3), MalformedCliqueNode
+        )
+        with pytest.raises(ValueError, match="port"):
+            network.run(max_rounds=1)
+
+    def test_blackboard_rejects_per_port_mapping(self):
+        alpha = RandomnessConfiguration.independent(3)
+        network = BlackboardNetwork(alpha, MalformedCliqueNode)
+        with pytest.raises(TypeError):
+            network.run(max_rounds=1)
+
+
+class TestBadWiring:
+    def test_corrupt_port_table_rejected_at_construction(self):
+        # duplicate neighbour on one node's ports
+        with pytest.raises(ValueError):
+            PortAssignment([[1, 1, 2], [0, 2, 3], [0, 1, 3], [0, 1, 2]])
+
+    def test_asymmetric_but_valid_table_accepted(self):
+        # Port tables need not be symmetric between endpoints; only local
+        # bijectivity is required.
+        PortAssignment([[1, 2], [2, 0], [1, 0]])
+
+    def test_network_size_mismatches(self):
+        alpha = RandomnessConfiguration.independent(4)
+        with pytest.raises(ValueError):
+            CliqueNetwork(alpha, round_robin_assignment(3), EuclidLeaderNode)
+
+
+class TestDecisionStability:
+    def test_outputs_never_change_after_decision(self):
+        """Once a node decides, extra rounds must not alter its output."""
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        network = BlackboardNetwork(alpha, BlackboardLeaderNode, seed=0)
+        first = network.run(max_rounds=40)
+        assert first.all_decided
+        snapshot = tuple(node.output() for node in network.nodes)
+        network.run(max_rounds=5)  # keep running the same nodes
+        assert tuple(node.output() for node in network.nodes) == snapshot
+
+    def test_rerun_with_same_seed_is_deterministic(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2, 2])
+        runs = [
+            BlackboardNetwork(alpha, BlackboardLeaderNode, seed=11).run(64)
+            for _ in range(2)
+        ]
+        assert runs[0].outputs == runs[1].outputs
+        assert runs[0].rounds == runs[1].rounds

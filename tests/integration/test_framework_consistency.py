@@ -1,0 +1,140 @@
+"""Integration tests of the framework's internal consistency claims.
+
+Section 3 makes several structural claims that tie the complexes together;
+these tests verify them across models and parameters:
+
+* the consistency projections are disjoint unions of simplices (homology);
+* ``h`` pairs facets of ``P(t)`` and ``R(t)`` bijectively;
+* the chain's finite-``t`` probabilities equal literal enumeration with
+  each of the four solvability checkers;
+* knowledge is cumulative: once a realization solves, all successors do.
+"""
+
+import itertools
+
+from repro.core import (
+    ConsistencyChain,
+    build_protocol_complex,
+    facet_correspondence_is_bijective,
+    knowledge_projection,
+    leader_election,
+    realization_solves,
+    solves_by_definition_31,
+    solves_by_definition_34,
+    solving_probability_enumerated,
+)
+from repro.models import (
+    BlackboardModel,
+    MessagePassingModel,
+    adversarial_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.randomness import (
+    RandomnessConfiguration,
+    iter_consistent_realizations,
+)
+from repro.topology import is_disjoint_union_of_simplices
+
+
+def all_realizations(n, t):
+    return itertools.product(
+        list(itertools.product((0, 1), repeat=t)), repeat=n
+    )
+
+
+class TestProjectionStructure:
+    def test_projections_are_disjoint_unions(self):
+        models = [
+            BlackboardModel(3),
+            MessagePassingModel(round_robin_assignment(3)),
+            MessagePassingModel(random_assignment(3, 2)),
+        ]
+        for model in models:
+            for rho in all_realizations(3, 2):
+                assert is_disjoint_union_of_simplices(
+                    knowledge_projection(model, rho)
+                )
+
+    def test_blocks_cover_all_names(self):
+        model = MessagePassingModel(random_assignment(4, 3))
+        for rho in all_realizations(4, 1):
+            projected = knowledge_projection(model, rho)
+            assert projected.names() == frozenset(range(4))
+
+
+class TestFacetIsomorphism:
+    def test_bijective_across_models_and_times(self):
+        cases = [
+            (BlackboardModel(2), 2),
+            (BlackboardModel(3), 1),
+            (MessagePassingModel(round_robin_assignment(3)), 1),
+            (MessagePassingModel(adversarial_assignment((2, 2))), 1),
+        ]
+        for model, t in cases:
+            build = build_protocol_complex(model, t)
+            assert facet_correspondence_is_bijective(build)
+            build.h_vertex_map()  # raises if ill-defined
+
+
+class TestChainVsEnumerationVsMaps:
+    def test_three_engines_agree_blackboard(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        task = leader_election(3)
+        chain = ConsistencyChain(alpha)
+        for t in (1, 2):
+            expected = chain.solving_probability(task, t)
+            for solver in (
+                realization_solves,
+                solves_by_definition_34,
+                solves_by_definition_31,
+            ):
+                assert (
+                    solving_probability_enumerated(
+                        alpha, task, t, solver=solver
+                    )
+                    == expected
+                )
+
+    def test_three_engines_agree_message_passing(self):
+        shape = (2, 2)
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        ports = adversarial_assignment(shape)
+        task = leader_election(4)
+        chain = ConsistencyChain(alpha, ports)
+        for t in (1, 2):
+            expected = chain.solving_probability(task, t)
+            assert (
+                solving_probability_enumerated(
+                    alpha, task, t, ports, solver=solves_by_definition_34
+                )
+                == expected
+            )
+
+
+class TestCumulativeKnowledge:
+    def test_solving_persists_to_successors(self):
+        """If rho solves at time t, every extension solves at t+1."""
+        model = BlackboardModel(3)
+        task = leader_election(3)
+        alpha = RandomnessConfiguration.independent(3)
+        for rho in iter_consistent_realizations(alpha, 1):
+            if not realization_solves(model, rho, task):
+                continue
+            for suffix in itertools.product((0, 1), repeat=3):
+                extended = tuple(
+                    bits + (extra,) for bits, extra in zip(rho, suffix)
+                )
+                assert realization_solves(model, extended, task)
+
+    def test_probability_series_monotone_all_shapes(self):
+        from repro.randomness import enumerate_size_shapes
+
+        for shape in enumerate_size_shapes(4):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            task = leader_election(4)
+            for ports in (None, adversarial_assignment(shape)):
+                series = ConsistencyChain(
+                    alpha, ports
+                ).solving_probability_series(task, 4)
+                assert all(a <= b for a, b in zip(series, series[1:]))

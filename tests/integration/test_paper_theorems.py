@@ -1,0 +1,139 @@
+"""Integration tests: framework, chain, and protocols must all agree.
+
+The three layers of the reproduction decide solvability independently:
+
+1. closed-form characterizations (Theorems 4.1 / 4.2);
+2. exact limits of the consistency-partition Markov chain;
+3. actual protocol executions on the simulated networks.
+
+These tests sweep configurations and require three-way agreement -- the
+strongest end-to-end statement the library makes.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    BlackboardLeaderNode,
+    BlackboardNetwork,
+    CliqueNetwork,
+    EuclidLeaderNode,
+)
+from repro.core import (
+    ConsistencyChain,
+    blackboard_solvable,
+    leader_election,
+    message_passing_worst_case_solvable,
+)
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration, enumerate_size_shapes
+
+SEEDS = (0, 1)
+
+
+def shapes_up_to(n_max):
+    for n in range(1, n_max + 1):
+        for shape in enumerate_size_shapes(n):
+            yield n, shape
+
+
+class TestTheorem41ThreeWay:
+    @pytest.mark.parametrize("n,shape", list(shapes_up_to(5)))
+    def test_blackboard_agreement(self, n, shape):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        task = leader_election(n)
+
+        predicted = blackboard_solvable(alpha)
+        chain = ConsistencyChain(alpha).eventually_solvable(task)
+        assert chain == predicted
+
+        for seed in SEEDS:
+            run = BlackboardNetwork(
+                alpha, BlackboardLeaderNode, seed=seed
+            ).run(max_rounds=72)
+            if predicted:
+                assert run.all_decided and len(run.leaders()) == 1, (
+                    shape,
+                    seed,
+                )
+            else:
+                assert not run.all_decided, (shape, seed)
+
+
+class TestTheorem42ThreeWay:
+    @pytest.mark.parametrize("n,shape", list(shapes_up_to(5)))
+    def test_adversarial_agreement(self, n, shape):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        task = leader_election(n)
+        ports = adversarial_assignment(shape)
+
+        predicted = message_passing_worst_case_solvable(alpha)
+        chain = ConsistencyChain(alpha, ports).eventually_solvable(task)
+        assert chain == predicted
+
+        for seed in SEEDS:
+            run = CliqueNetwork(
+                alpha, ports, EuclidLeaderNode, seed=seed
+            ).run(max_rounds=96)
+            if predicted:
+                assert run.all_decided and len(run.leaders()) == 1, (
+                    shape,
+                    seed,
+                )
+            else:
+                assert not run.all_decided, (shape, seed)
+
+
+class TestFootnote5:
+    def test_benign_ports_can_beat_the_worst_case(self):
+        """(2,2) is worst-case impossible but solvable with some wiring."""
+        from repro.models import random_assignment
+
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        task = leader_election(4)
+        assert not message_passing_worst_case_solvable(alpha)
+
+        solvable_wirings = 0
+        for seed in range(6):
+            chain = ConsistencyChain(alpha, random_assignment(4, seed))
+            if chain.eventually_solvable(task):
+                solvable_wirings += 1
+        assert solvable_wirings > 0
+
+    def test_protocol_exploits_benign_ports(self):
+        """The Euclid protocol folds port asymmetries into its tags, so it
+        elects on a benign wiring of the worst-case-impossible (2,2)."""
+        from repro.models import random_assignment
+
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        task = leader_election(4)
+        for seed in range(6):
+            ports = random_assignment(4, seed)
+            if ConsistencyChain(alpha, ports).eventually_solvable(task):
+                run = CliqueNetwork(
+                    alpha, ports, EuclidLeaderNode, seed=0
+                ).run(max_rounds=96)
+                assert run.all_decided and len(run.leaders()) == 1
+                return
+        pytest.skip("no benign wiring found among tested seeds")
+
+
+class TestBlackboardVsCliquePower:
+    def test_clique_strictly_stronger_on_coprime_shapes(self):
+        """(2,3): impossible on the blackboard, solvable on the clique --
+        the paper's headline separation between the two models."""
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        task = leader_election(5)
+        assert not ConsistencyChain(alpha).eventually_solvable(task)
+        assert ConsistencyChain(
+            alpha, adversarial_assignment((2, 3))
+        ).eventually_solvable(task)
+
+    def test_blackboard_solvable_implies_clique_solvable(self):
+        """A singleton source gives gcd 1: Theorem 4.1's condition implies
+        Theorem 4.2's, never the reverse."""
+        for n in range(1, 8):
+            for shape in enumerate_size_shapes(n):
+                if 1 in shape:
+                    import math
+
+                    assert math.gcd(*shape) == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the blackboard knowledge evolution (Eq. 1)."""
+
+import itertools
+
+import pytest
+
+from repro.models import BlackboardModel, bitstring_partition
+
+
+class TestKnowledgeEvolution:
+    def test_time_zero_all_bottom(self):
+        model = BlackboardModel(3)
+        ids = model.knowledge_ids(((), (), ()))
+        assert len(set(ids)) == 1
+
+    def test_round_one_splits_by_bit(self):
+        model = BlackboardModel(2)
+        ids = model.knowledge_ids(((0,), (1,)))
+        assert ids[0] != ids[1]
+
+    def test_same_bits_same_knowledge(self):
+        model = BlackboardModel(3)
+        ids = model.knowledge_ids(((0, 1), (0, 1), (1, 0)))
+        assert ids[0] == ids[1]
+        assert ids[0] != ids[2]
+
+    def test_knowledge_is_cumulative(self):
+        # Nodes split at round 1 stay split even if later bits agree.
+        model = BlackboardModel(2)
+        ids = model.knowledge_ids(((0, 1, 1), (1, 1, 1)))
+        assert ids[0] != ids[1]
+
+    def test_board_is_origin_free(self):
+        # Swapping the *other* nodes' strings leaves a node's knowledge
+        # unchanged (the board is a multiset).
+        model = BlackboardModel(3)
+        base = model.knowledge_ids(((0,), (1,), (0,)))
+        swapped = model.knowledge_ids(((0,), (0,), (1,)))
+        assert base[0] == swapped[0]
+
+    def test_wrong_arity_rejected(self):
+        model = BlackboardModel(2)
+        with pytest.raises(ValueError):
+            model.knowledge_ids(((0,),))
+
+    def test_ragged_realization_rejected(self):
+        model = BlackboardModel(2)
+        with pytest.raises(ValueError):
+            model.knowledge_ids(((0,), (0, 1)))
+
+    def test_trace_lengths(self):
+        model = BlackboardModel(2)
+        trace = model.knowledge_trace(((0, 1), (1, 1)))
+        assert len(trace) == 3  # times 0, 1, 2
+
+    def test_trace_refines(self):
+        model = BlackboardModel(2)
+        trace = model.knowledge_trace(((0, 1), (0, 0)))
+        # equal at t=0 and t=1, split at t=2
+        assert trace[0][0] == trace[0][1]
+        assert trace[1][0] == trace[1][1]
+        assert trace[2][0] != trace[2][1]
+
+
+class TestPartitionEquivalence:
+    """Knowledge partition == bit-string partition (used in Theorem 4.1)."""
+
+    def test_exhaustive_small(self):
+        model = BlackboardModel(3)
+        for t in (1, 2):
+            for bits in itertools.product(
+                list(itertools.product((0, 1), repeat=t)), repeat=3
+            ):
+                assert model.partition(bits) == bitstring_partition(bits)
+
+    def test_partition_blocks_cover_nodes(self):
+        model = BlackboardModel(4)
+        rho = ((0, 0), (0, 0), (1, 0), (0, 1))
+        blocks = model.partition(rho)
+        assert sorted(n for b in blocks for n in b) == [0, 1, 2, 3]
+
+    def test_bitstring_partition_direct(self):
+        assert bitstring_partition(((0,), (0,), (1,))) == [
+            frozenset({0, 1}),
+            frozenset({2}),
+        ]

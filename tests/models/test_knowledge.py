@@ -1,0 +1,88 @@
+"""Unit tests for knowledge interning and the consistency partition."""
+
+from repro.models import BOTTOM_ID, KnowledgeInterner, knowledge_partition
+
+
+class TestInterner:
+    def test_bottom_preallocated(self):
+        interner = KnowledgeInterner()
+        assert interner.structure(BOTTOM_ID) == ("bottom",)
+        assert len(interner) == 1
+
+    def test_intern_is_idempotent(self):
+        interner = KnowledgeInterner()
+        a = interner.intern(("x", 1))
+        b = interner.intern(("x", 1))
+        assert a == b
+        assert len(interner) == 2
+
+    def test_distinct_structures_distinct_ids(self):
+        interner = KnowledgeInterner()
+        assert interner.intern(("x",)) != interner.intern(("y",))
+
+    def test_roundtrip(self):
+        interner = KnowledgeInterner()
+        kid = interner.intern(("payload", 3, (1, 2)))
+        assert interner.structure(kid) == ("payload", 3, (1, 2))
+
+    def test_blackboard_update_sorts_board(self):
+        interner = KnowledgeInterner()
+        a = interner.blackboard_update(BOTTOM_ID, 1, [3, 1, 2])
+        b = interner.blackboard_update(BOTTOM_ID, 1, [2, 3, 1])
+        assert a == b  # multiset semantics
+
+    def test_message_passing_update_is_ordered(self):
+        interner = KnowledgeInterner()
+        a = interner.message_passing_update(BOTTOM_ID, 1, [3, 1])
+        b = interner.message_passing_update(BOTTOM_ID, 1, [1, 3])
+        assert a != b  # port order carries information
+
+    def test_bit_distinguishes(self):
+        interner = KnowledgeInterner()
+        a = interner.blackboard_update(BOTTOM_ID, 0, [])
+        b = interner.blackboard_update(BOTTOM_ID, 1, [])
+        assert a != b
+
+    def test_expand_reconstructs_nested_terms(self):
+        interner = KnowledgeInterner()
+        k1 = interner.blackboard_update(BOTTOM_ID, 0, [BOTTOM_ID])
+        k2 = interner.blackboard_update(k1, 1, [k1])
+        expanded = interner.expand(k2)
+        assert expanded == (
+            "bb",
+            ("bb", ("bottom",), 0, (("bottom",),)),
+            1,
+            (("bb", ("bottom",), 0, (("bottom",),)),),
+        )
+
+    def test_canonical_key_orders_by_content(self):
+        interner = KnowledgeInterner()
+        a = interner.intern(("z",))
+        b = interner.intern(("a",))
+        # allocation order a < b, but content order may differ; the key must
+        # be stable under allocation order.
+        other = KnowledgeInterner()
+        b2 = other.intern(("a",))
+        a2 = other.intern(("z",))
+        assert (interner.canonical_key(a) < interner.canonical_key(b)) == (
+            other.canonical_key(a2) < other.canonical_key(b2)
+        )
+
+
+class TestKnowledgePartition:
+    def test_groups_equal_ids(self):
+        assert knowledge_partition([5, 7, 5, 9]) == [
+            frozenset({0, 2}),
+            frozenset({1}),
+            frozenset({3}),
+        ]
+
+    def test_all_equal(self):
+        assert knowledge_partition([1, 1, 1]) == [frozenset({0, 1, 2})]
+
+    def test_all_distinct(self):
+        assert len(knowledge_partition([1, 2, 3])) == 3
+
+    def test_blocks_sorted_canonically(self):
+        blocks = knowledge_partition([2, 1, 2, 1])
+        assert blocks == [frozenset({0, 2}), frozenset({1, 3})]

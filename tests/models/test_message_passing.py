@@ -1,0 +1,103 @@
+"""Unit tests for the message-passing knowledge evolution (Eq. 2)."""
+
+import itertools
+
+import pytest
+
+from repro.models import (
+    BlackboardModel,
+    MessagePassingModel,
+    PortAssignment,
+    adversarial_assignment,
+    random_assignment,
+    round_robin_assignment,
+    shift_symmetry,
+)
+
+
+class TestKnowledgeEvolution:
+    def test_time_zero_all_bottom(self):
+        model = MessagePassingModel(round_robin_assignment(3))
+        assert len(set(model.knowledge_ids(((), (), ())))) == 1
+
+    def test_round_one_splits_by_bit_only(self):
+        # At t=1 every received tuple is all-bottom, so knowledge equality
+        # is exactly bit equality, like the blackboard.
+        model = MessagePassingModel(round_robin_assignment(3))
+        ids = model.knowledge_ids(((0,), (1,), (0,)))
+        assert ids[0] == ids[2] != ids[1]
+
+    def test_ports_can_split_equal_bit_nodes(self):
+        """Footnote 5: same randomness, different knowledge via ports."""
+        # n=3: nodes 0,1 get identical bits, node 2 differs.  At t=2 the
+        # received tuples of 0 and 1 order node 2's distinct knowledge at
+        # different port positions for some assignment.
+        table = [
+            [1, 2],  # node 0: port1 -> 1, port2 -> 2
+            [2, 0],  # node 1: port1 -> 2, port2 -> 0
+            [0, 1],
+        ]
+        model = MessagePassingModel(PortAssignment(table))
+        rho = ((0, 0), (0, 0), (1, 0))
+        ids = model.knowledge_ids(rho)
+        # node 0 sees node 2 on port 2; node 1 sees node 2 on port 1.
+        assert ids[0] != ids[1]
+
+    def test_blackboard_refines_less_than_ports(self):
+        # The MP partition always refines the bitstring partition.
+        ports = random_assignment(4, 5)
+        mp = MessagePassingModel(ports)
+        bb = BlackboardModel(4)
+        for bits in itertools.product(
+            list(itertools.product((0, 1), repeat=2)), repeat=4
+        ):
+            mp_blocks = mp.partition(bits)
+            bb_blocks = bb.partition(bits)
+            for block in mp_blocks:
+                assert any(block <= b for b in bb_blocks)
+
+    def test_wrong_arity_rejected(self):
+        model = MessagePassingModel(round_robin_assignment(3))
+        with pytest.raises(ValueError):
+            model.knowledge_ids(((0,), (1,)))
+
+
+class TestAdversarialSymmetry:
+    def test_orbits_stay_consistent(self):
+        """Lemma 4.3's induction, checked directly on knowledge ids."""
+        for sizes in [(2, 2), (2, 4), (3, 3)]:
+            import math
+
+            g = math.gcd(*sizes)
+            n = sum(sizes)
+            model = MessagePassingModel(adversarial_assignment(sizes))
+            f = shift_symmetry(n, g)
+            # source-consistent realization: same string within each group
+            strings = {}
+            start = 0
+            for index, size in enumerate(sizes):
+                value = tuple((index >> b) & 1 for b in range(2))
+                for node in range(start, start + size):
+                    strings[node] = value
+                start += size
+            rho = tuple(strings[i] for i in range(n))
+            ids = model.knowledge_ids(rho)
+            for node in range(n):
+                assert ids[node] == ids[f[node]]
+
+    def test_class_sizes_divisible_by_g(self):
+        import math
+
+        sizes = (2, 4)
+        g = math.gcd(*sizes)
+        model = MessagePassingModel(adversarial_assignment(sizes))
+        # all consistent realizations at t=2
+        from repro.randomness import (
+            RandomnessConfiguration,
+            iter_consistent_realizations,
+        )
+
+        alpha = RandomnessConfiguration.from_group_sizes(sizes)
+        for rho in iter_consistent_realizations(alpha, 2):
+            for block in model.partition(rho):
+                assert len(block) % g == 0

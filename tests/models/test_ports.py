@@ -1,0 +1,137 @@
+"""Unit tests for port assignments, incl. the Lemma 4.3 construction."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    PortAssignment,
+    adversarial_assignment,
+    is_equivariant,
+    random_assignment,
+    round_robin_assignment,
+    shift_symmetry,
+)
+
+
+class TestPortAssignment:
+    def test_validates_bijection(self):
+        with pytest.raises(ValueError):
+            PortAssignment([[1, 1], [0, 2], [0, 1]])
+
+    def test_validates_no_self_loop(self):
+        with pytest.raises(ValueError):
+            PortAssignment([[0, 1], [0, 2], [0, 1]])
+
+    def test_validates_row_length(self):
+        with pytest.raises(ValueError):
+            PortAssignment([[1], [0], [0]])
+
+    def test_neighbour_one_based_ports(self):
+        ports = round_robin_assignment(4)
+        assert ports.neighbour(0, 1) == 1
+        assert ports.neighbour(0, 3) == 3
+        with pytest.raises(ValueError):
+            ports.neighbour(0, 0)
+        with pytest.raises(ValueError):
+            ports.neighbour(0, 4)
+
+    def test_port_to_inverts_neighbour(self):
+        ports = random_assignment(5, 3)
+        for node in range(5):
+            for port in range(1, 5):
+                target = ports.neighbour(node, port)
+                assert ports.port_to(node, target) == port
+
+    def test_single_node(self):
+        ports = PortAssignment([[]])
+        assert ports.n == 1
+        assert ports.neighbours(0) == ()
+
+
+class TestRoundRobin:
+    def test_formula(self):
+        ports = round_robin_assignment(5)
+        for i in range(5):
+            assert ports.neighbours(i) == tuple(
+                (i + j) % 5 for j in range(1, 5)
+            )
+
+
+class TestRandomAssignment:
+    def test_seeded_reproducible(self):
+        assert random_assignment(6, 11) == random_assignment(6, 11)
+
+    def test_valid_for_various_n(self):
+        for n in (2, 3, 5, 8):
+            random_assignment(n, n)  # constructor validates
+
+
+class TestAdversarialAssignment:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_assignment([0, 2])
+        with pytest.raises(ValueError):
+            adversarial_assignment([])
+
+    def test_valid_assignment_for_many_shapes(self):
+        for sizes in [(2, 2), (2, 4), (3, 3), (2, 2, 2), (4, 6), (3, 6, 9)]:
+            adversarial_assignment(sizes)  # constructor validates
+
+    def test_single_node(self):
+        assert adversarial_assignment([1]).n == 1
+
+    def test_equivariance_under_shift(self):
+        """The heart of Lemma 4.3: f preserves ports."""
+        for sizes in [(2, 2), (2, 4), (3, 3), (2, 2, 2), (4, 2), (3, 6)]:
+            g = math.gcd(*sizes)
+            n = sum(sizes)
+            ports = adversarial_assignment(sizes)
+            f = shift_symmetry(n, g)
+            assert is_equivariant(ports, f), sizes
+
+    def test_shift_preserves_sources(self):
+        # Orbits of f lie inside blocks of g consecutive nodes, which are
+        # single-source under the from_group_sizes layout.
+        sizes = (2, 4)
+        g = math.gcd(*sizes)
+        f = shift_symmetry(sum(sizes), g)
+        boundaries = []
+        start = 0
+        for size in sizes:
+            boundaries.append(range(start, start + size))
+            start += size
+        for node, image in f.items():
+            same_group = any(
+                node in block and image in block for block in boundaries
+            )
+            assert same_group
+
+    def test_shift_symmetry_is_permutation_of_order_g(self):
+        f = shift_symmetry(6, 3)
+        assert sorted(f.values()) == list(range(6))
+        composed = {i: i for i in range(6)}
+        for _ in range(3):
+            composed = {i: f[composed[i]] for i in range(6)}
+        assert composed == {i: i for i in range(6)}
+
+    def test_shift_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            shift_symmetry(5, 2)
+
+    def test_g1_shift_is_identity(self):
+        assert shift_symmetry(4, 1) == {i: i for i in range(4)}
+
+    def test_equivariance_detects_violations(self):
+        ports = round_robin_assignment(4)
+        f = shift_symmetry(4, 2)
+        # round-robin is equivariant under the full rotation but generally
+        # not under the 2-block shift with source semantics; just check the
+        # function returns a boolean and agrees with manual inspection.
+        result = is_equivariant(ports, f)
+        manual = all(
+            ports.neighbour(f[i], j) == f[ports.neighbour(i, j)]
+            for i in range(4)
+            for j in range(1, 4)
+        )
+        assert result == manual

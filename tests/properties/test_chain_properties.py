@@ -1,0 +1,92 @@
+"""Property-based tests for the consistency Markov chain."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    ConsistencyChain,
+    is_refinement,
+    leader_election,
+    single_block_state,
+    weak_symmetry_breaking,
+)
+from repro.models import adversarial_assignment, random_assignment
+from repro.randomness import RandomnessConfiguration
+
+shapes = st.lists(st.integers(1, 3), min_size=1, max_size=3).map(
+    lambda sizes: tuple(sorted(sizes))
+)
+bit_vectors = st.lists(st.integers(0, 1), min_size=1, max_size=4)
+
+
+@given(shapes, st.lists(bit_vectors, min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_refinement_chain_is_monotone(shape, rounds):
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    chain = ConsistencyChain(alpha)
+    state = single_block_state(alpha.n)
+    for bits in rounds:
+        padded = tuple((bits * alpha.k)[: alpha.k])
+        nxt = chain.refine(state, padded)
+        assert is_refinement(nxt, state)
+        state = nxt
+
+
+@given(shapes)
+@settings(max_examples=40, deadline=None)
+def test_transition_distributions_normalized(shape):
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    for ports in (None, adversarial_assignment(shape)):
+        chain = ConsistencyChain(alpha, ports)
+        for state in chain.reachable_states():
+            moves = chain.transitions(state)
+            assert sum(moves.values()) == 1
+            assert all(0 < p <= 1 for p in moves.values())
+
+
+@given(shapes)
+@settings(max_examples=30, deadline=None)
+def test_zero_one_law_everywhere(shape):
+    """Lemma 3.2 as a property: limits are never strictly between 0 and 1."""
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    n = alpha.n
+    tasks = [leader_election(n)]
+    if n >= 2:
+        tasks.append(weak_symmetry_breaking(n))
+    for ports in (None, adversarial_assignment(shape)):
+        chain = ConsistencyChain(alpha, ports)
+        for task in tasks:
+            limit = chain.limit_solving_probability(task)
+            assert limit in (Fraction(0), Fraction(1))
+
+
+@given(shapes, st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_source_partition_is_a_refinement_floor(shape, seed):
+    """The consistency partition never splits same-source nodes on a
+    blackboard: every reachable state coarsens the source partition."""
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    chain = ConsistencyChain(alpha)
+    source_state = tuple(
+        sorted(tuple(sorted(block)) for block in alpha.source_partition())
+    )
+    for state in chain.reachable_states():
+        assert is_refinement(source_state, state)
+
+
+@given(shapes, st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_mp_refines_blackboard_distributionwise(shape, seed):
+    """At every time, the MP solving probability dominates the blackboard's
+    (ports only add distinctions)."""
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    task = leader_election(alpha.n)
+    ports = random_assignment(alpha.n, seed) if alpha.n > 1 else None
+    if ports is None:
+        return
+    bb = ConsistencyChain(alpha).solving_probability_series(task, 3)
+    mp = ConsistencyChain(alpha, ports).solving_probability_series(task, 3)
+    for p_bb, p_mp in zip(bb, mp):
+        assert p_mp >= p_bb

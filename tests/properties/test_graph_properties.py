@@ -1,0 +1,110 @@
+"""Property-based tests for anonymous graph topologies."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    color_refinement_fixpoint,
+    deterministic_solvable,
+    is_refinement,
+    leader_election,
+    single_block_state,
+)
+from repro.models import GraphMessagePassingModel, GraphTopology
+
+
+@st.composite
+def connected_topologies(draw):
+    """Random connected graphs: a random tree plus a few extra edges."""
+    n = draw(st.integers(2, 7))
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        edges.add(frozenset((parent, node)))
+    extra = draw(st.integers(0, 3))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.add(frozenset((a, b)))
+    rows = [[] for _ in range(n)]
+    for edge in sorted(tuple(sorted(e)) for e in edges):
+        a, b = edge
+        rows[a].append(b)
+        rows[b].append(a)
+    return GraphTopology(rows)
+
+
+@given(connected_topologies())
+@settings(max_examples=100, deadline=None)
+def test_port_to_inverts_neighbour(topology):
+    for node in range(topology.n):
+        for port in range(1, topology.degree(node) + 1):
+            target = topology.neighbour(node, port)
+            assert topology.port_to(node, target) == port
+
+
+@given(connected_topologies())
+@settings(max_examples=100, deadline=None)
+def test_edges_symmetric_and_handshake(topology):
+    degree_sum = sum(topology.degree(i) for i in range(topology.n))
+    assert degree_sum == 2 * len(topology.edges())
+
+
+@given(connected_topologies())
+@settings(max_examples=60, deadline=None)
+def test_networkx_round_trip(topology):
+    rebuilt = GraphTopology.from_networkx(topology.to_networkx())
+    assert rebuilt.edges() == topology.edges()
+
+
+@given(connected_topologies())
+@settings(max_examples=60, deadline=None)
+def test_fixpoint_refines_initial_state(topology):
+    fixpoint = color_refinement_fixpoint(topology)
+    assert is_refinement(fixpoint, single_block_state(topology.n))
+
+
+@given(connected_topologies())
+@settings(max_examples=40, deadline=None)
+def test_fixpoint_refines_degree_partition(topology):
+    """Equitable partitions separate nodes of different degree."""
+    fixpoint = color_refinement_fixpoint(topology)
+    for block in fixpoint:
+        degrees = {topology.degree(node) for node in block}
+        assert len(degrees) == 1
+
+
+@given(connected_topologies())
+@settings(max_examples=40, deadline=None)
+def test_back_ports_refine_at_least_as_much(topology):
+    plain = color_refinement_fixpoint(topology, include_back_ports=False)
+    classical = color_refinement_fixpoint(topology, include_back_ports=True)
+    assert is_refinement(classical, plain)
+
+
+@given(connected_topologies())
+@settings(max_examples=40, deadline=None)
+def test_deterministic_solvable_iff_fixpoint_singleton(topology):
+    n = topology.n
+    fixpoint = color_refinement_fixpoint(topology)
+    expected = any(len(block) == 1 for block in fixpoint)
+    assert deterministic_solvable(topology, leader_election(n)) == expected
+
+
+@given(connected_topologies())
+@settings(max_examples=30, deadline=None)
+def test_knowledge_model_partition_matches_fixpoint_under_shared_source(
+    topology,
+):
+    """The k=1 knowledge partition stabilizes at the refinement fixpoint."""
+    n = topology.n
+    model = GraphMessagePassingModel(topology, include_back_ports=True)
+    # shared source: all nodes receive the same (arbitrary) bits; run for
+    # n rounds which always reaches the fixpoint.
+    bits = tuple(tuple(1 for _ in range(n)) for _ in range(n))
+    partition = {frozenset(b) for b in model.partition(bits)}
+    fixpoint = {
+        frozenset(b) for b in color_refinement_fixpoint(topology)
+    }
+    assert partition == fixpoint

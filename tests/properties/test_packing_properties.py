@@ -1,0 +1,74 @@
+"""Property tests validating the packing solver against brute force.
+
+``CountTask`` solvability reduces to packing knowledge-class sizes into
+value-count targets; this is the one piece of clever search in the task
+layer, so it gets an independent oracle: exhaustive assignment of classes
+to targets.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.tasks import _can_pack
+
+sizes_lists = st.lists(st.integers(1, 5), min_size=1, max_size=5)
+
+
+def brute_force_pack(sizes: tuple[int, ...], targets: tuple[int, ...]) -> bool:
+    """Try every assignment of sizes to target bins."""
+    if sum(sizes) != sum(targets):
+        return False
+    bins = len(targets)
+    for assignment in itertools.product(range(bins), repeat=len(sizes)):
+        loads = [0] * bins
+        for size, bin_index in zip(sizes, assignment):
+            loads[bin_index] += size
+        if loads == list(targets):
+            return True
+    return False
+
+
+@given(sizes_lists, sizes_lists)
+@settings(max_examples=200, deadline=None)
+def test_can_pack_matches_brute_force(sizes, targets):
+    sizes = tuple(sorted(sizes))
+    targets = tuple(sorted(targets))
+    assert _can_pack(sizes, targets) == brute_force_pack(sizes, targets)
+
+
+@given(sizes_lists)
+@settings(max_examples=100, deadline=None)
+def test_identity_packing(sizes):
+    sizes = tuple(sorted(sizes))
+    assert _can_pack(sizes, sizes)
+
+
+@given(sizes_lists)
+@settings(max_examples=100, deadline=None)
+def test_single_target_always_packs(sizes):
+    sizes = tuple(sorted(sizes))
+    assert _can_pack(sizes, (sum(sizes),))
+
+
+@given(sizes_lists)
+@settings(max_examples=100, deadline=None)
+def test_splitting_a_size_preserves_packability(sizes):
+    """Refining the partition can only help packing."""
+    sizes = tuple(sorted(sizes))
+    targets = (sum(sizes),)
+    for index, size in enumerate(sizes):
+        if size < 2:
+            continue
+        refined = tuple(
+            sorted(sizes[:index] + sizes[index + 1 :] + (1, size - 1))
+        )
+        assert _can_pack(refined, targets)
+
+
+@given(sizes_lists, st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_pack_requires_exact_total(sizes, extra):
+    sizes = tuple(sorted(sizes))
+    assert not _can_pack(sizes, (sum(sizes) + extra,))

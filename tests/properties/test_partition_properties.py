@@ -1,0 +1,110 @@
+"""Property-based tests: partitions, tasks, and the matching closure."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import CountTask, k_leader_election, leader_election
+from repro.core.reachability import (
+    matching_moves,
+    minimum_reachable_class,
+    reachable_multisets,
+    worst_case_k_leader_solvable,
+)
+
+size_multisets = st.lists(st.integers(1, 6), min_size=1, max_size=4).map(
+    lambda sizes: tuple(sorted(sizes))
+)
+
+
+@given(size_multisets)
+@settings(max_examples=150, deadline=None)
+def test_moves_preserve_sum_and_gcd(sizes):
+    g = math.gcd(*sizes)
+    for move in matching_moves(sizes):
+        assert sum(move) == sum(sizes)
+        assert math.gcd(*move) == g
+
+
+@given(size_multisets)
+@settings(max_examples=60, deadline=None)
+def test_minimum_reachable_is_gcd(sizes):
+    assert minimum_reachable_class(sizes) == math.gcd(*sizes)
+
+
+@given(size_multisets)
+@settings(max_examples=60, deadline=None)
+def test_closure_is_closed(sizes):
+    closure = reachable_multisets(sizes)
+    for member in closure:
+        assert matching_moves(member) <= closure
+
+
+@given(size_multisets, st.integers(1, 10))
+@settings(max_examples=120, deadline=None)
+def test_oracle_equals_gcd_divides_k(sizes, k):
+    n = sum(sizes)
+    if k > n:
+        return
+    assert worst_case_k_leader_solvable(sizes, k) == (
+        k % math.gcd(*sizes) == 0
+    )
+
+
+@given(size_multisets)
+@settings(max_examples=100, deadline=None)
+def test_leader_election_solvable_iff_singleton_class(sizes):
+    n = sum(sizes)
+    task = leader_election(n)
+    assert task.solvable_from_sizes(sizes) == (1 in sizes)
+
+
+@given(size_multisets, st.integers(1, 8))
+@settings(max_examples=120, deadline=None)
+def test_k_leader_solvable_iff_submultiset_sum(sizes, k):
+    n = sum(sizes)
+    if k > n:
+        return
+    task = k_leader_election(n, k)
+    reachable = {0}
+    for size in sizes:
+        reachable |= {r + size for r in reachable}
+    assert task.solvable_from_sizes(sizes) == (k in reachable)
+
+
+@given(size_multisets)
+@settings(max_examples=80, deadline=None)
+def test_refining_a_partition_preserves_solvability(sizes):
+    """Monotonicity: splitting one class never breaks solvability."""
+    n = sum(sizes)
+    task = leader_election(n)
+    if not task.solvable_from_sizes(sizes):
+        return
+    for index, size in enumerate(sizes):
+        if size < 2:
+            continue
+        for cut in range(1, size):
+            refined = list(sizes[:index]) + list(sizes[index + 1 :]) + [
+                cut,
+                size - cut,
+            ]
+            assert task.solvable_from_sizes(refined)
+
+
+@given(
+    st.integers(2, 6),
+    st.lists(st.integers(0, 3), min_size=1, max_size=3),
+)
+@settings(max_examples=80, deadline=None)
+def test_count_task_profiles_validated(n, raw):
+    """Random profiles either construct cleanly or raise ValueError."""
+    import pytest
+
+    profile = {f"v{i}": c for i, c in enumerate(raw)}
+    total = sum(profile.values())
+    if total == n and all(c >= 1 for c in profile.values()):
+        CountTask(n, [profile])
+    else:
+        with pytest.raises(ValueError):
+            CountTask(n, [profile])

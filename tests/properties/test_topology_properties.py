@@ -1,0 +1,98 @@
+"""Property-based tests for the topology substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    betti_numbers,
+    disjoint_union_of_simplices,
+    euler_characteristic_from_betti,
+    is_disjoint_union_of_simplices,
+)
+
+# Small random chromatic complexes: a few facets over names 0..4 with
+# values drawn from a tiny alphabet.
+vertices = st.tuples(st.integers(0, 4), st.sampled_from("abc"))
+simplices = st.frozensets(vertices, min_size=1, max_size=4).map(Simplex)
+complexes = st.lists(simplices, min_size=1, max_size=5).map(SimplicialComplex)
+
+
+@given(complexes)
+@settings(max_examples=120, deadline=None)
+def test_facets_are_maximal(complex_):
+    for facet in complex_.facets:
+        others = [f for f in complex_.facets if f != facet]
+        assert not any(facet.vertices < other.vertices for other in others)
+
+
+@given(complexes)
+@settings(max_examples=120, deadline=None)
+def test_every_face_of_facet_is_member(complex_):
+    for facet in complex_.facets:
+        for face in facet.faces():
+            assert face in complex_
+
+
+@given(complexes)
+@settings(max_examples=80, deadline=None)
+def test_euler_characteristic_two_ways(complex_):
+    assert (
+        euler_characteristic_from_betti(complex_)
+        == complex_.euler_characteristic()
+    )
+
+
+@given(complexes)
+@settings(max_examples=80, deadline=None)
+def test_beta0_equals_component_count(complex_):
+    assert betti_numbers(complex_)[0] == len(complex_.connected_components())
+
+
+@given(complexes)
+@settings(max_examples=80, deadline=None)
+def test_f_vector_sums_to_simplices(complex_):
+    assert sum(complex_.f_vector()) == sum(1 for _ in complex_.simplices())
+
+
+@given(complexes)
+@settings(max_examples=80, deadline=None)
+def test_union_is_idempotent_and_monotone(complex_):
+    assert complex_.union(complex_) == complex_
+    assert complex_.is_subcomplex_of(complex_)
+
+
+@given(complexes, st.permutations(list(range(5))))
+@settings(max_examples=60, deadline=None)
+def test_rename_preserves_structure(complex_, perm):
+    mapping = {i: perm[i] for i in range(5)}
+    renamed = complex_.rename(mapping)
+    assert renamed.f_vector() == complex_.f_vector()
+    assert renamed.euler_characteristic() == complex_.euler_characteristic()
+    back = renamed.rename({v: k for k, v in mapping.items()})
+    assert back == complex_
+
+
+# Partitions of 0..n-1 -> disjoint-union complexes (projection shape).
+@st.composite
+def partitions(draw):
+    n = draw(st.integers(1, 6))
+    labels = [draw(st.integers(0, 3)) for _ in range(n)]
+    blocks: dict[int, list[int]] = {}
+    for node, label in enumerate(labels):
+        blocks.setdefault(label, []).append(node)
+    return [
+        [(node, f"class{label}") for node in members]
+        for label, members in blocks.items()
+    ]
+
+
+@given(partitions())
+@settings(max_examples=100, deadline=None)
+def test_projection_shape_homology(blocks):
+    complex_ = disjoint_union_of_simplices(blocks)
+    assert is_disjoint_union_of_simplices(complex_)
+    betti = betti_numbers(complex_)
+    assert betti[0] == len(blocks)
+    assert all(b == 0 for b in betti[1:])

@@ -1,0 +1,42 @@
+"""Unit tests for the assignment complex A."""
+
+from repro.randomness import (
+    RandomnessConfiguration,
+    assignment_complex,
+    bell_number,
+    configuration_facet,
+)
+
+
+class TestConfigurationFacet:
+    def test_one_based_names(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        facet = configuration_facet(alpha)
+        assert facet.value_of(1) == 1
+        assert facet.value_of(2) == 1
+        assert facet.value_of(3) == 2
+
+    def test_dimension(self):
+        alpha = RandomnessConfiguration.independent(4)
+        assert configuration_facet(alpha).dimension == 3
+
+
+class TestAssignmentComplex:
+    def test_facet_count_is_bell(self):
+        for n in (1, 2, 3, 4):
+            complex_ = assignment_complex(n)
+            assert complex_.facet_count() == bell_number(n)
+
+    def test_pure_of_dimension_n_minus_1(self):
+        complex_ = assignment_complex(3)
+        assert complex_.is_pure()
+        assert complex_.dimension == 2
+
+    def test_chromatic(self):
+        assert assignment_complex(3).is_chromatic()
+
+    def test_contiguous_source_names(self):
+        # Facet values (source ids) must be 1..k for some k.
+        for facet in assignment_complex(3).facets:
+            values = {facet.value_of(name) for name in facet.names()}
+            assert values == set(range(1, len(values) + 1))

@@ -1,0 +1,126 @@
+"""Unit tests for randomness configurations (the facets of A)."""
+
+import math
+
+import pytest
+
+from repro.randomness import (
+    RandomnessConfiguration,
+    bell_number,
+    enumerate_configurations,
+    enumerate_size_shapes,
+)
+
+
+class TestConstruction:
+    def test_normalization_first_seen_order(self):
+        a = RandomnessConfiguration([5, 5, 2, 5])
+        assert a.assignment == (0, 0, 1, 0)
+
+    def test_renamed_sources_compare_equal(self):
+        assert RandomnessConfiguration([1, 2, 1]) == RandomnessConfiguration(
+            [9, 4, 9]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomnessConfiguration([])
+
+    def test_independent(self):
+        a = RandomnessConfiguration.independent(4)
+        assert a.k == 4
+        assert a.group_sizes == (1, 1, 1, 1)
+
+    def test_shared(self):
+        a = RandomnessConfiguration.shared(5)
+        assert a.k == 1
+        assert a.group_sizes == (5,)
+
+    def test_from_group_sizes(self):
+        a = RandomnessConfiguration.from_group_sizes([2, 3])
+        assert a.n == 5
+        assert a.groups() == [(0, 1), (2, 3, 4)]
+
+    def test_from_group_sizes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RandomnessConfiguration.from_group_sizes([2, 0])
+
+
+class TestDerivedQuantities:
+    def test_gcd(self):
+        assert RandomnessConfiguration.from_group_sizes([2, 4]).gcd == 2
+        assert RandomnessConfiguration.from_group_sizes([2, 3]).gcd == 1
+        assert RandomnessConfiguration.shared(6).gcd == 6
+
+    def test_has_singleton_source(self):
+        assert RandomnessConfiguration.from_group_sizes([1, 4]).has_singleton_source
+        assert not RandomnessConfiguration.from_group_sizes([2, 2]).has_singleton_source
+
+    def test_sorted_group_sizes(self):
+        a = RandomnessConfiguration.from_group_sizes([3, 1, 2])
+        assert a.sorted_group_sizes == (1, 2, 3)
+
+    def test_source_partition_blocks(self):
+        a = RandomnessConfiguration([0, 1, 0])
+        assert set(a.source_partition()) == {
+            frozenset({0, 2}),
+            frozenset({1}),
+        }
+
+    def test_hash_consistency(self):
+        a = RandomnessConfiguration([0, 0, 1])
+        b = RandomnessConfiguration([3, 3, 7])
+        assert hash(a) == hash(b)
+
+
+class TestSamplingSupport:
+    def test_make_sources_count(self):
+        a = RandomnessConfiguration.from_group_sizes([2, 1])
+        assert len(a.make_sources(seed=0)) == 2
+
+    def test_node_bits_shares_streams(self):
+        a = RandomnessConfiguration.from_group_sizes([2, 1])
+        bits = a.node_bits(a.make_sources(seed=5), t=16)
+        assert bits[0] == bits[1]  # same source
+        assert len(bits) == 3
+
+    def test_node_bits_seeded_reproducible(self):
+        a = RandomnessConfiguration.independent(3)
+        assert a.node_bits(a.make_sources(2), 8) == a.node_bits(
+            a.make_sources(2), 8
+        )
+
+
+class TestEnumeration:
+    def test_counts_are_bell_numbers(self):
+        for n in range(1, 7):
+            assert len(list(enumerate_configurations(n))) == bell_number(n)
+
+    def test_bell_numbers(self):
+        assert [bell_number(n) for n in range(7)] == [1, 1, 2, 5, 15, 52, 203]
+
+    def test_all_distinct(self):
+        configs = list(enumerate_configurations(4))
+        assert len(set(configs)) == len(configs)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(enumerate_configurations(0))
+
+    def test_size_shapes_are_integer_partitions(self):
+        shapes = list(enumerate_size_shapes(5))
+        assert len(shapes) == 7  # p(5)
+        assert all(sum(s) == 5 for s in shapes)
+        assert all(tuple(sorted(s)) == s for s in shapes)
+
+    def test_shapes_cover_configurations(self):
+        shapes = set(enumerate_size_shapes(4))
+        from_configs = {
+            tuple(sorted(a.group_sizes)) for a in enumerate_configurations(4)
+        }
+        assert shapes == from_configs
+
+    def test_gcd_matches_math(self):
+        for shape in enumerate_size_shapes(6):
+            a = RandomnessConfiguration.from_group_sizes(shape)
+            assert a.gcd == math.gcd(*shape)

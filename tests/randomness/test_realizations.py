@@ -1,0 +1,95 @@
+"""Unit tests for realization enumeration and Lemma B.1 probabilities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.randomness import (
+    RandomnessConfiguration,
+    all_bit_strings,
+    count_consistent_realizations,
+    is_consistent,
+    iter_consistent_realizations,
+    iter_source_realizations,
+    node_realization,
+    realization_probability,
+)
+
+
+class TestEnumerators:
+    def test_all_bit_strings_count(self):
+        assert len(list(all_bit_strings(3))) == 8
+
+    def test_all_bit_strings_lexicographic(self):
+        strings = list(all_bit_strings(2))
+        assert strings[0] == (0, 0)
+        assert strings[-1] == (1, 1)
+
+    def test_source_realizations_count(self):
+        assert len(list(iter_source_realizations(2, 2))) == 16
+
+    def test_consistent_realizations_count(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        found = list(iter_consistent_realizations(alpha, 2))
+        assert len(found) == count_consistent_realizations(alpha, 2) == 16
+
+    def test_node_realization_expansion(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        rho = node_realization(alpha, [(0, 1), (1, 1)])
+        assert rho == ((0, 1), (0, 1), (1, 1))
+
+    def test_node_realization_wrong_source_count(self):
+        alpha = RandomnessConfiguration.independent(2)
+        with pytest.raises(ValueError):
+            node_realization(alpha, [(0,)])
+
+
+class TestConsistency:
+    def test_same_source_same_bits_required(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2])
+        assert is_consistent(((0, 1), (0, 1)), alpha)
+        assert not is_consistent(((0, 1), (1, 1)), alpha)
+
+    def test_distinct_sources_may_coincide(self):
+        alpha = RandomnessConfiguration.independent(2)
+        assert is_consistent(((0,), (0,)), alpha)
+
+    def test_size_mismatch_raises(self):
+        alpha = RandomnessConfiguration.independent(3)
+        with pytest.raises(ValueError):
+            is_consistent(((0,), (0,)), alpha)
+
+
+class TestLemmaB1:
+    def test_probability_zero_on_bad_set(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2])
+        assert realization_probability(((0,), (1,)), alpha) == 0
+
+    def test_probability_two_power(self):
+        alpha = RandomnessConfiguration.from_group_sizes([2, 1])
+        rho = ((0, 1), (0, 1), (1, 0))
+        assert realization_probability(rho, alpha) == Fraction(1, 16)
+
+    def test_total_mass_is_one(self):
+        alpha = RandomnessConfiguration.from_group_sizes([1, 2])
+        total = sum(
+            realization_probability(rho, alpha)
+            for rho in iter_consistent_realizations(alpha, 2)
+        )
+        assert total == 1
+
+    def test_ragged_realization_rejected(self):
+        alpha = RandomnessConfiguration.independent(2)
+        with pytest.raises(ValueError):
+            realization_probability(((0,), (0, 1)), alpha)
+
+    def test_duplicate_node_realizations_counted_separately(self):
+        # Two independent sources emitting the same string produce the same
+        # node realization via two distinct elementary events.
+        alpha = RandomnessConfiguration.independent(2)
+        realizations = list(iter_consistent_realizations(alpha, 1))
+        assert len(realizations) == 4
+        assert len(set(realizations)) == 4  # n=2 distinct nodes => distinct
+
+        alpha2 = RandomnessConfiguration.independent(1)
+        assert len(list(iter_consistent_realizations(alpha2, 1))) == 2

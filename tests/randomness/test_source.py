@@ -1,0 +1,62 @@
+"""Unit tests for bit sources."""
+
+import itertools
+
+import pytest
+
+from repro.randomness import BitSource, FixedBitSource
+
+
+class TestBitSource:
+    def test_bits_are_binary(self):
+        source = BitSource(seed=1)
+        assert all(source.bit(t) in (0, 1) for t in range(1, 50))
+
+    def test_deterministic_given_seed(self):
+        assert BitSource(7).prefix(32) == BitSource(7).prefix(32)
+
+    def test_different_seeds_differ(self):
+        assert BitSource(1).prefix(64) != BitSource(2).prefix(64)
+
+    def test_history_is_stable(self):
+        source = BitSource(3)
+        first = source.bit(5)
+        source.prefix(20)
+        assert source.bit(5) == first
+
+    def test_rounds_one_indexed(self):
+        with pytest.raises(ValueError):
+            BitSource(0).bit(0)
+
+    def test_prefix_zero_empty(self):
+        assert BitSource(0).prefix(0) == ()
+
+    def test_prefix_string(self):
+        source = FixedBitSource("0110")
+        assert source.prefix_string(4) == "0110"
+
+    def test_iteration(self):
+        source = BitSource(9)
+        first_five = list(itertools.islice(iter(source), 5))
+        assert first_five == list(source.prefix(5))
+
+
+class TestFixedBitSource:
+    def test_replays_script(self):
+        source = FixedBitSource([1, 0, 1])
+        assert source.prefix(3) == (1, 0, 1)
+        assert source.bit(2) == 0
+
+    def test_accepts_strings(self):
+        assert FixedBitSource("10").prefix(2) == (1, 0)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            FixedBitSource([2, 0])
+
+    def test_exhaustion_raises(self):
+        source = FixedBitSource("01")
+        with pytest.raises(IndexError):
+            source.bit(3)
+        with pytest.raises(IndexError):
+            source.prefix(3)

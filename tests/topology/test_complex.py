@@ -1,0 +1,193 @@
+"""Unit tests for SimplicialComplex."""
+
+import pytest
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    Vertex,
+    disjoint_union_of_simplices,
+)
+
+
+def triangle() -> SimplicialComplex:
+    return SimplicialComplex([Simplex([(0, "a"), (1, "b"), (2, "c")])])
+
+
+def hollow_triangle() -> SimplicialComplex:
+    return SimplicialComplex.simplex_boundary(
+        Simplex([(0, "a"), (1, "b"), (2, "c")])
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = SimplicialComplex.empty()
+        assert c.is_empty
+        assert c.dimension == -1
+        assert c.f_vector() == ()
+
+    def test_contained_facets_dropped(self):
+        c = SimplicialComplex(
+            [
+                Simplex([(0, "a"), (1, "b")]),
+                Simplex([(0, "a")]),
+            ]
+        )
+        assert c.facet_count() == 1
+
+    def test_incomparable_facets_kept(self):
+        c = SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")]), Simplex([(2, "c")])]
+        )
+        assert c.facet_count() == 2
+        assert not c.is_pure()
+
+    def test_accepts_raw_iterables(self):
+        c = SimplicialComplex([[(0, "a"), (1, "b")]])
+        assert c.dimension == 1
+
+    def test_full_complex(self):
+        c = SimplicialComplex.full_complex([(0, "a"), (1, "b")])
+        assert c.facet_count() == 1
+        assert (0, "a") in c.vertices()
+
+
+class TestQueries:
+    def test_dimension_and_purity(self):
+        assert triangle().dimension == 2
+        assert triangle().is_pure()
+
+    def test_vertices(self):
+        assert len(triangle().vertices()) == 3
+
+    def test_names(self):
+        assert triangle().names() == {0, 1, 2}
+
+    def test_simplices_count(self):
+        # A 2-simplex has 7 faces.
+        assert sum(1 for _ in triangle().simplices()) == 7
+
+    def test_simplices_of_dimension(self):
+        assert len(triangle().simplices_of_dimension(1)) == 3
+        assert len(hollow_triangle().simplices_of_dimension(2)) == 0
+
+    def test_membership(self):
+        assert Simplex([(0, "a"), (1, "b")]) in triangle()
+        assert Simplex([(0, "a"), (1, "wrong")]) not in triangle()
+        assert "garbage" not in triangle()
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+        assert triangle() != hollow_triangle()
+
+
+class TestCountingInvariants:
+    def test_f_vector_triangle(self):
+        assert triangle().f_vector() == (3, 3, 1)
+
+    def test_f_vector_hollow(self):
+        assert hollow_triangle().f_vector() == (3, 3)
+
+    def test_euler_characteristic(self):
+        # Solid triangle is contractible (chi=1); its boundary is a circle
+        # (chi=0).
+        assert triangle().euler_characteristic() == 1
+        assert hollow_triangle().euler_characteristic() == 0
+
+
+class TestSubcomplexes:
+    def test_induced_subcomplex(self):
+        sub = triangle().induced_subcomplex([(0, "a"), (1, "b")])
+        assert sub.facets == SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")])]
+        ).facets
+
+    def test_induced_on_disjoint_vertices(self):
+        sub = triangle().induced_subcomplex([(9, "z")])
+        assert sub.is_empty
+
+    def test_union(self):
+        u = hollow_triangle().union(triangle())
+        assert u == triangle()
+
+    def test_is_subcomplex_of(self):
+        assert hollow_triangle().is_subcomplex_of(triangle())
+        assert not triangle().is_subcomplex_of(hollow_triangle())
+
+    def test_star_and_link(self):
+        star = triangle().star((0, "a"))
+        assert star.facet_count() == 1
+        link = triangle().link((0, "a"))
+        assert link == SimplicialComplex([Simplex([(1, "b"), (2, "c")])])
+
+    def test_link_of_absent_vertex(self):
+        assert triangle().link((9, "z")).is_empty
+
+
+class TestChromaticAndSymmetry:
+    def test_is_chromatic(self):
+        assert triangle().is_chromatic()
+        bad = SimplicialComplex([Simplex([(0, "a"), (0, "b")])])
+        assert not bad.is_chromatic()
+
+    def test_symmetric_complex(self):
+        # Both "binary splittings" of two nodes: symmetric.
+        c = SimplicialComplex(
+            [
+                Simplex([(0, 1), (1, 0)]),
+                Simplex([(0, 0), (1, 1)]),
+            ]
+        )
+        assert c.is_symmetric()
+
+    def test_asymmetric_complex(self):
+        c = SimplicialComplex([Simplex([(0, 1), (1, 0)])])
+        assert not c.is_symmetric()
+
+    def test_constant_values_symmetric(self):
+        c = SimplicialComplex([Simplex([(0, "v"), (1, "v")])])
+        assert c.is_symmetric()
+
+
+class TestTopologicalStructure:
+    def test_isolated_vertices(self):
+        c = SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")]), Simplex([(2, "c")])]
+        )
+        assert c.isolated_vertices() == [Vertex(2, "c")]
+        assert c.has_isolated_vertex()
+
+    def test_no_isolated_vertices(self):
+        assert not triangle().has_isolated_vertex()
+
+    def test_connected_components(self):
+        c = disjoint_union_of_simplices([[(0, "a"), (1, "a")], [(2, "b")]])
+        comps = c.connected_components()
+        assert len(comps) == 2
+        assert not c.is_connected()
+
+    def test_connected(self):
+        assert triangle().is_connected()
+
+    def test_empty_is_connected(self):
+        assert SimplicialComplex.empty().is_connected()
+
+
+class TestTransformations:
+    def test_map_vertices(self):
+        image = triangle().map_vertices(lambda v: Vertex(v.name, "same"))
+        assert image.dimension == 2
+        assert all(v.value == "same" for v in image.vertices())
+
+    def test_rename(self):
+        renamed = triangle().rename({0: 2, 1: 1, 2: 0})
+        facet = next(iter(renamed.facets))
+        assert facet.value_of(2) == "a"
+        assert facet.value_of(0) == "c"
+
+    def test_disjoint_union_builder(self):
+        c = disjoint_union_of_simplices([[(0, "x"), (1, "x")], [(2, "y")]])
+        assert c.facet_count() == 2
+        assert c.dimension == 1

@@ -1,0 +1,107 @@
+"""Unit tests for GF(2) homology."""
+
+import itertools
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    betti_numbers,
+    disjoint_union_of_simplices,
+    euler_characteristic_from_betti,
+    is_disjoint_union_of_simplices,
+)
+
+
+def solid(k: int) -> SimplicialComplex:
+    """The full k-simplex on vertices (0..k, 'v')."""
+    return SimplicialComplex([Simplex([(i, "v") for i in range(k + 1)])])
+
+
+def sphere(k: int) -> SimplicialComplex:
+    """The boundary of a (k+1)-simplex: a combinatorial k-sphere."""
+    return SimplicialComplex.simplex_boundary(
+        Simplex([(i, "v") for i in range(k + 2)])
+    )
+
+
+class TestBettiNumbers:
+    def test_point(self):
+        assert betti_numbers(solid(0)) == (1,)
+
+    def test_solid_simplices_are_contractible(self):
+        for k in range(1, 4):
+            betti = betti_numbers(solid(k))
+            assert betti[0] == 1
+            assert all(b == 0 for b in betti[1:])
+
+    def test_circle(self):
+        assert betti_numbers(sphere(1)) == (1, 1)
+
+    def test_two_sphere(self):
+        assert betti_numbers(sphere(2)) == (1, 0, 1)
+
+    def test_two_components(self):
+        c = disjoint_union_of_simplices([[(0, "a"), (1, "a")], [(2, "b")]])
+        assert betti_numbers(c)[0] == 2
+
+    def test_wedge_of_two_circles(self):
+        # Two hollow triangles sharing the vertex (0,'v'): beta_1 = 2.
+        t1 = SimplicialComplex.simplex_boundary(
+            Simplex([(0, "v"), (1, "v"), (2, "v")])
+        )
+        t2 = SimplicialComplex.simplex_boundary(
+            Simplex([(0, "v"), (3, "v"), (4, "v")])
+        )
+        wedge = t1.union(t2)
+        assert betti_numbers(wedge) == (1, 2)
+
+    def test_empty_complex(self):
+        assert betti_numbers(SimplicialComplex.empty()) == ()
+
+
+class TestEulerConsistency:
+    def test_matches_combinatorial_on_small_complexes(self):
+        # All complexes on three 'abstract' vertices with <=2 facets.
+        verts = [(0, "a"), (1, "b"), (2, "c")]
+        simplices = [
+            Simplex(s)
+            for r in (1, 2, 3)
+            for s in itertools.combinations(verts, r)
+        ]
+        for pair in itertools.combinations(simplices, 2):
+            complex_ = SimplicialComplex(pair)
+            assert (
+                euler_characteristic_from_betti(complex_)
+                == complex_.euler_characteristic()
+            )
+
+    def test_sphere_euler(self):
+        assert sphere(2).euler_characteristic() == 2
+        assert euler_characteristic_from_betti(sphere(2)) == 2
+
+
+class TestDisjointUnionFingerprint:
+    def test_positive(self):
+        c = disjoint_union_of_simplices(
+            [[(0, "x"), (1, "x")], [(2, "y"), (3, "y"), (4, "y")], [(5, "z")]]
+        )
+        assert is_disjoint_union_of_simplices(c)
+        betti = betti_numbers(c)
+        assert betti[0] == 3
+        assert all(b == 0 for b in betti[1:])
+
+    def test_negative_shared_vertex(self):
+        c = SimplicialComplex(
+            [
+                Simplex([(0, "a"), (1, "b")]),
+                Simplex([(1, "b"), (2, "c")]),
+            ]
+        )
+        assert not is_disjoint_union_of_simplices(c)
+
+    def test_projection_shape_matches_homology(self):
+        # For a consistency projection, beta_0 equals the facet count.
+        c = disjoint_union_of_simplices(
+            [[(0, "k"), (1, "k")], [(2, "l")], [(3, "m"), (4, "m")]]
+        )
+        assert betti_numbers(c)[0] == c.facet_count()

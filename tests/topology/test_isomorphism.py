@@ -1,0 +1,79 @@
+"""Unit tests for complex isomorphism and projection canonical forms."""
+
+import pytest
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    are_isomorphic,
+    are_isomorphic_chromatic,
+    disjoint_union_of_simplices,
+    equal_as_projections,
+    facet_name_partition,
+    iter_isomorphisms,
+)
+
+
+def edge(v0, v1):
+    return SimplicialComplex([Simplex([v0, v1])])
+
+
+class TestChromaticIsomorphism:
+    def test_identical_complexes(self):
+        c = edge((0, "a"), (1, "b"))
+        assert are_isomorphic_chromatic(c, c)
+
+    def test_value_relabel_is_isomorphic(self):
+        left = edge((0, "a"), (1, "b"))
+        right = edge((0, "x"), (1, "y"))
+        assert are_isomorphic_chromatic(left, right)
+
+    def test_different_shapes_not_isomorphic(self):
+        left = edge((0, "a"), (1, "b"))
+        right = SimplicialComplex([Simplex([(0, "a")]), Simplex([(1, "b")])])
+        assert not are_isomorphic_chromatic(left, right)
+
+    def test_name_swap_needs_unrestricted(self):
+        left = SimplicialComplex([Simplex([(0, "a")]), Simplex([(1, "b"), (2, "c")])])
+        right = SimplicialComplex([Simplex([(2, "a")]), Simplex([(0, "b"), (1, "c")])])
+        assert not are_isomorphic_chromatic(left, right)
+        assert are_isomorphic(left, right)
+
+    def test_invariant_pruning(self):
+        # Same facet counts, different vertex degrees: quickly rejected.
+        left = SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")]), Simplex([(0, "a"), (2, "c")])]
+        )
+        right = SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")]), Simplex([(2, "c"), (3, "d")])]
+        )
+        assert not are_isomorphic(left, right)
+
+    def test_iter_isomorphisms_yields_maps(self):
+        c = SimplicialComplex([Simplex([(0, "a")]), Simplex([(0, "b")])])
+        isos = list(iter_isomorphisms(c, c, name_preserving=True))
+        # identity and the swap of the two values
+        assert len(isos) == 2
+
+
+class TestProjectionForms:
+    def test_facet_name_partition(self):
+        c = disjoint_union_of_simplices([[(0, "k"), (2, "k")], [(1, "l")]])
+        assert facet_name_partition(c) == ((0, 2), (1,))
+
+    def test_equal_as_projections_true(self):
+        left = disjoint_union_of_simplices([[(0, "k1"), (1, "k1")], [(2, "k2")]])
+        right = disjoint_union_of_simplices([[(0, "zz"), (1, "zz")], [(2, "qq")]])
+        assert equal_as_projections(left, right)
+
+    def test_equal_as_projections_false(self):
+        left = disjoint_union_of_simplices([[(0, "k"), (1, "k")], [(2, "l")]])
+        right = disjoint_union_of_simplices([[(0, "k")], [(1, "l"), (2, "l")]])
+        assert not equal_as_projections(left, right)
+
+    def test_rejects_non_projection(self):
+        shared = SimplicialComplex(
+            [Simplex([(0, "a"), (1, "b")]), Simplex([(1, "b"), (2, "c")])]
+        )
+        with pytest.raises(ValueError):
+            equal_as_projections(shared, shared)

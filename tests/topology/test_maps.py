@@ -1,0 +1,164 @@
+"""Unit tests for vertex/simplicial maps and map search."""
+
+import pytest
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    VertexMap,
+    exists_simplicial_map,
+    find_simplicial_map,
+    iter_simplicial_maps,
+    unique_name_preserving_map,
+)
+
+
+def edge(v0, v1) -> SimplicialComplex:
+    return SimplicialComplex([Simplex([v0, v1])])
+
+
+class TestVertexMap:
+    def test_total_required(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        with pytest.raises(ValueError):
+            VertexMap(src, dst, {(0, "a"): (0, "x")})
+
+    def test_target_membership_required(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        with pytest.raises(ValueError):
+            VertexMap(src, dst, {(0, "a"): (0, "zzz"), (1, "b"): (1, "y")})
+
+    def test_call_and_getitem(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        m = VertexMap(src, dst, {(0, "a"): (0, "x"), (1, "b"): (1, "y")})
+        assert m((0, "a")) == (0, "x")
+        assert m[(1, "b")] == (1, "y")
+
+    def test_is_simplicial_positive(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        m = VertexMap(src, dst, {(0, "a"): (0, "x"), (1, "b"): (1, "y")})
+        assert m.is_simplicial()
+
+    def test_is_simplicial_negative(self):
+        src = edge((0, "a"), (1, "b"))
+        # Target: two isolated vertices -- the edge cannot map onto them.
+        dst = SimplicialComplex([Simplex([(0, "x")]), Simplex([(1, "y")])])
+        m = VertexMap(src, dst, {(0, "a"): (0, "x"), (1, "b"): (1, "y")})
+        assert not m.is_simplicial()
+
+    def test_name_preserving(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        m = VertexMap(src, dst, {(0, "a"): (0, "x"), (1, "b"): (1, "y")})
+        assert m.is_name_preserving()
+
+    def test_not_name_preserving(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = edge((0, "x"), (1, "y"))
+        m = VertexMap(src, dst, {(0, "a"): (1, "y"), (1, "b"): (0, "x")})
+        assert not m.is_name_preserving()
+
+    def test_name_independent(self):
+        src = SimplicialComplex(
+            [Simplex([(0, "same"), (1, "same")]), Simplex([(2, "other")])]
+        )
+        dst = SimplicialComplex(
+            [Simplex([(0, 0), (1, 0)]), Simplex([(2, 1)])]
+        )
+        good = VertexMap(
+            src,
+            dst,
+            {(0, "same"): (0, 0), (1, "same"): (1, 0), (2, "other"): (2, 1)},
+        )
+        assert good.is_name_independent()
+
+    def test_not_name_independent(self):
+        src = SimplicialComplex(
+            [Simplex([(0, "same")]), Simplex([(1, "same")])]
+        )
+        dst = SimplicialComplex([Simplex([(0, 0)]), Simplex([(1, 1)])])
+        bad = VertexMap(src, dst, {(0, "same"): (0, 0), (1, "same"): (1, 1)})
+        assert not bad.is_name_independent()
+
+    def test_image_of(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = SimplicialComplex([Simplex([(0, "x"), (1, "x")])])
+        m = VertexMap(src, dst, {(0, "a"): (0, "x"), (1, "b"): (1, "x")})
+        image = m.image_of(next(iter(src.facets)))
+        assert image.dimension == 1
+
+
+class TestMapSearch:
+    def test_finds_identity(self):
+        c = edge((0, "a"), (1, "b"))
+        found = find_simplicial_map(c, c)
+        assert found is not None
+        assert found((0, "a")) == (0, "a")
+
+    def test_no_map_to_disconnected_target(self):
+        src = edge((0, "a"), (1, "b"))
+        dst = SimplicialComplex([Simplex([(0, "x")]), Simplex([(1, "y")])])
+        assert not exists_simplicial_map(src, dst)
+
+    def test_name_preserving_restricts_candidates(self):
+        src = SimplicialComplex([Simplex([(0, "a")])])
+        dst = SimplicialComplex([Simplex([(1, "x")])])
+        assert not exists_simplicial_map(src, dst, name_preserving=True)
+        assert exists_simplicial_map(src, dst, name_preserving=False)
+
+    def test_name_independent_search(self):
+        # Two vertices with equal values must map to equal values.
+        src = SimplicialComplex(
+            [Simplex([(0, "v")]), Simplex([(1, "v")])]
+        )
+        dst = SimplicialComplex([Simplex([(0, 0)]), Simplex([(1, 1)])])
+        assert exists_simplicial_map(src, dst, name_independent=False)
+        assert not exists_simplicial_map(src, dst, name_independent=True)
+
+    def test_iter_counts_all_maps(self):
+        # One isolated source vertex, target has two vertices of its name.
+        src = SimplicialComplex([Simplex([(0, "a")])])
+        dst = SimplicialComplex([Simplex([(0, "x")]), Simplex([(0, "y")])])
+        assert len(list(iter_simplicial_maps(src, dst))) == 2
+
+    def test_empty_source_has_trivial_map(self):
+        src = SimplicialComplex.empty()
+        dst = edge((0, "x"), (1, "y"))
+        assert exists_simplicial_map(src, dst)
+
+    def test_collapse_is_allowed(self):
+        # An edge may map onto a single target vertex set {(0,x),(1,x)}
+        # only if that pair is a simplex; mapping both endpoints to the
+        # same vertex is impossible name-preservingly, so check the
+        # unrestricted search collapses correctly.
+        src = edge((0, "a"), (1, "b"))
+        dst = SimplicialComplex([Simplex([(0, "x")])])
+        assert exists_simplicial_map(src, dst, name_preserving=False)
+
+
+class TestUniqueNamePreservingMap:
+    def test_forced_map_exists(self):
+        src = SimplicialComplex(
+            [Simplex([(0, "k1")]), Simplex([(1, "k2"), (2, "k2")])]
+        )
+        dst = SimplicialComplex(
+            [Simplex([(0, 1)]), Simplex([(1, 0), (2, 0)])]
+        )
+        forced = unique_name_preserving_map(src, dst)
+        assert forced is not None
+        assert forced((0, "k1")) == (0, 1)
+        assert forced.is_simplicial()
+
+    def test_none_when_name_missing(self):
+        src = SimplicialComplex([Simplex([(5, "k")])])
+        dst = SimplicialComplex([Simplex([(0, 1)])])
+        assert unique_name_preserving_map(src, dst) is None
+
+    def test_none_when_target_ambiguous(self):
+        src = SimplicialComplex([Simplex([(0, "k")])])
+        dst = SimplicialComplex([Simplex([(0, 1)]), Simplex([(0, 2)])])
+        assert unique_name_preserving_map(src, dst) is None

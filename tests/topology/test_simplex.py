@@ -1,0 +1,113 @@
+"""Unit tests for chromatic vertices and simplices."""
+
+import pytest
+
+from repro.topology import Simplex, Vertex, as_vertex
+
+
+class TestVertex:
+    def test_fields(self):
+        v = Vertex(2, "x")
+        assert v.name == 2
+        assert v.value == "x"
+
+    def test_equals_plain_tuple(self):
+        assert Vertex(1, "a") == (1, "a")
+
+    def test_with_value(self):
+        assert Vertex(1, "a").with_value("b") == Vertex(1, "b")
+
+    def test_as_vertex_coerces(self):
+        assert as_vertex((3, None)) == Vertex(3, None)
+
+    def test_as_vertex_passthrough(self):
+        v = Vertex(0, ())
+        assert as_vertex(v) is v
+
+    def test_hashable_in_sets(self):
+        assert len({Vertex(1, "a"), (1, "a"), Vertex(1, "b")}) == 2
+
+
+class TestSimplexBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([])
+
+    def test_dimension(self):
+        assert Simplex([(0, "a")]).dimension == 0
+        assert Simplex([(0, "a"), (1, "b"), (2, "c")]).dimension == 2
+
+    def test_duplicate_vertices_collapse(self):
+        s = Simplex([(0, "a"), (0, "a")])
+        assert len(s) == 1
+
+    def test_equality_is_structural(self):
+        assert Simplex([(0, "a"), (1, "b")]) == Simplex([(1, "b"), (0, "a")])
+
+    def test_contains_vertex(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        assert (0, "a") in s
+        assert Vertex(1, "b") in s
+        assert (0, "b") not in s
+
+    def test_contains_garbage_is_false(self):
+        assert "nonsense" not in Simplex([(0, "a")])
+
+    def test_sorted_vertices_by_name(self):
+        s = Simplex([(2, "c"), (0, "a"), (1, "b")])
+        assert [v.name for v in s.sorted_vertices()] == [0, 1, 2]
+
+    def test_iteration_is_canonical(self):
+        s = Simplex([(1, "b"), (0, "a")])
+        assert [v.name for v in s] == [0, 1]
+
+
+class TestSimplexFaces:
+    def test_face_count(self):
+        s = Simplex([(0, "a"), (1, "b"), (2, "c")])
+        assert len(list(s.faces())) == 7  # 2^3 - 1
+
+    def test_proper_faces_exclude_self(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        proper = list(s.faces(proper=True))
+        assert s not in proper
+        assert len(proper) == 2  # the two vertices
+
+    def test_is_face_of(self):
+        big = Simplex([(0, "a"), (1, "b"), (2, "c")])
+        assert Simplex([(1, "b")]).is_face_of(big)
+        assert big.is_face_of(big)
+        assert not Simplex([(3, "d")]).is_face_of(big)
+
+
+class TestChromaticStructure:
+    def test_names(self):
+        assert Simplex([(0, "a"), (2, "b")]).names() == {0, 2}
+
+    def test_is_chromatic(self):
+        assert Simplex([(0, "a"), (1, "a")]).is_chromatic()
+        assert not Simplex([(0, "a"), (0, "b")]).is_chromatic()
+
+    def test_value_of(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        assert s.value_of(1) == "b"
+        with pytest.raises(KeyError):
+            s.value_of(9)
+
+    def test_value_partition_groups_equal_values(self):
+        s = Simplex([(0, "x"), (1, "y"), (2, "x"), (3, "y")])
+        assert s.value_partition() == [frozenset({0, 2}), frozenset({1, 3})]
+
+    def test_value_partition_all_distinct(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        assert len(s.value_partition()) == 2
+
+    def test_value_partition_all_equal(self):
+        s = Simplex([(0, "a"), (1, "a"), (2, "a")])
+        assert s.value_partition() == [frozenset({0, 1, 2})]
+
+    def test_rename(self):
+        s = Simplex([(0, "a"), (1, "b")])
+        renamed = s.rename({0: 1, 1: 0})
+        assert renamed.value_of(1) == "a"
+        assert renamed.value_of(0) == "b"
