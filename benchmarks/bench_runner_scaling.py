@@ -1,0 +1,88 @@
+"""Runner scaling: SerialEngine vs ProcessPoolEngine on a medium sweep.
+
+The sweep grammar guarantees engine-independent results, so the only
+question a pool answers is wall-clock: this benchmark times the same
+medium sweep (every shape of n=5, both models, two replicates of a
+sampling job) on the serial engine and on process pools of width 2 and
+4, and asserts along the way that the aggregated tables stay identical.
+On a single-core container the pool shows its dispatch overhead rather
+than a speedup; the extra_info fields record worker count and job count
+so the JSON output compares across machines.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.report import result_to_dict
+from repro.runner import ProcessPoolEngine, SerialEngine, SweepSpec, run_sweep
+
+SWEEP = SweepSpec.for_total_size(
+    5,
+    models=("blackboard", "clique"),
+    ports=("adversarial",),
+    kind="sample",
+    t=4,
+    samples=400,
+    replicates=(0, 1),
+    master_seed=0,
+)
+N_JOBS = len(SWEEP.expand())
+
+
+def _aggregate_bytes(outcome) -> str:
+    return json.dumps(result_to_dict(outcome.result()), sort_keys=True)
+
+
+_SERIAL_BYTES = None
+
+
+def _serial_bytes() -> str:
+    global _SERIAL_BYTES
+    if _SERIAL_BYTES is None:
+        _SERIAL_BYTES = _aggregate_bytes(run_sweep(SWEEP, engine=SerialEngine()))
+    return _SERIAL_BYTES
+
+
+def bench_runner_serial(benchmark):
+    """Baseline: the whole sweep in-process."""
+    outcome = benchmark(lambda: run_sweep(SWEEP, engine=SerialEngine()))
+    benchmark.extra_info["engine"] = "serial"
+    benchmark.extra_info["workers"] = 1
+    benchmark.extra_info["jobs"] = N_JOBS
+    assert _aggregate_bytes(outcome) == _serial_bytes()
+
+
+def bench_runner_process_2(benchmark):
+    """Process pool, 2 workers, chunked dispatch."""
+    outcome = benchmark(
+        lambda: run_sweep(SWEEP, engine=ProcessPoolEngine(workers=2))
+    )
+    benchmark.extra_info["engine"] = "process"
+    benchmark.extra_info["workers"] = 2
+    benchmark.extra_info["jobs"] = N_JOBS
+    assert _aggregate_bytes(outcome) == _serial_bytes()
+
+
+def bench_runner_process_4(benchmark):
+    """Process pool, 4 workers, chunked dispatch."""
+    outcome = benchmark(
+        lambda: run_sweep(SWEEP, engine=ProcessPoolEngine(workers=4))
+    )
+    benchmark.extra_info["engine"] = "process"
+    benchmark.extra_info["workers"] = 4
+    benchmark.extra_info["jobs"] = N_JOBS
+    assert _aggregate_bytes(outcome) == _serial_bytes()
+
+
+def bench_runner_selected_engine(benchmark, engine):
+    """The sweep on the engine chosen via ``--bench-engine``/``--bench-workers``.
+
+    This is the knob for measuring other machines: compare this entry's
+    JSON across invocations with different engine options.
+    """
+    outcome = benchmark(lambda: run_sweep(SWEEP, engine=engine))
+    benchmark.extra_info["engine"] = engine.name
+    benchmark.extra_info["workers"] = getattr(engine, "workers", 1)
+    benchmark.extra_info["jobs"] = N_JOBS
+    assert _aggregate_bytes(outcome) == _serial_bytes()

@@ -17,6 +17,9 @@ algorithms in synchronous anonymous systems, end to end:
   and the Theorem C.1 reduction;
 * :mod:`repro.analysis` -- the experiment harness regenerating every figure
   and theorem of the paper;
+* :mod:`repro.runner` -- parallel experiment orchestration: declarative
+  sweeps, serial/process-pool engines with deterministic per-job seed
+  streams, and resumable JSONL run directories;
 * :mod:`repro.viz` -- ASCII/DOT rendering of the paper's figures.
 
 Quickstart::
@@ -53,6 +56,16 @@ from .models import (
     round_robin_assignment,
 )
 from .randomness import RandomnessConfiguration, enumerate_size_shapes
+from .runner import (
+    ProcessPoolEngine,
+    RunDirectory,
+    RunSpec,
+    SerialEngine,
+    SweepSpec,
+    derive_seed,
+    make_engine,
+    run_sweep,
+)
 from .topology import Simplex, SimplicialComplex, Vertex
 
 __version__ = "1.0.0"
@@ -64,20 +77,28 @@ __all__ = [
     "MessagePassingModel",
     "OutputComplexTask",
     "PortAssignment",
+    "ProcessPoolEngine",
     "RandomnessConfiguration",
+    "RunDirectory",
+    "RunSpec",
+    "SerialEngine",
     "Simplex",
     "SimplicialComplex",
+    "SweepSpec",
     "SymmetryBreakingTask",
     "Vertex",
     "adversarial_assignment",
     "blackboard_solvable",
+    "derive_seed",
     "enumerate_size_shapes",
     "eventually_solvable",
     "k_leader_election",
     "leader_election",
+    "make_engine",
     "message_passing_worst_case_solvable",
     "random_assignment",
     "round_robin_assignment",
+    "run_sweep",
     "solving_probability_exact",
     "solving_probability_series",
     "weak_symmetry_breaking",

@@ -13,6 +13,7 @@ from .montecarlo import (
     Estimate,
     adaptive_estimate,
     estimate_solving_probability,
+    parallel_estimate,
     wilson_interval,
 )
 from .report import (
@@ -82,9 +83,32 @@ ALL_EXPERIMENTS = (
 )
 
 
-def run_all_experiments() -> list[ExperimentResult]:
-    """Run every experiment with default parameters, in paper order."""
-    return [generator() for generator in ALL_EXPERIMENTS]
+def iter_all_experiments(engine=None):
+    """Yield every experiment result as it completes, in paper order.
+
+    ``engine`` (a :class:`repro.runner.engines.ExecutionEngine`) fans the
+    generators out over a worker pool; ``None`` or a serial engine runs
+    them in-process exactly as before.  Yielding lazily lets callers
+    (like the ``experiments`` CLI command) stream output as each
+    experiment finishes instead of waiting for the whole registry.
+    """
+    if engine is None or getattr(engine, "name", "serial") == "serial":
+        for generator in ALL_EXPERIMENTS:
+            yield generator()
+        return
+    from ..runner.worker import execute_experiment
+
+    payloads = [{"index": i} for i in range(len(ALL_EXPERIMENTS))]
+    for record in engine.map(execute_experiment, payloads):
+        yield record["result"]
+
+
+def run_all_experiments(engine=None) -> list[ExperimentResult]:
+    """Run every experiment with default parameters, in paper order.
+
+    Materialized form of :func:`iter_all_experiments`.
+    """
+    return list(iter_all_experiments(engine))
 
 
 __all__ = [
@@ -93,6 +117,7 @@ __all__ = [
     "ExperimentResult",
     "adaptive_estimate",
     "estimate_solving_probability",
+    "parallel_estimate",
     "protocol_round_complexity",
     "result_from_dict",
     "result_to_csv",
@@ -122,6 +147,7 @@ __all__ = [
     "figure2_realization_complex",
     "figure3_output_projection",
     "figure4_solvability_equivalence",
+    "iter_all_experiments",
     "lemma43_divisibility",
     "lemma_b1_equiprobability",
     "run_all_experiments",

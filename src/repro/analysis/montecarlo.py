@@ -154,9 +154,59 @@ def adaptive_estimate(
     return Estimate(successes / samples, low, high, samples, confidence)
 
 
+def parallel_estimate(
+    alpha: RandomnessConfiguration,
+    task: SymmetryBreakingTask,
+    t: int,
+    ports: PortAssignment | None = None,
+    *,
+    samples: int = 2000,
+    batches: int = 8,
+    confidence: float = 0.95,
+    seed: int = 0,
+    engine=None,
+) -> Estimate:
+    """Monte-Carlo estimate with batches fanned out over a runner engine.
+
+    The sample budget splits into ``batches`` batches; each batch gets a
+    private seed derived from ``(seed, batch index)`` via the runner's
+    stream-splitting scheme, so the summed estimate is identical for a
+    serial engine and a process pool of any width.  With ``engine=None``
+    the batches run in-process (useful for testing the decomposition).
+    """
+    if samples < 1:
+        raise ValueError("need samples >= 1")
+    if not 1 <= batches <= samples:
+        raise ValueError("need 1 <= batches <= samples")
+    from ..runner.engines import SerialEngine
+    from ..runner.spec import derive_seed
+    from ..runner.worker import execute_sample_batch
+
+    engine = engine or SerialEngine()
+    base, extra = divmod(samples, batches)
+    payloads = [
+        {
+            "alpha": alpha,
+            "task": task,
+            "ports": ports,
+            "t": t,
+            "samples": base + (1 if index < extra else 0),
+            "seed": derive_seed(seed, f"mc-batch={index}"),
+        }
+        for index in range(batches)
+    ]
+    successes = sum(
+        record["successes"]
+        for record in engine.map(execute_sample_batch, payloads)
+    )
+    low, high = wilson_interval(successes, samples, confidence)
+    return Estimate(successes / samples, low, high, samples, confidence)
+
+
 __all__ = [
     "Estimate",
     "adaptive_estimate",
     "estimate_solving_probability",
+    "parallel_estimate",
     "wilson_interval",
 ]

@@ -9,6 +9,8 @@ phase-diagram   sweep all size shapes of n (both models)
 protocol        run an actual election protocol and report the outcome
 figures         render the paper's Figures 1-3 as text
 experiments     run reproduction experiments (all or by id)
+run             execute one runner job and print its JSON record
+sweep           expand and execute a sweep (parallel, resumable)
 
 Examples
 --------
@@ -18,6 +20,29 @@ python -m repro solve 2,4 --model clique --task k-leader:2
 python -m repro phase-diagram 5
 python -m repro protocol 2,3 --model clique --seed 7
 python -m repro experiments theorem-4.1 theorem-4.2
+
+Running sweeps
+--------------
+The ``run`` and ``sweep`` commands front the :mod:`repro.runner`
+subsystem (see ``RUNNER.md``).  A sweep is the cartesian product of its
+axes -- ``--shapes`` (or ``--n`` for every shape of a total size),
+``--models``, ``--ports``, ``--tasks``, and ``--replicates`` -- expanded
+into a deterministic job list.  ``--engine process --workers W`` fans
+jobs out over a process pool; because each job's seed derives from
+``(master seed, job key)``, the results are identical to ``--engine
+serial``.  ``--run-dir DIR`` streams one JSONL record per completed job
+and makes the sweep resumable: re-running against the same directory
+executes only the jobs not yet recorded.
+
+python -m repro run 2,3 --model clique --task leader
+python -m repro sweep --n 5 --models blackboard clique
+python -m repro sweep --shapes 2,3 1,2,2 --kind sample --t 4 \\
+    --engine process --workers 4 --run-dir runs/demo
+
+``phase-diagram``, ``experiments``, and ``report`` accept the same
+``--engine``/``--workers`` flags and route through the runner, so the
+existing commands parallelize for free (``--engine serial`` remains the
+default and reproduces the historical behaviour exactly).
 """
 
 from __future__ import annotations
@@ -26,73 +51,66 @@ import argparse
 import sys
 from typing import Sequence
 
-from .analysis import ALL_EXPERIMENTS
-from .core import (
-    ConsistencyChain,
-    expected_solving_time,
-    k_leader_election,
-    leader_and_deputy,
-    leader_election,
-    partition_into_teams,
-    threshold_election,
-    unique_ids,
-    weak_symmetry_breaking,
-)
+from .core import ConsistencyChain, expected_solving_time
 from .core.tasks import SymmetryBreakingTask
-from .models import (
-    PortAssignment,
-    adversarial_assignment,
-    random_assignment,
-    round_robin_assignment,
-)
+from .models import PortAssignment
 from .randomness import RandomnessConfiguration, enumerate_size_shapes
+from .runner import spec as runner_spec
+from .runner.engines import ENGINE_NAMES, ExecutionEngine, make_engine
 from .viz import format_table
 
 
 def _parse_sizes(text: str) -> tuple[int, ...]:
     try:
-        sizes = tuple(int(part) for part in text.split(","))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"sizes must look like '2,3', got {text!r}"
-        )
-    if not sizes or any(s < 1 for s in sizes):
-        raise argparse.ArgumentTypeError(f"sizes must be positive: {text!r}")
-    return sizes
+        return runner_spec.parse_sizes(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _make_task(spec: str, n: int) -> SymmetryBreakingTask:
     """Parse a task spec like ``leader``, ``k-leader:2``, ``teams:2,3``."""
-    name, _, arg = spec.partition(":")
-    if name == "leader":
-        return leader_election(n)
-    if name == "k-leader":
-        return k_leader_election(n, int(arg))
-    if name == "weak-sb":
-        return weak_symmetry_breaking(n)
-    if name == "unique-ids":
-        return unique_ids(n)
-    if name == "deputy":
-        return leader_and_deputy(n)
-    if name == "threshold":
-        low, high = (int(x) for x in arg.split(","))
-        return threshold_election(n, low, high)
-    if name == "teams":
-        return partition_into_teams(_parse_sizes(arg))
-    raise argparse.ArgumentTypeError(f"unknown task {spec!r}")
+    try:
+        return runner_spec.make_task(spec, n)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _make_ports(
     kind: str, sizes: tuple[int, ...], seed: int
 ) -> PortAssignment:
-    n = sum(sizes)
-    if kind == "adversarial":
-        return adversarial_assignment(sizes)
-    if kind == "round-robin":
-        return round_robin_assignment(n)
-    if kind == "random":
-        return random_assignment(n, seed)
-    raise argparse.ArgumentTypeError(f"unknown ports {kind!r}")
+    try:
+        ports = runner_spec.make_ports(kind, sizes, seed)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    if ports is None:
+        raise argparse.ArgumentTypeError(f"unknown ports {kind!r}")
+    return ports
+
+
+def _add_engine_args(p) -> None:
+    p.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="serial",
+        help="execution engine (default: serial)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine process (default: cpu count)",
+    )
+
+
+#: Port kinds a user can ask for ("none" is the internal blackboard marker).
+_CLI_PORT_KINDS = tuple(k for k in runner_spec.PORT_KINDS if k != "none")
+
+
+def _engine_from(args) -> ExecutionEngine:
+    try:
+        return make_engine(args.engine, workers=args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"{args.command}: {exc}")
 
 
 def _chain(args) -> tuple[RandomnessConfiguration, ConsistencyChain]:
@@ -148,22 +166,37 @@ def cmd_expected_time(args) -> int:
 
 
 def cmd_phase_diagram(args) -> int:
-    rows = []
-    for shape in enumerate_size_shapes(args.n):
-        alpha = RandomnessConfiguration.from_group_sizes(shape)
-        task = _make_task(args.task, alpha.n)
-        bb = ConsistencyChain(alpha).limit_solving_probability(task)
-        mp = ConsistencyChain(
-            alpha, adversarial_assignment(shape)
-        ).limit_solving_probability(task)
-        rows.append(
-            (
-                shape,
-                alpha.gcd,
-                "yes" if bb == 1 else "no",
-                "yes" if mp == 1 else "no",
-            )
+    from .runner import SweepSpec, run_sweep
+
+    try:
+        sweep = SweepSpec.for_total_size(
+            args.n,
+            models=("blackboard", "clique"),
+            ports=("adversarial",),
+            tasks=(args.task,),
         )
+        outcome = run_sweep(sweep, engine=_engine_from(args))
+    except ValueError as exc:  # e.g. a bad --task spec
+        raise SystemExit(f"phase-diagram: {exc}")
+    # Jobs expand blackboard-then-clique per shape; zip the pairs back
+    # into the historical two-column table.
+    by_shape: dict[tuple[int, ...], dict[str, bool]] = {}
+    gcds: dict[tuple[int, ...], int] = {}
+    for record in outcome.records:
+        shape = tuple(record["spec"]["sizes"])
+        by_shape.setdefault(shape, {})[record["spec"]["model"]] = record[
+            "value"
+        ]["solvable"]
+        gcds[shape] = record["gcd"]
+    rows = [
+        (
+            shape,
+            gcds[shape],
+            "yes" if verdicts["blackboard"] else "no",
+            "yes" if verdicts["clique"] else "no",
+        )
+        for shape, verdicts in by_shape.items()
+    ]
     print(
         format_table(
             ("sizes", "gcd", "blackboard", "clique (worst case)"), rows
@@ -285,7 +318,7 @@ def cmd_report(args) -> int:
     """Run all experiments and write JSON/CSV/Markdown reports."""
     from .analysis import run_all_experiments, write_report
 
-    results = run_all_experiments()
+    results = run_all_experiments(engine=_engine_from(args))
     paths = write_report(results, args.output)
     failed = [r.experiment_id for r in results if not r.passed]
     print(f"wrote {paths['json']}")
@@ -300,10 +333,11 @@ def cmd_report(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    from .analysis import iter_all_experiments
+
     wanted = set(args.ids)
     failed = []
-    for generator in ALL_EXPERIMENTS:
-        result = generator()
+    for result in iter_all_experiments(engine=_engine_from(args)):
         if wanted and result.experiment_id not in wanted:
             continue
         print(result.render())
@@ -313,6 +347,70 @@ def cmd_experiments(args) -> int:
     if failed:
         print("FAILED:", ", ".join(failed))
         return 1
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Execute one runner job locally and print its JSON record."""
+    import json
+
+    from .runner import RunSpec, execute_run
+
+    try:
+        spec = RunSpec(
+            sizes=args.sizes,
+            model=args.model,
+            ports=args.ports,
+            task=args.task,
+            kind=args.kind,
+            t=args.t,
+            samples=args.samples,
+            replicate=args.replicate,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"run: {exc}")
+    record = execute_run(
+        {"spec": spec.to_dict(), "master_seed": args.master_seed, "index": 0}
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Expand a sweep, execute it on the chosen engine, print the table."""
+    from .runner import SweepSpec, run_sweep
+
+    if (args.shapes is None) == (args.n is None):
+        raise SystemExit("sweep needs exactly one of --n or --shapes")
+    shapes = (
+        tuple(enumerate_size_shapes(args.n))
+        if args.n is not None
+        else tuple(args.shapes)
+    )
+    try:
+        sweep = SweepSpec(
+            shapes=shapes,
+            models=tuple(args.models),
+            ports=tuple(args.ports),
+            tasks=tuple(args.tasks),
+            kind=args.kind,
+            t=args.t,
+            samples=args.samples,
+            replicates=tuple(range(args.replicates)),
+            master_seed=args.master_seed,
+        )
+        # run_sweep expands first, so a bad --tasks spec or a run-dir
+        # manifest mismatch both surface here before any job executes.
+        outcome = run_sweep(
+            sweep, engine=_engine_from(args), run_dir=args.run_dir
+        )
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}")
+    print(outcome.result().render())
+    print(
+        f"jobs: {outcome.total} total, {outcome.executed} executed, "
+        f"{outcome.resumed} resumed"
+    )
     return 0
 
 
@@ -367,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("phase-diagram", help="sweep all shapes of n")
     p.add_argument("n", type=int)
     p.add_argument("--task", default="leader")
+    _add_engine_args(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -380,7 +479,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="run reproduction experiments")
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    _add_engine_args(p)
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "run", help="execute one runner job and print its JSON record"
+    )
+    p.add_argument("sizes", type=_parse_sizes, help="group sizes, e.g. 2,3")
+    p.add_argument(
+        "--model", choices=runner_spec.MODELS, default="blackboard"
+    )
+    p.add_argument(
+        "--ports",
+        choices=_CLI_PORT_KINDS,
+        default="adversarial",
+        help="port assignment for --model clique",
+    )
+    p.add_argument(
+        "--task",
+        default="leader",
+        help=(
+            "leader | k-leader:K | weak-sb | unique-ids | deputy | "
+            "threshold:LO,HI | teams:S1,S2,..."
+        ),
+    )
+    p.add_argument("--kind", choices=runner_spec.KINDS, default="exact")
+    p.add_argument("--t", type=int, default=4, help="horizon for --kind sample")
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--replicate", type=int, default=0)
+    p.add_argument("--master-seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "sweep", help="expand and execute a sweep (parallel, resumable)"
+    )
+    p.add_argument("--n", type=int, help="sweep every size shape of n")
+    p.add_argument(
+        "--shapes",
+        type=_parse_sizes,
+        nargs="+",
+        help="explicit size shapes, e.g. --shapes 2,3 1,2,2",
+    )
+    p.add_argument(
+        "--models",
+        nargs="+",
+        choices=runner_spec.MODELS,
+        default=runner_spec.MODELS,
+    )
+    p.add_argument(
+        "--ports",
+        nargs="+",
+        choices=_CLI_PORT_KINDS,
+        default=("adversarial",),
+    )
+    p.add_argument(
+        "--tasks",
+        nargs="+",
+        default=("leader",),
+        help="task specs (see --task on solve)",
+    )
+    p.add_argument("--kind", choices=runner_spec.KINDS, default="exact")
+    p.add_argument("--t", type=int, default=4, help="horizon for --kind sample")
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument(
+        "--replicates", type=int, default=1, help="independent repetitions"
+    )
+    p.add_argument("--master-seed", type=int, default=0)
+    p.add_argument(
+        "--run-dir", default=None, help="JSONL run directory (resumable)"
+    )
+    _add_engine_args(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "graphs", help="anonymous-graph worst-case analysis (k=1 slice)"
@@ -403,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run all experiments and write JSON/CSV/Markdown"
     )
     p.add_argument("output", help="output directory")
+    _add_engine_args(p)
     p.set_defaults(func=cmd_report)
 
     return parser

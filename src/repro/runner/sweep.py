@@ -1,0 +1,186 @@
+"""Sweep orchestration: expand, schedule, execute, persist, aggregate.
+
+:func:`run_sweep` is the runner's front door.  It expands a
+:class:`~repro.runner.spec.SweepSpec` into its job list, subtracts jobs
+already recorded in the run directory (if one is given), maps the rest
+through the chosen engine, streams each record to disk as it completes,
+and folds the full record set back into the package's uniform
+:class:`~repro.analysis.result.ExperimentResult` container.
+
+Aggregation sorts records by job index -- the position in the expanded
+job list -- so the result table is identical whatever order the engine
+completed the jobs in, and whatever mix of resumed and fresh records
+contributed.  Timing fields are deliberately excluded from the aggregate
+so two runs of the same sweep compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from .engines import ExecutionEngine, SerialEngine
+from .persistence import RunDirectory
+from .spec import SweepSpec, derive_seed
+from .worker import execute_run
+
+
+@dataclass
+class SweepOutcome:
+    """What a sweep produced: records, the aggregate, and run accounting."""
+
+    sweep: SweepSpec
+    #: All job records, sorted by job index (resumed and fresh alike).
+    records: list[dict]
+    #: How many jobs ran in this invocation.
+    executed: int
+    #: How many jobs were skipped because the run directory had them.
+    resumed: int
+    #: Fields like the aggregate are derived; see :meth:`result`.
+    _result: "object | None" = field(default=None, repr=False)
+
+    @property
+    def total(self) -> int:
+        """Total number of jobs in the expanded sweep."""
+        return len(self.records)
+
+    def result(self):
+        """The aggregate as an ``ExperimentResult`` (computed lazily)."""
+        if self._result is None:
+            self._result = aggregate_records(self.sweep, self.records)
+        return self._result
+
+
+def aggregate_records(sweep: SweepSpec, records: list[dict]):
+    """Fold job records into an ``ExperimentResult`` table.
+
+    One row per job, in job-index order.  Exact sweeps report the limit
+    probability and a yes/no solvability verdict; sampling sweeps report
+    the estimate with its Wilson confidence interval.
+    """
+    from ..analysis.montecarlo import wilson_interval
+    from ..analysis.result import ExperimentResult
+
+    ordered = sorted(records, key=lambda r: r["index"])
+    rows = []
+    for record in ordered:
+        spec = record["spec"]
+        value = record["value"]
+        base = (
+            tuple(spec["sizes"]),
+            record["gcd"],
+            spec["model"],
+            spec["ports"],
+            spec["task"],
+            spec["replicate"],
+        )
+        if sweep.kind == "exact":
+            rows.append(
+                base
+                + (value["limit"], "yes" if value["solvable"] else "no")
+            )
+        else:
+            low, high = wilson_interval(
+                value["successes"], value["samples"]
+            )
+            rows.append(
+                base
+                + (
+                    f"{value['estimate']:.4f}",
+                    f"[{low:.4f}, {high:.4f}]",
+                    value["samples"],
+                )
+            )
+    value_headers = (
+        ("limit", "solvable")
+        if sweep.kind == "exact"
+        else ("estimate", "wilson 95%", "samples")
+    )
+    return ExperimentResult(
+        experiment_id="runner-sweep",
+        title=(
+            f"{sweep.kind} sweep: {len(ordered)} jobs over "
+            f"{len(sweep.shapes)} shapes (master seed {sweep.master_seed})"
+        ),
+        headers=("sizes", "gcd", "model", "ports", "task", "rep")
+        + value_headers,
+        rows=rows,
+        notes=[
+            "per-job seeds derive from (master_seed, job_key); results "
+            "are engine- and worker-count-independent"
+        ],
+    )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    engine: ExecutionEngine | None = None,
+    run_dir: "str | pathlib.Path | None" = None,
+    progress=None,
+) -> SweepOutcome:
+    """Execute a sweep, optionally resuming from a run directory.
+
+    ``engine`` defaults to :class:`~repro.runner.engines.SerialEngine`.
+    With ``run_dir``, each completed job is appended to
+    ``records.jsonl`` immediately, and jobs already recorded there are
+    not re-run.  ``progress`` (if given) is called with each fresh record
+    as it completes.
+    """
+    engine = engine or SerialEngine()
+    jobs = sweep.expand()
+    payloads = [
+        {"spec": spec.to_dict(), "master_seed": sweep.master_seed, "index": i}
+        for i, spec in enumerate(jobs)
+    ]
+    directory: RunDirectory | None = None
+    prior: list[dict] = []
+    if run_dir is not None:
+        directory = RunDirectory(run_dir)
+        directory.write_manifest(
+            {
+                "sweep": sweep.to_dict(),
+                "jobs": [spec.job_key for spec in jobs],
+            }
+        )
+        valid = {
+            spec.job_key: derive_seed(sweep.master_seed, spec.job_key)
+            for spec in jobs
+        }
+        key_to_index = {spec.job_key: i for i, spec in enumerate(jobs)}
+        done = set()
+        for record in directory.load_records():
+            key = record.get("key")
+            # The seed check rejects records produced under a different
+            # master seed (job keys alone don't encode it), so stale
+            # cross-seed records can never leak into the aggregate.
+            if (
+                key in valid
+                and key not in done
+                and record.get("seed") == valid[key]
+            ):
+                done.add(key)
+                # Re-anchor the index to THIS sweep's expansion: a
+                # hand-copied record may carry another sweep's position.
+                prior.append({**record, "index": key_to_index[key]})
+        payloads = [
+            p for p in payloads if jobs[p["index"]].job_key not in done
+        ]
+    executed = 0
+    fresh: list[dict] = []
+    for record in engine.map(execute_run, payloads):
+        if directory is not None:
+            directory.append(record)
+        fresh.append(record)
+        executed += 1
+        if progress is not None:
+            progress(record)
+    records = sorted(prior + fresh, key=lambda r: r["index"])
+    return SweepOutcome(
+        sweep=sweep,
+        records=records,
+        executed=executed,
+        resumed=len(prior),
+    )
+
+
+__all__ = ["SweepOutcome", "aggregate_records", "run_sweep"]

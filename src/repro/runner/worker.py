@@ -1,0 +1,155 @@
+"""Job execution functions, safe to ship into worker processes.
+
+Everything here is a module-level function taking one JSON-ish payload
+dict and returning one JSON-ish record dict, so ``ProcessPoolExecutor``
+can pickle the callable by reference and the arguments by value.  The
+payload carries the sweep's master seed; the job's private seed is
+re-derived *inside* the worker from ``(master_seed, job_key)``, so the
+result cannot depend on which worker ran the job or in what order.
+
+Imports of :mod:`repro.analysis` stay inside function bodies: the
+analysis package grows runner-backed parallel paths of its own, and
+module-level imports in either direction would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from ..core.markov import ConsistencyChain
+from ..core.probability import solving_probability_sampled
+from ..randomness.configuration import RandomnessConfiguration
+from .spec import RunSpec, derive_seed, make_ports, make_task
+
+
+def execute_run(payload: dict) -> dict:
+    """Execute one :class:`~repro.runner.spec.RunSpec` job.
+
+    ``payload`` is ``{"spec": <RunSpec dict>, "master_seed": int,
+    "index": int}``; the result record echoes the spec, its key and index
+    (aggregation order), the derived seed, and the job's value fields.
+    """
+    spec = RunSpec.from_dict(payload["spec"])
+    master_seed = int(payload.get("master_seed", 0))
+    seed = derive_seed(master_seed, spec.job_key)
+    started = time.perf_counter()
+    alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+    task = make_task(spec.task, alpha.n)
+    # Random ports and Monte-Carlo sampling get *disjoint* streams split
+    # off the job seed; sharing one seed would correlate the sampled
+    # realizations with the randomly drawn port assignment.
+    ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
+    value: dict
+    if spec.kind == "exact":
+        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        value = {
+            "limit": str(limit),
+            "limit_float": float(limit),
+            "solvable": limit == 1,
+        }
+    else:  # sample
+        estimate = solving_probability_sampled(
+            alpha,
+            task,
+            spec.t,
+            ports,
+            samples=spec.samples,
+            seed=derive_seed(seed, "samples"),
+        )
+        value = {
+            "estimate": estimate,
+            "successes": round(estimate * spec.samples),
+            "samples": spec.samples,
+        }
+    return {
+        "key": spec.job_key,
+        "index": int(payload.get("index", 0)),
+        "spec": spec.to_dict(),
+        "seed": seed,
+        "gcd": alpha.gcd,
+        "value": value,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def execute_experiment(payload: dict) -> dict:
+    """Run one registered experiment generator by registry index.
+
+    ``payload`` is ``{"index": int}`` into ``ALL_EXPERIMENTS``; the record
+    carries the :class:`~repro.analysis.result.ExperimentResult` *object*
+    (pickled across the pool boundary), so row cells keep their native
+    types -- ``run_all_experiments`` returns identical results whatever
+    the engine.
+    """
+    from ..analysis import ALL_EXPERIMENTS
+
+    index = int(payload["index"])
+    started = time.perf_counter()
+    result = ALL_EXPERIMENTS[index]()
+    return {
+        "index": index,
+        "result": result,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def execute_sample_batch(payload: dict) -> dict:
+    """Monte-Carlo-sample one batch for the parallel estimator.
+
+    ``payload`` carries pickled ``alpha``/``task``/``ports`` objects plus
+    ``t``, ``samples``, and the batch's pre-derived ``seed``; the record
+    reports the batch's success count so batches can be summed exactly.
+    """
+    samples = int(payload["samples"])
+    estimate = solving_probability_sampled(
+        payload["alpha"],
+        payload["task"],
+        int(payload["t"]),
+        payload.get("ports"),
+        samples=samples,
+        seed=int(payload["seed"]),
+    )
+    return {
+        "successes": round(estimate * samples),
+        "samples": samples,
+    }
+
+
+def execute_port_chunk(payload: dict) -> dict:
+    """Fold the exact solvability limit over a chunk of port assignments.
+
+    ``payload`` is ``{"sizes": [...], "task": str, "tables": [...]}``
+    where each table is one clique port assignment; the record carries the
+    chunk's min/max limit and solvable/total counts for exact re-folding.
+    """
+    from ..models.ports import PortAssignment
+
+    sizes = tuple(payload["sizes"])
+    alpha = RandomnessConfiguration.from_group_sizes(sizes)
+    task = make_task(payload["task"], alpha.n)
+    lowest = Fraction(1)
+    highest = Fraction(0)
+    solvable = 0
+    total = 0
+    for table in payload["tables"]:
+        ports = PortAssignment([list(row) for row in table])
+        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        lowest = min(lowest, limit)
+        highest = max(highest, limit)
+        solvable += limit == 1
+        total += 1
+    return {
+        "lowest": str(lowest),
+        "highest": str(highest),
+        "solvable": solvable,
+        "total": total,
+    }
+
+
+__all__ = [
+    "execute_experiment",
+    "execute_port_chunk",
+    "execute_run",
+    "execute_sample_batch",
+]

@@ -1,0 +1,76 @@
+"""CLI round-trips for the runner: ``run``, ``sweep``, engine flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_exact_record_round_trips(self, capsys):
+        assert main(["run", "2,3", "--model", "clique"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["sizes"] == [2, 3]
+        assert record["value"]["solvable"] is True
+        assert "key" in record and "seed" in record
+
+    def test_sample_record(self, capsys):
+        assert main(
+            ["run", "1,2", "--kind", "sample", "--t", "3", "--samples", "64"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["value"]["samples"] == 64
+        assert 0 <= record["value"]["estimate"] <= 1
+
+
+class TestSweepCommand:
+    def test_sweep_by_total_size(self, capsys):
+        assert main(["sweep", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(2, 2)" in out
+        assert "jobs: 10 total, 10 executed, 0 resumed" in out
+
+    def test_sweep_requires_one_shape_source(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "4", "--shapes", "2,2"])
+
+    def test_process_engine_matches_serial(self, capsys):
+        args = ["sweep", "--shapes", "1,2", "2,2", "--kind", "sample",
+                "--t", "3", "--samples", "80", "--master-seed", "5"]
+        assert main(args + ["--engine", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--engine", "process", "--workers", "2"]) == 0
+        process_out = capsys.readouterr().out
+        assert serial_out == process_out
+
+    def test_sweep_resumes_from_run_dir(self, tmp_path, capsys):
+        args = ["sweep", "--n", "4", "--run-dir", str(tmp_path / "run")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "10 executed, 0 resumed" in first
+        assert (tmp_path / "run" / "records.jsonl").exists()
+        assert (tmp_path / "run" / "manifest.json").exists()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 10 resumed" in second
+        # The aggregated table itself is identical across the resume.
+        assert first.split("jobs:")[0] == second.split("jobs:")[0]
+
+
+class TestEngineFlagsOnExistingCommands:
+    def test_phase_diagram_process_engine_matches_serial(self, capsys):
+        assert main(["phase-diagram", "4"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["phase-diagram", "4", "--engine", "process", "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_experiments_accept_engine_flag(self, capsys):
+        assert main(
+            ["experiments", "figure-3", "--engine", "serial"]
+        ) == 0
+        assert "figure-3" in capsys.readouterr().out

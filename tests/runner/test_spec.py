@@ -1,0 +1,136 @@
+"""Sweep grammar: expansion counts, canonical keys, seed derivation."""
+
+import pytest
+
+from repro.runner import RunSpec, SweepSpec, derive_seed
+
+
+class TestRunSpec:
+    def test_blackboard_normalizes_ports(self):
+        spec = RunSpec(sizes=(2, 3), model="blackboard", ports="random")
+        assert spec.ports == "none"
+
+    def test_clique_keeps_ports(self):
+        spec = RunSpec(sizes=(2, 3), model="clique", ports="round-robin")
+        assert spec.ports == "round-robin"
+
+    def test_job_key_omits_sampling_fields_for_exact(self):
+        exact = RunSpec(sizes=(2, 3), kind="exact", t=4, samples=100)
+        also = RunSpec(sizes=(2, 3), kind="exact", t=9, samples=999)
+        assert exact.job_key == also.job_key
+
+    def test_job_key_includes_sampling_fields_for_sample(self):
+        a = RunSpec(sizes=(2, 3), kind="sample", t=4)
+        b = RunSpec(sizes=(2, 3), kind="sample", t=5)
+        assert a.job_key != b.job_key
+
+    def test_dict_round_trip(self):
+        spec = RunSpec(
+            sizes=(1, 2), model="clique", ports="random", task="k-leader:2",
+            kind="sample", t=3, samples=50, replicate=7,
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sizes": ()},
+            {"sizes": (0, 2)},
+            {"sizes": (2,), "model": "mesh"},
+            {"sizes": (2,), "model": "clique", "ports": "bogus"},
+            {"sizes": (2,), "model": "blackboard", "ports": "bogus"},
+            {"sizes": (2,), "task": "bogus"},
+            {"sizes": (2,), "task": "k-leader:x"},
+            {"sizes": (2,), "kind": "bogus"},
+            {"sizes": (2,), "t": 0},
+            {"sizes": (2,), "samples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RunSpec(**kwargs)
+
+
+class TestSweepSpec:
+    def test_expansion_count(self):
+        sweep = SweepSpec(
+            shapes=((1, 2), (2, 2), (3,)),
+            models=("clique",),
+            ports=("adversarial", "round-robin"),
+            tasks=("leader", "weak-sb"),
+            kind="sample",
+            replicates=(0, 1, 2),
+        )
+        assert len(sweep.expand()) == 3 * 1 * 2 * 2 * 3
+
+    def test_exact_replicates_collapse_for_deterministic_jobs(self):
+        # Exact jobs with non-random ports consume no randomness, so a
+        # replicates axis must not re-run identical computations...
+        sweep = SweepSpec(
+            shapes=((1, 2),),
+            models=("clique",),
+            ports=("adversarial",),
+            replicates=(0, 1, 2, 3),
+        )
+        assert len(sweep.expand()) == 1
+        # ...but exact jobs with *random* ports do consume the seed, so
+        # their replicates stay distinct.
+        random_ports = SweepSpec(
+            shapes=((1, 2),),
+            models=("clique",),
+            ports=("random",),
+            replicates=(0, 1, 2, 3),
+        )
+        assert len(random_ports.expand()) == 4
+
+    def test_blackboard_jobs_deduplicate_over_ports(self):
+        sweep = SweepSpec(
+            shapes=((1, 2),),
+            models=("blackboard", "clique"),
+            ports=("adversarial", "round-robin", "random"),
+        )
+        jobs = sweep.expand()
+        # 1 blackboard job (ports collapse) + 3 clique jobs.
+        assert len(jobs) == 4
+        assert len({j.job_key for j in jobs}) == 4
+
+    def test_for_total_size_matches_shape_enumeration(self):
+        from repro.randomness import enumerate_size_shapes
+
+        sweep = SweepSpec.for_total_size(5)
+        assert sweep.shapes == tuple(enumerate_size_shapes(5))
+
+    def test_expansion_is_deterministic(self):
+        sweep = SweepSpec.for_total_size(
+            4, models=("blackboard", "clique"), replicates=(0, 1)
+        )
+        keys = [j.job_key for j in sweep.expand()]
+        assert keys == [j.job_key for j in sweep.expand()]
+
+    def test_dict_round_trip(self):
+        sweep = SweepSpec(
+            shapes=((1, 2), (4,)),
+            models=("clique",),
+            kind="sample",
+            samples=10,
+            master_seed=99,
+        )
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+
+    def test_depends_on_both_inputs(self):
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+
+    def test_known_value_pins_the_scheme(self):
+        # Changing the derivation silently would break resumed run
+        # directories; pin concrete values so the change is loud.
+        assert derive_seed(
+            0, "sizes=2,3;model=blackboard;ports=none;task=leader;kind=exact;rep=0"
+        ) == 4297432778500606839
+        assert derive_seed(12345, "x") == 6565193953476843337
+        assert 0 <= derive_seed(12345, "x") < 2 ** 63

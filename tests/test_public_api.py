@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.algorithms",
     "repro.analysis",
+    "repro.runner",
     "repro.viz",
 ]
 
