@@ -12,6 +12,10 @@ algorithms in synchronous anonymous systems, end to end:
 * :mod:`repro.core` -- protocol/realization complexes, consistency
   projections, solvability (Definitions 3.1/3.4), exact ``Pr[S(t)|alpha]``
   and its 0/1 limits, Theorems 4.1/4.2 and generalizations;
+* :mod:`repro.chain` -- the compiled consistency-chain engine behind
+  :class:`~repro.core.markov.ConsistencyChain`: interned states, sparse
+  transition matrices, dual exact/float backends, process-wide memo and
+  optional on-disk cache (see ``CHAIN.md``);
 * :mod:`repro.algorithms` -- runnable protocols: blackboard leader
   election, Algorithm 1 (CreateMatching), the Euclid-style leader election,
   and the Theorem C.1 reduction;
@@ -33,6 +37,7 @@ Quickstart::
     chain.eventually_solvable(task)          # False: no n_i == 1 (Thm 4.1)
 """
 
+from .chain import CompiledChain, compile_chain
 from .core import (
     ConsistencyChain,
     CountTask,
@@ -72,6 +77,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BlackboardModel",
+    "CompiledChain",
     "ConsistencyChain",
     "CountTask",
     "MessagePassingModel",
@@ -89,6 +95,7 @@ __all__ = [
     "Vertex",
     "adversarial_assignment",
     "blackboard_solvable",
+    "compile_chain",
     "derive_seed",
     "enumerate_size_shapes",
     "eventually_solvable",

@@ -24,7 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.leader_election import leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import CompiledChain, compile_chain
 from ..models.ports import adversarial_assignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -53,7 +53,7 @@ def fitted_decay_rate(
 
 
 def exact_tail_ratio(
-    chain: ConsistencyChain,
+    chain: "CompiledChain | object",
     task,
     *,
     horizon: int = 24,
@@ -78,7 +78,7 @@ def convergence_rates(horizon: int = 20) -> ExperimentResult:
     for sizes in ((1, 2), (1, 2, 2), (1, 2, 2, 2), (1, 3)):
         alpha = RandomnessConfiguration.from_group_sizes(sizes)
         task = leader_election(alpha.n)
-        chain = ConsistencyChain(alpha)
+        chain = compile_chain(alpha)
         series = chain.solving_probability_series(task, horizon)
         fit = fitted_decay_rate(series, skip=horizon // 2)
         ratio = exact_tail_ratio(chain, task, horizon=horizon)
@@ -107,7 +107,7 @@ def convergence_rates(horizon: int = 20) -> ExperimentResult:
     for sizes in ((2, 3), (1, 2)):
         alpha = RandomnessConfiguration.from_group_sizes(sizes)
         task = leader_election(alpha.n)
-        chain = ConsistencyChain(alpha, adversarial_assignment(sizes))
+        chain = compile_chain(alpha, adversarial_assignment(sizes))
         series = chain.solving_probability_series(task, horizon)
         ratio = exact_tail_ratio(chain, task, horizon=horizon)
         if ratio is None:

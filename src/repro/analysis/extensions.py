@@ -13,7 +13,7 @@ from fractions import Fraction
 
 from ..core.hitting_time import expected_solving_time
 from ..core.leader_election import leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import compile_chain
 from ..core.task_zoo import (
     blackboard_leader_and_deputy_solvable,
     blackboard_threshold_solvable,
@@ -55,8 +55,8 @@ def extension_task_zoo(n_max: int = 5) -> ExperimentResult:
             for name, task, bb_predictor, mp_predictor in tasks:
                 bb_pred = bb_predictor(alpha)
                 mp_pred = mp_predictor(alpha)
-                bb = ConsistencyChain(alpha).eventually_solvable(task)
-                mp = ConsistencyChain(alpha, ports).eventually_solvable(task)
+                bb = compile_chain(alpha).eventually_solvable(task)
+                mp = compile_chain(alpha, ports).eventually_solvable(task)
                 ok = bb == bb_pred and mp == mp_pred
                 passed &= ok
                 rows.append(
@@ -108,9 +108,9 @@ def extension_expected_times(n_max: int = 6) -> ExperimentResult:
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            bb = expected_solving_time(ConsistencyChain(alpha), task)
+            bb = expected_solving_time(compile_chain(alpha), task)
             mp = expected_solving_time(
-                ConsistencyChain(alpha, adversarial_assignment(shape)), task
+                compile_chain(alpha, adversarial_assignment(shape)), task
             )
             bb_ok = (bb is not None) == (1 in shape)
             mp_ok = (mp is not None) == (alpha.gcd == 1)

@@ -17,7 +17,7 @@ from ..algorithms.euclid_leader import EuclidLeaderNode
 from ..algorithms.network import BlackboardNetwork, CliqueNetwork
 from ..core.hitting_time import expected_solving_time
 from ..core.leader_election import leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import compile_chain
 from ..models.ports import adversarial_assignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -71,7 +71,7 @@ def protocol_round_complexity(
     for shape in blackboard_shapes:
         alpha = RandomnessConfiguration.from_group_sizes(shape)
         task = leader_election(alpha.n)
-        expected = expected_solving_time(ConsistencyChain(alpha), task)
+        expected = expected_solving_time(compile_chain(alpha), task)
         assert expected is not None
         predicted = float(expected) + 1
         mean, stderr = _protocol_mean_rounds(shape, clique=False, runs=runs)
@@ -94,7 +94,7 @@ def protocol_round_complexity(
         alpha = RandomnessConfiguration.from_group_sizes(shape)
         task = leader_election(alpha.n)
         expected = expected_solving_time(
-            ConsistencyChain(alpha, adversarial_assignment(shape)), task
+            compile_chain(alpha, adversarial_assignment(shape)), task
         )
         assert expected is not None
         mean, stderr = _protocol_mean_rounds(shape, clique=True, runs=runs)

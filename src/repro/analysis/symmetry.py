@@ -24,7 +24,7 @@ import itertools
 from typing import Iterator
 
 from ..core.leader_election import leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import compile_chain
 from ..models.ports import PortAssignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -85,8 +85,12 @@ def symmetry_census(
         total = 0
         for ports in iter_all_port_assignments(alpha.n):
             total += 1
+            # One-shot chains per enumerated assignment: skip the memo
+            # so the census does not pin thousands of chains in memory.
             is_solvable = (
-                ConsistencyChain(alpha, ports).limit_solving_probability(task)
+                compile_chain(
+                    alpha, ports, use_memo=False
+                ).limit_solving_probability(task)
                 == 1
             )
             symmetric = has_nontrivial_automorphism(ports, alpha)

@@ -17,7 +17,7 @@ from ..core.characterization import (
     message_passing_worst_case_solvable,
 )
 from ..core.leader_election import k_leader_election, leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import compile_chain
 from ..core.reachability import gcd_divides_k, worst_case_k_leader_solvable
 from ..core.zero_one import (
     blackboard_unique_source_linear_bound,
@@ -52,7 +52,7 @@ def theorem41_blackboard(n_max: int = 5, t_max: int = 6) -> ExperimentResult:
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            chain = ConsistencyChain(alpha)
+            chain = compile_chain(alpha)
             series = chain.solving_probability_series(task, t_max)
             limit = chain.limit_solving_probability(task)
             predicted = Fraction(1) if blackboard_solvable(alpha) else Fraction(0)
@@ -94,7 +94,7 @@ def theorem41_convergence(
         sizes = (1,) + (2,) * (k - 1)
         alpha = RandomnessConfiguration.from_group_sizes(sizes)
         task = leader_election(alpha.n)
-        series = ConsistencyChain(alpha).solving_probability_series(task, t_max)
+        series = compile_chain(alpha).solving_probability_series(task, t_max)
         for t, prob in enumerate(series, start=1):
             strong = blackboard_unique_source_lower_bound(k, t)
             linear = blackboard_unique_source_linear_bound(k, t)
@@ -134,9 +134,9 @@ def theorem42_message_passing(
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            adv = ConsistencyChain(alpha, adversarial_assignment(shape))
+            adv = compile_chain(alpha, adversarial_assignment(shape))
             adv_limit = adv.limit_solving_probability(task)
-            rr = ConsistencyChain(alpha, round_robin_assignment(n))
+            rr = compile_chain(alpha, round_robin_assignment(n))
             rr_limit = rr.limit_solving_probability(task)
             predicted = message_passing_worst_case_solvable(alpha)
             ok = (
@@ -238,11 +238,11 @@ def extension_k_leader(n_max: int = 7) -> ExperimentResult:
                 chain_check = "-"
                 if n <= 5:
                     task = k_leader_election(n, k)
-                    limit = ConsistencyChain(
+                    limit = compile_chain(
                         alpha, adversarial_assignment(shape)
                     ).limit_solving_probability(task)
                     agree &= (limit == 1) == oracle
-                    bb_limit = ConsistencyChain(alpha).limit_solving_probability(task)
+                    bb_limit = compile_chain(alpha).limit_solving_probability(task)
                     agree &= (bb_limit == 1) == bb
                     chain_check = f"adv={float(limit):g} bb={float(bb_limit):g}"
                 passed &= agree

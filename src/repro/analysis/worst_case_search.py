@@ -22,7 +22,7 @@ from fractions import Fraction
 from typing import Iterator
 
 from ..core.leader_election import leader_election
-from ..core.markov import ConsistencyChain
+from ..chain import compile_chain
 from ..models.ports import PortAssignment, adversarial_assignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -104,7 +104,10 @@ def exhaustive_worst_case(
     solvable = 0
     total = 0
     for ports in iter_all_port_assignments(alpha.n):
-        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        # One-shot chains: compile unmemoized to bound memo growth.
+        limit = compile_chain(
+            alpha, ports, use_memo=False
+        ).limit_solving_probability(task)
         lowest = min(lowest, limit)
         highest = max(highest, limit)
         solvable += limit == 1
@@ -130,7 +133,7 @@ def worst_case_port_search(
         lowest, highest, solvable, total = exhaustive_worst_case(
             shape, engine=engine
         )
-        lemma_limit = ConsistencyChain(
+        lemma_limit = compile_chain(
             alpha, adversarial_assignment(shape)
         ).limit_solving_probability(task)
         predicted_worst = Fraction(1) if alpha.gcd == 1 else Fraction(0)

@@ -1,0 +1,65 @@
+"""Compiled consistency-chain engine (interning, compilation, backends).
+
+The package-level API:
+
+* :func:`compile_chain` -- compile (or fetch memoized/cached) the chain
+  of one ``(alpha, ports)`` configuration;
+* :class:`CompiledChain` -- interned states, sparse integer transitions,
+  and every query of the seed :class:`~repro.core.markov.ConsistencyChain`
+  under both an exact ``Fraction`` backend and a numpy ``float64``
+  backend (``backend="exact" | "float"``);
+* :func:`configure_disk_cache` -- persist compilations across worker
+  processes and runs.
+
+``repro.core.markov`` keeps its historical API as a thin facade over
+this engine; see ``CHAIN.md`` for the design.
+"""
+
+from .backends import BACKENDS, validate_backend
+from .cache import ChainDiskCache, configure_disk_cache, disk_cache
+from .engine import (
+    MAX_NODES,
+    ChainKey,
+    CompiledChain,
+    back_port_tables,
+    chain_key,
+    clear_memo,
+    compile_chain,
+    memo_size,
+    neighbour_tables,
+    refine_labels,
+)
+from .interning import (
+    LabelVector,
+    StateTable,
+    block_count,
+    block_sizes,
+    blocks_from_labels,
+    canonical_labels,
+    labels_from_blocks,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ChainDiskCache",
+    "ChainKey",
+    "CompiledChain",
+    "LabelVector",
+    "MAX_NODES",
+    "StateTable",
+    "back_port_tables",
+    "block_count",
+    "block_sizes",
+    "blocks_from_labels",
+    "canonical_labels",
+    "chain_key",
+    "clear_memo",
+    "compile_chain",
+    "configure_disk_cache",
+    "disk_cache",
+    "labels_from_blocks",
+    "memo_size",
+    "neighbour_tables",
+    "refine_labels",
+    "validate_backend",
+]

@@ -1,0 +1,116 @@
+"""Optional on-disk cache of compiled chains.
+
+The process-wide memo in :mod:`repro.chain.engine` already guarantees
+one compilation per chain per process; this module extends that across
+*processes* (a pool of sweep workers) and across *runs* (a resumed run
+directory).  Chains are pickled one file per structural key under a
+cache directory; the file name is the SHA-256 of the key's canonical
+repr, so the cache is safe to share between concurrent workers -- at
+worst two workers compile the same chain once each and one write wins
+(writes go through an atomic rename).
+
+The cache is opt-in: :func:`configure_disk_cache` installs a directory
+process-wide (the runner does this for sweeps given a ``--run-dir``),
+and ``configure_disk_cache(None)`` turns it back off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+
+from .engine import ChainKey, CompiledChain
+
+
+def key_digest(key: ChainKey) -> str:
+    """Stable content hash of a structural chain key."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class ChainDiskCache:
+    """A directory of pickled :class:`CompiledChain` objects."""
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: ChainKey) -> pathlib.Path:
+        return self.root / f"{key_digest(key)}.chain.pkl"
+
+    def load(self, key: ChainKey) -> CompiledChain | None:
+        """The cached chain for ``key``, or ``None``.
+
+        A hit is validated against the full key (hash collisions and
+        stale formats both surface as a miss, never as wrong results);
+        unreadable files are treated as misses.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                chain = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(chain, CompiledChain) or chain.key != key:
+            return None
+        return chain
+
+    def store(self, chain: CompiledChain) -> "pathlib.Path | None":
+        """Persist a chain (atomic rename; concurrent writers are safe).
+
+        Best-effort: a vanished cache directory, a full disk, or a
+        permission change degrade to ``None`` (the chain is simply not
+        persisted) rather than failing the computation that produced it.
+        """
+        path = self.path_for(chain.key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=path.name, suffix=".tmp"
+            )
+        except OSError:
+            return None
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(chain, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            if isinstance(exc, OSError):
+                return None
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.chain.pkl")))
+
+
+#: The process-wide cache used by ``compile_chain`` (None = disabled).
+_DISK_CACHE: ChainDiskCache | None = None
+
+
+def configure_disk_cache(
+    root: "str | os.PathLike[str] | None",
+) -> ChainDiskCache | None:
+    """Install (or, with ``None``, remove) the process-wide disk cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = None if root is None else ChainDiskCache(root)
+    return _DISK_CACHE
+
+
+def disk_cache() -> ChainDiskCache | None:
+    """The currently configured cache, if any."""
+    return _DISK_CACHE
+
+
+__all__ = [
+    "ChainDiskCache",
+    "configure_disk_cache",
+    "disk_cache",
+    "key_digest",
+]

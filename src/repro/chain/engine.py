@@ -1,0 +1,547 @@
+"""The compiled consistency-chain engine.
+
+:func:`compile_chain` explores the reachable consistency-partition space
+of one ``(alpha, ports)`` pair exactly once and emits a
+:class:`CompiledChain`: interned states (dense integer ids over
+restricted-growth label vectors), sparse integer transition arrays, and
+states topologically sorted by block count so absorption probabilities
+and hitting times solve in a single reverse pass.
+
+Transition weights are stored as integer counts out of ``2^(k-1)``
+enumerated source-bit vectors (bit vectors and their complements refine
+identically), so the exact backend reproduces the seed's ``Fraction``
+results digit for digit while the float backend reads the same counts as
+``float64`` weights.
+
+A process-wide memo keyed by the chain's *structural* content (the
+source assignment and the neighbour/back-port tables) means a sweep that
+touches the same configuration from many call sites -- per task, per
+time horizon, per experiment -- compiles it exactly once.  An optional
+disk cache (:mod:`repro.chain.cache`) extends the memo across worker
+processes and runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from fractions import Fraction
+
+import numpy as np
+
+from ..randomness.configuration import RandomnessConfiguration
+from .backends import (
+    absorption_exact,
+    absorption_float,
+    distribution_exact,
+    distribution_float,
+    expected_exact,
+    expected_float,
+    mass_exact,
+    series_exact,
+    series_float,
+    step_exact,
+    validate_backend,
+)
+from .interning import (
+    LabelVector,
+    StateTable,
+    block_count,
+    block_sizes,
+    blocks_from_labels,
+    canonical_labels,
+)
+
+#: Refuse chains that would be astronomically large.
+MAX_NODES = 10
+
+#: Structural memo key: (assignment, neighbour tables, back-port tables).
+ChainKey = tuple
+
+
+def refine_labels(
+    labels: LabelVector,
+    node_bits: "tuple[int, ...]",
+    neigh: "tuple[tuple[int, ...], ...] | None",
+    back: "tuple[tuple[int, ...], ...] | None",
+) -> LabelVector:
+    """One synchronous refinement round on an integer label vector.
+
+    ``node_bits[i]`` is node ``i``'s source bit this round; ``neigh`` is
+    ``None`` for the blackboard (Eq. 1) or the per-node neighbour tables
+    for message passing (Eq. 2); ``back`` additionally carries the
+    sender-side ports under the classical anonymous-network semantics.
+    """
+    n = len(labels)
+    if neigh is None:
+        keys = [(labels[i], node_bits[i]) for i in range(n)]
+    elif back is None:
+        keys = [
+            (
+                labels[i],
+                node_bits[i],
+                tuple(labels[j] for j in neigh[i]),
+            )
+            for i in range(n)
+        ]
+    else:
+        keys = [
+            (
+                labels[i],
+                node_bits[i],
+                tuple(
+                    (labels[j], port)
+                    for j, port in zip(neigh[i], back[i])
+                ),
+            )
+            for i in range(n)
+        ]
+    relabel: dict = {}
+    out = []
+    for key in keys:
+        index = relabel.get(key)
+        if index is None:
+            index = relabel[key] = len(relabel)
+        out.append(index)
+    return tuple(out)
+
+
+def neighbour_tables(ports) -> tuple[tuple[int, ...], ...]:
+    """Per-node neighbour tuples of a port assignment or graph topology."""
+    return tuple(ports.neighbours(node) for node in range(ports.n))
+
+
+def back_port_tables(ports) -> tuple[tuple[int, ...], ...]:
+    """Sender-side ports of each received message, per node in port order."""
+    return tuple(
+        tuple(ports.port_to(nbr, node) for nbr in ports.neighbours(node))
+        for node in range(ports.n)
+    )
+
+
+def chain_key(
+    alpha: RandomnessConfiguration,
+    ports=None,
+    *,
+    include_back_ports: bool = False,
+) -> ChainKey:
+    """The structural memo/cache key of a chain.
+
+    Purely value-based: two :class:`PortAssignment`/``GraphTopology``
+    objects with the same tables produce the same key, so memoization
+    survives reconstruction of equal configurations.
+    """
+    if ports is None:
+        return (alpha.assignment, None, None)
+    neigh = neighbour_tables(ports)
+    back = back_port_tables(ports) if include_back_ports else None
+    return (alpha.assignment, neigh, back)
+
+
+def _task_content_key(task) -> "tuple | None":
+    """A value-based cache key for tasks that expose one.
+
+    :class:`~repro.core.tasks.CountTask` legality is fully determined by
+    ``(n, count multisets)``; other task classes return ``None`` and are
+    cached by weak identity instead.
+    """
+    multisets = getattr(task, "count_multisets", None)
+    if callable(multisets):
+        return ("count", task.n, multisets())
+    return None
+
+
+class CompiledChain:
+    """One configuration's consistency chain, compiled to flat arrays.
+
+    States are dense integer ids, topologically sorted by block count
+    (state 0 is the single-block initial state); transitions are stored
+    per state as ``(dst, count)`` pairs with ``count`` out of
+    :attr:`denom` enumerated source-bit vectors.  All queries accept a
+    ``backend`` argument: ``"exact"`` (Fraction) or ``"float"`` (numpy).
+    """
+
+    def __init__(
+        self,
+        key: ChainKey,
+        n: int,
+        k: int,
+        labels: tuple[LabelVector, ...],
+        out: tuple[tuple[tuple[int, int], ...], ...],
+    ):
+        self.key = key
+        self.n = n
+        self.k = k
+        self.denom = 2 ** (k - 1)
+        self.labels = labels
+        self.block_counts = tuple(block_count(v) for v in labels)
+        self._out = out
+        self._ids = {v: sid for sid, v in enumerate(labels)}
+        self.start = self._ids[(0,) * n]
+        self._coo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Masks for content-keyed tasks (CountTask and friends): chains
+        #: are process-immortal via the memo, so identity keys would pin
+        #: every freshly-constructed task forever.  Tasks without a
+        #: content key fall back to a weak identity map.
+        self._mask_cache: dict[tuple, tuple[bool, ...]] = {}
+        self._weak_masks: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._partitions: list | None = None
+        self._exact_weights: tuple | None = None
+        #: Exact distributions by time; [0] is the point mass on start.
+        self._dist_exact: list[dict[int, Fraction]] = [
+            {self.start: Fraction(1)}
+        ]
+
+    # -- pickling: drop per-process caches (task masks key on identity) --
+    def __getstate__(self):
+        return {
+            "key": self.key,
+            "n": self.n,
+            "k": self.k,
+            "labels": self.labels,
+            "_out": self._out,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["key"], state["n"], state["k"],
+            state["labels"], state["_out"],
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(edges) for edges in self._out)
+
+    def state_id(self, labels: LabelVector) -> int | None:
+        """Dense id of a label vector (``None`` if unreachable)."""
+        return self._ids.get(labels)
+
+    def out_edges(self, sid: int) -> tuple[tuple[int, int], ...]:
+        """``(dst, count)`` pairs; weights are ``count / denom``."""
+        return self._out[sid]
+
+    def exact_out_edges(self, sid: int) -> tuple[tuple[int, Fraction], ...]:
+        """``(dst, weight)`` pairs with pre-built exact ``Fraction`` weights."""
+        if self._exact_weights is None:
+            self._exact_weights = tuple(
+                tuple(
+                    (dst, Fraction(cnt, self.denom)) for dst, cnt in edges
+                )
+                for edges in self._out
+            )
+        return self._exact_weights[sid]
+
+    def transitions_exact(self, sid: int) -> dict[int, Fraction]:
+        """Next-state distribution from ``sid`` as exact Fractions."""
+        return dict(self.exact_out_edges(sid))
+
+    def cached_distribution_exact(self, t: int) -> dict[int, Fraction]:
+        """The exact distribution at time ``t``, stepped at most once ever.
+
+        Task-independent and therefore shared by every query against
+        this chain; callers must treat the returned dict as read-only
+        (the public :meth:`state_distribution` hands out copies).
+        """
+        cache = self._dist_exact
+        while len(cache) <= t:
+            cache.append(step_exact(self, cache[-1]))
+        return cache[t]
+
+    def partition_of(self, sid: int):
+        """State ``sid`` as the facade's canonical ``PartitionState``."""
+        if self._partitions is None:
+            self._partitions = [None] * self.num_states
+        cached = self._partitions[sid]
+        if cached is None:
+            cached = self._partitions[sid] = blocks_from_labels(
+                self.labels[sid]
+            )
+        return cached
+
+    def coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(src, dst, weight)`` float64 arrays (built lazily)."""
+        if self._coo is None:
+            src, dst, cnt = [], [], []
+            for sid, edges in enumerate(self._out):
+                for d, c in edges:
+                    src.append(sid)
+                    dst.append(d)
+                    cnt.append(c)
+            self._coo = (
+                np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                np.asarray(cnt, dtype=np.float64) / self.denom,
+            )
+        return self._coo
+
+    # ------------------------------------------------------------------
+    # Task solvability bitmasks
+    # ------------------------------------------------------------------
+    def solvable_mask(self, task) -> tuple[bool, ...]:
+        """Per-state solvability, evaluated once per task into a bitmask.
+
+        Symmetric tasks (the package contract) depend only on the
+        multiset of block sizes, so the task predicate runs once per
+        distinct size multiset rather than once per (state, query).
+        Count-profile tasks are cached by *content* (equal tasks built
+        at different call sites share one mask); other tasks by weak
+        identity, so this immortal chain never pins dead task objects.
+        """
+        key = _task_content_key(task)
+        cached = (
+            self._mask_cache.get(key)
+            if key is not None
+            else self._weak_masks.get(task)
+        )
+        if cached is None:
+            by_sizes: dict[tuple[int, ...], bool] = {}
+            mask = []
+            for sid, labels in enumerate(self.labels):
+                sizes = block_sizes(labels)
+                verdict = by_sizes.get(sizes)
+                if verdict is None:
+                    verdict = by_sizes[sizes] = task.solvable_from_partition(
+                        [frozenset(b) for b in self.partition_of(sid)]
+                    )
+                mask.append(verdict)
+            cached = tuple(mask)
+            if key is not None:
+                self._mask_cache[key] = cached
+            else:
+                self._weak_masks[task] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state_distribution(self, t: int, *, backend: str = "exact"):
+        """Distribution over state ids after ``t`` rounds."""
+        if t < 0:
+            raise ValueError("need t >= 0")
+        if validate_backend(backend) == "exact":
+            return dict(distribution_exact(self, t))
+        return distribution_float(self, t)
+
+    def solving_probability(self, task, t: int, *, backend: str = "exact"):
+        """``Pr[S(t) | alpha]`` for a symmetric task."""
+        if t < 0:
+            raise ValueError("need t >= 0")
+        mask = self.solvable_mask(task)
+        if validate_backend(backend) == "exact":
+            return mass_exact(distribution_exact(self, t), mask)
+        dist = distribution_float(self, t)
+        return float(dist[np.asarray(mask, dtype=bool)].sum())
+
+    def solving_probability_series(
+        self, task, t_max: int, *, backend: str = "exact"
+    ):
+        """``[Pr[S(1)], ..., Pr[S(t_max)]]`` sharing work across times."""
+        mask = self.solvable_mask(task)
+        if validate_backend(backend) == "exact":
+            return series_exact(self, mask, t_max)
+        return series_float(self, mask, t_max)
+
+    def absorption_probabilities(self, task, *, backend: str = "exact"):
+        """Per-state probability of ever solving (indexed by state id)."""
+        mask = self.solvable_mask(task)
+        if validate_backend(backend) == "exact":
+            return absorption_exact(self, mask)
+        return absorption_float(self, mask)
+
+    def limit_solving_probability(self, task, *, backend: str = "exact"):
+        """Exact (or float) ``lim_t Pr[S(t) | alpha]``."""
+        return self.absorption_probabilities(task, backend=backend)[
+            self.start
+        ]
+
+    def eventually_solvable(self, task) -> bool:
+        """Definition 3.3 decided exactly; asserts the zero-one law."""
+        limit = self.limit_solving_probability(task)
+        if limit not in (Fraction(0), Fraction(1)):
+            raise AssertionError(
+                f"zero-one law violated: limit {limit} for chain {self.key!r}"
+            )
+        return limit == 1
+
+    def expected_times(self, task, *, backend: str = "exact"):
+        """Per-state expected rounds to first solve (``None`` = infinite)."""
+        mask = self.solvable_mask(task)
+        if validate_backend(backend) == "exact":
+            return expected_exact(self, mask)
+        return expected_float(self, mask)
+
+    def expected_solving_time(self, task, *, backend: str = "exact"):
+        """Expected rounds until the partition first solves ``task``.
+
+        ``None`` when the task is not solved almost surely from the
+        initial state (the expectation is infinite).
+        """
+        if backend == "exact":
+            if self.limit_solving_probability(task) != 1:
+                return None
+        return self.expected_times(task, backend=backend)[self.start]
+
+    def solving_time_quantile(
+        self, task, q, *, t_cap: int = 512, backend: str = "exact"
+    ) -> int | None:
+        """Smallest ``t`` with ``Pr[S(t)] >= q`` (None if not by cap)."""
+        if not 0 < float(q) <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        mask = self.solvable_mask(task)
+        if validate_backend(backend) == "exact":
+            for t in range(1, t_cap + 1):
+                dist = self.cached_distribution_exact(t)
+                if mass_exact(dist, mask) >= q:
+                    return t
+            return None
+        src, dst, weight = self.coo()
+        mask_array = np.asarray(mask, dtype=bool)
+        dist = np.zeros(self.num_states)
+        dist[self.start] = 1.0
+        for t in range(1, t_cap + 1):
+            nxt = np.zeros(self.num_states)
+            np.add.at(nxt, dst, dist[src] * weight)
+            dist = nxt
+            if float(dist[mask_array].sum()) >= float(q):
+                return t
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledChain(n={self.n}, k={self.k}, "
+            f"states={self.num_states}, transitions={self.num_transitions})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _compile(
+    key: ChainKey, alpha: RandomnessConfiguration
+) -> CompiledChain:
+    """Explore the reachable space once and freeze it into arrays."""
+    assignment, neigh, back = key
+    n, k = alpha.n, alpha.k
+    table = StateTable()
+    start = table.intern((0,) * n)
+    transitions: list[dict[int, int]] = []
+    frontier = [start]
+    while frontier:
+        sid = frontier.pop()
+        while len(transitions) <= sid:
+            transitions.append({})
+        counts = transitions[sid]
+        labels = table.labels_of(sid)
+        # Bit vectors and their complements refine identically; fix the
+        # first source's bit to halve the enumeration (the seed trick).
+        for rest in itertools.product((0, 1), repeat=k - 1):
+            source_bits = (0, *rest)
+            node_bits = tuple(source_bits[assignment[i]] for i in range(n))
+            nxt_labels = refine_labels(labels, node_bits, neigh, back)
+            known = table.get(nxt_labels)
+            if known is None:
+                known = table.intern(nxt_labels)
+                frontier.append(known)
+            counts[known] = counts.get(known, 0) + 1
+    # Topological reindex: ascending block count (refinement strictly
+    # increases it except for self-loops), ties broken by label vector
+    # for determinism.
+    order = sorted(
+        range(len(table)),
+        key=lambda sid: (block_count(table.labels_of(sid)), table.labels_of(sid)),
+    )
+    renumber = {old: new for new, old in enumerate(order)}
+    labels = tuple(table.labels_of(old) for old in order)
+    out = tuple(
+        tuple(
+            sorted(
+                (renumber[dst], cnt)
+                for dst, cnt in transitions[old].items()
+            )
+        )
+        for old in order
+    )
+    return CompiledChain(key, n, k, labels, out)
+
+
+#: Process-wide memo: one compilation per structural chain, ever.
+_MEMO: dict[ChainKey, CompiledChain] = {}
+
+
+def clear_memo() -> None:
+    """Drop all memoized compiled chains (tests, memory pressure)."""
+    _MEMO.clear()
+
+
+def memo_size() -> int:
+    return len(_MEMO)
+
+
+def compile_chain(
+    alpha: RandomnessConfiguration,
+    ports=None,
+    *,
+    include_back_ports: bool = False,
+    use_memo: bool = True,
+) -> CompiledChain:
+    """The compiled chain of ``(alpha, ports)``, memoized process-wide.
+
+    ``ports=None`` selects the blackboard model; a
+    :class:`~repro.models.ports.PortAssignment` or
+    :class:`~repro.models.graph.GraphTopology` selects message passing.
+    With a disk cache configured (:func:`repro.chain.cache.configure_disk_cache`)
+    compilations persist across worker processes and runs.
+    """
+    if alpha.n > MAX_NODES:
+        raise ValueError(
+            f"exact chain supports n <= {MAX_NODES}, got {alpha.n}"
+        )
+    if ports is not None and ports.n != alpha.n:
+        raise ValueError("port assignment size does not match alpha")
+    if ports is None and include_back_ports:
+        raise ValueError("back ports are meaningless on a blackboard")
+    key = chain_key(alpha, ports, include_back_ports=include_back_ports)
+    if not use_memo:
+        # One-shot chains (exhaustive port enumerations) skip BOTH the
+        # memo and the disk cache: each is queried once and never again,
+        # so persisting them would only flood the cache directory.
+        return _compile(key, alpha)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    from .cache import disk_cache
+
+    store = disk_cache()
+    if store is not None:
+        cached = store.load(key)
+        if cached is not None:
+            _MEMO[key] = cached
+            return cached
+    chain = _compile(key, alpha)
+    _MEMO[key] = chain
+    if store is not None:
+        store.store(chain)
+    return chain
+
+
+__all__ = [
+    "ChainKey",
+    "CompiledChain",
+    "MAX_NODES",
+    "back_port_tables",
+    "chain_key",
+    "clear_memo",
+    "compile_chain",
+    "memo_size",
+    "neighbour_tables",
+    "refine_labels",
+]

@@ -51,7 +51,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core import ConsistencyChain, expected_solving_time
+from .chain import BACKENDS
+from .core import ConsistencyChain
 from .core.tasks import SymmetryBreakingTask
 from .models import PortAssignment
 from .randomness import RandomnessConfiguration, enumerate_size_shapes
@@ -115,10 +116,23 @@ def _engine_from(args) -> ExecutionEngine:
 
 def _chain(args) -> tuple[RandomnessConfiguration, ConsistencyChain]:
     alpha = RandomnessConfiguration.from_group_sizes(args.sizes)
+    backend = getattr(args, "backend", "exact")
     if args.model == "blackboard":
-        return alpha, ConsistencyChain(alpha)
+        return alpha, ConsistencyChain(alpha, backend=backend)
     ports = _make_ports(args.ports, args.sizes, args.seed)
-    return alpha, ConsistencyChain(alpha, ports)
+    return alpha, ConsistencyChain(alpha, ports, backend=backend)
+
+
+def _add_backend_arg(p) -> None:
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="exact",
+        help=(
+            "chain arithmetic: exact Fractions (default) or numpy "
+            "float64 (large state spaces / long horizons)"
+        ),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -132,12 +146,16 @@ def cmd_solve(args) -> int:
         f"configuration: sizes {alpha.group_sizes} (n={alpha.n}, "
         f"k={alpha.k}, gcd={alpha.gcd})"
     )
+    print(f"backend: {chain.backend}")
     print(f"model: {args.model}" + (
         f" ({args.ports} ports)" if args.model == "clique" else ""
     ))
     print(f"task: {task}")
-    print(f"exact limit of Pr[S(t)]: {limit}")
-    print("eventually solvable:", "YES" if limit == 1 else "NO")
+    print(f"limit of Pr[S(t)]: {limit}")
+    # The exact backend yields a true 0/1 Fraction; the float backend can
+    # land within rounding error of 1.
+    solvable = limit == 1 if chain.backend == "exact" else limit > 1 - 1e-9
+    print("eventually solvable:", "YES" if solvable else "NO")
     return 0
 
 
@@ -149,14 +167,17 @@ def cmd_series(args) -> int:
         (t, str(p), f"{float(p):.6f}")
         for t, p in enumerate(series, start=1)
     ]
-    print(format_table(("t", "Pr[S(t)] exact", "~"), rows))
+    label = "exact" if chain.backend == "exact" else "float64"
+    print(format_table(("t", f"Pr[S(t)] {label}", "~"), rows))
     return 0
 
 
 def cmd_expected_time(args) -> int:
     alpha, chain = _chain(args)
     task = _make_task(args.task, alpha.n)
-    expected = expected_solving_time(chain, task)
+    expected = chain.compiled.expected_solving_time(
+        task, backend=chain.backend
+    )
     if expected is None:
         print("expected time: infinite (task not eventually solvable)")
     else:
@@ -451,15 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="decide eventual solvability")
     add_common(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("series", help="exact Pr[S(t)] series")
     add_common(p)
+    _add_backend_arg(p)
     p.add_argument("--t-max", type=int, default=8)
     p.set_defaults(func=cmd_series)
 
     p = sub.add_parser("expected-time", help="exact expected solving time")
     add_common(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_expected_time)
 
     p = sub.add_parser("phase-diagram", help="sweep all shapes of n")

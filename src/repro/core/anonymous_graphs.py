@@ -108,11 +108,18 @@ def randomized_worst_case_solvable(
     Uses the exact chain limit per labeling; only for small graphs (the
     labeling count is capped at ``limit``).
     """
+    from ..chain import compile_chain
+
     if alpha.n != base.n:
         raise ValueError("configuration and topology sizes differ")
     for labeled in base.iter_labelings(limit=limit):
-        chain = ConsistencyChain(
-            alpha, labeled, include_back_ports=include_back_ports
+        # One-shot chains, one per labeling: bypass the process-wide
+        # memo so exhaustive labeling sweeps do not pin them forever.
+        chain = compile_chain(
+            alpha,
+            labeled,
+            include_back_ports=include_back_ports,
+            use_memo=False,
         )
         if not chain.eventually_solvable(task):
             return False

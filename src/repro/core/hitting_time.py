@@ -1,11 +1,12 @@
-"""Exact expected time-to-solve, via the consistency chain.
+"""Exact expected time-to-solve, via the compiled consistency chain.
 
 The paper characterizes *whether* ``lim Pr[S(t)|alpha] = 1``; the partition
 Markov chain also yields *how fast*: the expected number of rounds until
 the consistency partition first solves the task (the expected hitting time
 of the solving set).  Because transitions only refine the partition, the
 chain is acyclic up to self-loops and the standard first-step equations
-solve in one topological pass, exactly, over ``Fraction``:
+solve in one reverse-topological pass over the compiled chain's sparse
+transition arrays, exactly, over ``Fraction``:
 
     E[s] = 0                                   if s solves the task
     E[s] = (1 + sum_{s' != s} P(s->s') E[s']) / (1 - P(s->s))   otherwise
@@ -18,18 +19,29 @@ This quantifies, e.g., how much harder leader election gets as sources are
 shared: independent pairs solve in expected 2 rounds, while configuration
 ``(1, 2, 2)`` needs 8/3 rounds of knowledge exchange before some node's
 knowledge is unique.
+
+Every function accepts either the :class:`ConsistencyChain` facade or a
+raw :class:`~repro.chain.engine.CompiledChain`.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
-from .markov import ConsistencyChain, single_block_state
+from ..chain import CompiledChain
+from .markov import ConsistencyChain
 from .tasks import SymmetryBreakingTask
 
 
+def _compiled(chain: "ConsistencyChain | CompiledChain") -> CompiledChain:
+    """Accept the facade or the engine object alike."""
+    if isinstance(chain, ConsistencyChain):
+        return chain.compiled
+    return chain
+
+
 def expected_solving_time(
-    chain: ConsistencyChain, task: SymmetryBreakingTask
+    chain: "ConsistencyChain | CompiledChain", task: SymmetryBreakingTask
 ) -> Fraction | None:
     """Exact expected rounds until the partition first solves ``task``.
 
@@ -39,65 +51,26 @@ def expected_solving_time(
     protocols need one extra round to turn the state into outputs, since
     the partition becomes common knowledge with a one-round lag.
     """
-    if chain.limit_solving_probability(task) != 1:
-        return None
-    states = sorted(chain.reachable_states(), key=len, reverse=True)
-    expected: dict = {}
-    for state in states:
-        if task.solvable_from_partition([frozenset(b) for b in state]):
-            expected[state] = Fraction(0)
-            continue
-        moves = chain.transitions(state)
-        self_loop = moves.get(state, Fraction(0))
-        if self_loop == 1:
-            # Unreachable here: limit 1 guarantees escape from every
-            # reachable non-solving state, but guard for safety.
-            return None
-        total = Fraction(1)
-        for nxt, step in moves.items():
-            if nxt != state:
-                sub = expected.get(nxt)
-                if sub is None:
-                    return None
-                total += step * sub
-        expected[state] = total / (1 - self_loop)
-    return expected[single_block_state(chain.alpha.n)]
+    return _compiled(chain).expected_solving_time(task)
 
 
 def expected_time_table(
-    chain: ConsistencyChain, task: SymmetryBreakingTask
+    chain: "ConsistencyChain | CompiledChain", task: SymmetryBreakingTask
 ) -> dict:
     """Expected remaining time from every reachable state (diagnostics).
 
     States from which the task is unreachable map to ``None``.
     """
-    out: dict = {}
-    states = sorted(chain.reachable_states(), key=len, reverse=True)
-    for state in states:
-        if task.solvable_from_partition([frozenset(b) for b in state]):
-            out[state] = Fraction(0)
-            continue
-        moves = chain.transitions(state)
-        self_loop = moves.get(state, Fraction(0))
-        if self_loop == 1:
-            out[state] = None
-            continue
-        total = Fraction(1)
-        feasible = True
-        for nxt, step in moves.items():
-            if nxt == state:
-                continue
-            sub = out.get(nxt)
-            if sub is None:
-                feasible = False
-                break
-            total += step * sub
-        out[state] = total / (1 - self_loop) if feasible else None
-    return out
+    compiled = _compiled(chain)
+    times = compiled.expected_times(task)
+    return {
+        compiled.partition_of(sid): times[sid]
+        for sid in range(compiled.num_states)
+    }
 
 
 def solving_time_distribution(
-    chain: ConsistencyChain,
+    chain: "ConsistencyChain | CompiledChain",
     task: SymmetryBreakingTask,
     t_max: int,
 ) -> list[Fraction]:
@@ -108,7 +81,7 @@ def solving_time_distribution(
     ``1 - Pr[S(t_max)]`` covers both later solves and (for non-eventually-
     solvable configurations) the never-solving event.
     """
-    series = chain.solving_probability_series(task, t_max)
+    series = _compiled(chain).solving_probability_series(task, t_max)
     previous = Fraction(0)
     distribution = []
     for prob in series:
@@ -118,34 +91,14 @@ def solving_time_distribution(
 
 
 def solving_time_quantile(
-    chain: ConsistencyChain,
+    chain: "ConsistencyChain | CompiledChain",
     task: SymmetryBreakingTask,
     q: Fraction | float,
     *,
     t_cap: int = 512,
 ) -> int | None:
     """Smallest ``t`` with ``Pr[S(t)] >= q`` (None if not reached by cap)."""
-    if not 0 < float(q) <= 1:
-        raise ValueError("quantile must be in (0, 1]")
-    dist = {single_block_state(chain.alpha.n): Fraction(1)}
-    cumulative = Fraction(0)
-    for t in range(1, t_cap + 1):
-        nxt: dict = {}
-        for state, prob in dist.items():
-            for new_state, step in chain.transitions(state).items():
-                nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
-        dist = nxt
-        cumulative = sum(
-            (
-                prob
-                for state, prob in dist.items()
-                if task.solvable_from_partition([frozenset(b) for b in state])
-            ),
-            Fraction(0),
-        )
-        if cumulative >= q:
-            return t
-    return None
+    return _compiled(chain).solving_time_quantile(task, q, t_cap=t_cap)
 
 
 __all__ = [

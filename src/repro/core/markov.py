@@ -24,6 +24,15 @@ yields
   (finite, acyclic-up-to-self-loops) refinement lattice.  Lemma 3.2 says
   the limit must be 0 or 1; the test suite asserts that on sweeps, making
   the zero-one law machine-checked rather than assumed.
+
+Since the compiled-engine refactor this module is a thin *facade* over
+:mod:`repro.chain`: the reachable state space is explored exactly once
+per ``(alpha, ports)`` across the whole process (hash-consed label
+vectors, sparse integer transition arrays), and every query here is a
+pass over the compiled chain.  ``backend="exact"`` (default) returns the
+same ``Fraction`` values the seed implementation produced;
+``backend="float"`` switches the probability queries to numpy
+``float64`` for long horizons and large state spaces.
 """
 
 from __future__ import annotations
@@ -31,14 +40,22 @@ from __future__ import annotations
 import itertools
 from fractions import Fraction
 
+from ..chain import (
+    MAX_NODES,
+    CompiledChain,
+    back_port_tables,
+    blocks_from_labels,
+    compile_chain,
+    labels_from_blocks,
+    neighbour_tables,
+    refine_labels,
+    validate_backend,
+)
 from ..randomness.configuration import RandomnessConfiguration
 from .tasks import SymmetryBreakingTask
 
 #: Canonical partition state: sorted tuple of sorted node tuples.
 PartitionState = tuple[tuple[int, ...], ...]
-
-#: Refuse chains that would be astronomically large.
-MAX_NODES = 10
 
 
 def canonical_state(blocks: "list[frozenset[int]] | PartitionState") -> PartitionState:
@@ -73,6 +90,13 @@ class ConsistencyChain:
     sender-side port of each received message (the classical
     anonymous-network semantics; see
     :mod:`repro.models.graph_model`).
+
+    ``backend`` selects the arithmetic of the probability queries:
+    ``"exact"`` (Fraction, the default and the seed semantics) or
+    ``"float"`` (numpy float64).  Structural queries --
+    :meth:`reachable_states`, :meth:`transitions`,
+    :meth:`state_distribution`, :meth:`eventually_solvable` -- stay
+    exact under either backend.
     """
 
     def __init__(
@@ -81,6 +105,7 @@ class ConsistencyChain:
         ports=None,
         *,
         include_back_ports: bool = False,
+        backend: str = "exact",
     ):
         if alpha.n > MAX_NODES:
             raise ValueError(
@@ -93,19 +118,28 @@ class ConsistencyChain:
         self.alpha = alpha
         self.ports = ports
         self.include_back_ports = include_back_ports
-        if ports is not None and include_back_ports:
-            self._back = tuple(
-                tuple(
-                    ports.port_to(nbr, node)
-                    for nbr in ports.neighbours(node)
-                )
-                for node in range(alpha.n)
-            )
-        else:
-            self._back = None
+        self.backend = validate_backend(backend)
+        self._neigh = None if ports is None else neighbour_tables(ports)
+        self._back = (
+            back_port_tables(ports)
+            if ports is not None and include_back_ports
+            else None
+        )
+        self._compiled: CompiledChain | None = None
         self._transition_cache: dict[
             PartitionState, dict[PartitionState, Fraction]
         ] = {}
+
+    @property
+    def compiled(self) -> CompiledChain:
+        """The underlying compiled chain (shared process-wide)."""
+        if self._compiled is None:
+            self._compiled = compile_chain(
+                self.alpha,
+                self.ports,
+                include_back_ports=self.include_back_ports,
+            )
+        return self._compiled
 
     # ------------------------------------------------------------------
     # One-round refinement
@@ -115,42 +149,12 @@ class ConsistencyChain:
     ) -> PartitionState:
         """Apply one synchronous round with the given per-source bits."""
         n = self.alpha.n
-        label = {}
-        for index, block in enumerate(state):
-            for node in block:
-                label[node] = index
-        bits = [source_bits[self.alpha.source_of(i)] for i in range(n)]
-        if self.ports is None:
-            keys = [(label[i], bits[i]) for i in range(n)]
-        elif self._back is None:
-            keys = [
-                (
-                    label[i],
-                    bits[i],
-                    tuple(label[j] for j in self.ports.neighbours(i)),
-                )
-                for i in range(n)
-            ]
-        else:
-            keys = [
-                (
-                    label[i],
-                    bits[i],
-                    tuple(
-                        (label[j], back)
-                        for j, back in zip(
-                            self.ports.neighbours(i), self._back[i]
-                        )
-                    ),
-                )
-                for i in range(n)
-            ]
-        blocks: dict[tuple, list[int]] = {}
-        for node in range(n):
-            blocks.setdefault(keys[node], []).append(node)
-        return canonical_state(
-            [frozenset(block) for block in blocks.values()]
+        labels = labels_from_blocks(state)
+        node_bits = tuple(
+            source_bits[self.alpha.source_of(i)] for i in range(n)
         )
+        nxt = refine_labels(labels, node_bits, self._neigh, self._back)
+        return blocks_from_labels(nxt)
 
     def transitions(
         self, state: PartitionState
@@ -159,15 +163,22 @@ class ConsistencyChain:
         cached = self._transition_cache.get(state)
         if cached is not None:
             return cached
-        k = self.alpha.k
-        out: dict[PartitionState, Fraction] = {}
-        weight = Fraction(1, 2 ** (k - 1)) if k > 1 else Fraction(1)
-        # Bit vectors and their complements refine identically; fix the
-        # first source's bit to halve the enumeration.
-        for rest in itertools.product((0, 1), repeat=k - 1):
-            source_bits = (0, *rest)
-            nxt = self.refine(state, source_bits)
-            out[nxt] = out.get(nxt, Fraction(0)) + weight
+        compiled = self.compiled
+        sid = compiled.state_id(labels_from_blocks(state))
+        if sid is not None:
+            out = {
+                compiled.partition_of(dst): Fraction(cnt, compiled.denom)
+                for dst, cnt in compiled.out_edges(sid)
+            }
+        else:
+            # Unreachable (hence uncompiled) states still answer: the same
+            # halved enumeration the compiler uses, on this one state.
+            k = self.alpha.k
+            out = {}
+            weight = Fraction(1, 2 ** (k - 1)) if k > 1 else Fraction(1)
+            for rest in itertools.product((0, 1), repeat=k - 1):
+                nxt = self.refine(state, (0, *rest))
+                out[nxt] = out.get(nxt, Fraction(0)) + weight
         self._transition_cache[state] = out
         return out
 
@@ -178,99 +189,51 @@ class ConsistencyChain:
         self, t: int
     ) -> dict[PartitionState, Fraction]:
         """Exact distribution of the consistency partition at time ``t``."""
-        if t < 0:
-            raise ValueError("need t >= 0")
-        dist = {single_block_state(self.alpha.n): Fraction(1)}
-        for _ in range(t):
-            nxt: dict[PartitionState, Fraction] = {}
-            for state, prob in dist.items():
-                for new_state, step in self.transitions(state).items():
-                    nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
-            dist = nxt
-        return dist
+        compiled = self.compiled
+        return {
+            compiled.partition_of(sid): prob
+            for sid, prob in compiled.state_distribution(t).items()
+        }
 
     def solving_probability(
         self, task: SymmetryBreakingTask, t: int
-    ) -> Fraction:
-        """Exact ``Pr[S(t) | alpha]`` for a symmetric task."""
-        total = Fraction(0)
-        for state, prob in self.state_distribution(t).items():
-            if task.solvable_from_partition([frozenset(b) for b in state]):
-                total += prob
-        return total
+    ) -> "Fraction | float":
+        """``Pr[S(t) | alpha]`` for a symmetric task (exact by default)."""
+        return self.compiled.solving_probability(
+            task, t, backend=self.backend
+        )
 
     def solving_probability_series(
         self, task: SymmetryBreakingTask, t_max: int
-    ) -> list[Fraction]:
+    ) -> "list[Fraction] | list[float]":
         """``[Pr[S(1)], ..., Pr[S(t_max)]]`` sharing work across times."""
-        dist = {single_block_state(self.alpha.n): Fraction(1)}
-        series: list[Fraction] = []
-        for _ in range(t_max):
-            nxt: dict[PartitionState, Fraction] = {}
-            for state, prob in dist.items():
-                for new_state, step in self.transitions(state).items():
-                    nxt[new_state] = nxt.get(new_state, Fraction(0)) + prob * step
-            dist = nxt
-            series.append(
-                sum(
-                    (
-                        prob
-                        for state, prob in dist.items()
-                        if task.solvable_from_partition(
-                            [frozenset(b) for b in state]
-                        )
-                    ),
-                    Fraction(0),
-                )
-            )
-        return series
+        return self.compiled.solving_probability_series(
+            task, t_max, backend=self.backend
+        )
 
     # ------------------------------------------------------------------
     # Exact limits (eventual solvability)
     # ------------------------------------------------------------------
     def reachable_states(self) -> set[PartitionState]:
         """All partition states reachable from the initial state."""
-        start = single_block_state(self.alpha.n)
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            state = frontier.pop()
-            for nxt in self.transitions(state):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return seen
+        compiled = self.compiled
+        return {
+            compiled.partition_of(sid)
+            for sid in range(compiled.num_states)
+        }
 
     def limit_solving_probability(
         self, task: SymmetryBreakingTask
-    ) -> Fraction:
-        """Exact ``lim_{t->inf} Pr[S(t) | alpha]``.
+    ) -> "Fraction | float":
+        """``lim_{t->inf} Pr[S(t) | alpha]`` (exact by default).
 
-        Solvability is monotone under refinement (a finer partition refines
-        everything a coarser one does), so the limit equals the probability
-        of ever reaching a solving state.  Transitions strictly increase the
-        block count except for self-loops, so states can be processed in
-        decreasing block count: ``p(s) = 1`` for solving states, and
-        otherwise ``p(s) = sum_{s' != s} P(s -> s') p(s') / (1 - P(s -> s))``
-        with ``p(s) = 0`` when the state is absorbing and non-solving.
+        Solvability is monotone under refinement, so the limit equals the
+        probability of ever reaching a solving state; the compiled chain
+        solves the first-step equations in one reverse-topological pass.
         """
-        states = sorted(self.reachable_states(), key=len, reverse=True)
-        prob: dict[PartitionState, Fraction] = {}
-        for state in states:
-            if task.solvable_from_partition([frozenset(b) for b in state]):
-                prob[state] = Fraction(1)
-                continue
-            moves = self.transitions(state)
-            self_loop = moves.get(state, Fraction(0))
-            if self_loop == 1:
-                prob[state] = Fraction(0)
-                continue
-            total = Fraction(0)
-            for nxt, step in moves.items():
-                if nxt != state:
-                    total += step * prob[nxt]
-            prob[state] = total / (1 - self_loop)
-        return prob[single_block_state(self.alpha.n)]
+        return self.compiled.limit_solving_probability(
+            task, backend=self.backend
+        )
 
     def to_networkx(self):
         """The reachable transition graph as a networkx DiGraph.
@@ -281,16 +244,18 @@ class ConsistencyChain:
         """
         import networkx as nx
 
+        compiled = self.compiled
         graph = nx.DiGraph()
-        for state in self.reachable_states():
+        for sid in range(compiled.num_states):
+            state = compiled.partition_of(sid)
             graph.add_node(state, blocks=len(state))
-            for nxt, prob in self.transitions(state).items():
-                graph.add_edge(state, nxt, weight=prob)
+            for dst, prob in compiled.transitions_exact(sid).items():
+                graph.add_edge(state, compiled.partition_of(dst), weight=prob)
         return graph
 
     def eventually_solvable(self, task: SymmetryBreakingTask) -> bool:
         """Definition 3.3 decided exactly; asserts the zero-one law."""
-        limit = self.limit_solving_probability(task)
+        limit = self.compiled.limit_solving_probability(task)
         if limit not in (Fraction(0), Fraction(1)):
             raise AssertionError(
                 f"zero-one law violated: limit {limit} for {self.alpha!r}"

@@ -30,7 +30,6 @@ from ..randomness.realizations import (
     NodeRealization,
     iter_consistent_realizations,
 )
-from .markov import ConsistencyChain
 from .solvability import realization_solves
 from .tasks import SymmetryBreakingTask
 
@@ -98,9 +97,19 @@ def solving_probability_exact(
     task: SymmetryBreakingTask,
     t: int,
     ports: PortAssignment | None = None,
-) -> Fraction:
-    """Exact ``Pr[S(t) | alpha]`` via the partition Markov chain."""
-    return ConsistencyChain(alpha, ports).solving_probability(task, t)
+    *,
+    backend: str = "exact",
+) -> "Fraction | float":
+    """``Pr[S(t) | alpha]`` via the compiled partition Markov chain.
+
+    ``backend="exact"`` (default) returns a ``Fraction``;
+    ``backend="float"`` the numpy ``float64`` value.
+    """
+    from ..chain import compile_chain
+
+    return compile_chain(alpha, ports).solving_probability(
+        task, t, backend=backend
+    )
 
 
 def solving_probability_series(
@@ -108,9 +117,15 @@ def solving_probability_series(
     task: SymmetryBreakingTask,
     t_max: int,
     ports: PortAssignment | None = None,
-) -> list[Fraction]:
-    """Exact ``Pr[S(t) | alpha]`` for ``t = 1..t_max`` (chain-based)."""
-    return ConsistencyChain(alpha, ports).solving_probability_series(task, t_max)
+    *,
+    backend: str = "exact",
+) -> "list[Fraction] | list[float]":
+    """``Pr[S(t) | alpha]`` for ``t = 1..t_max`` (compiled-chain-based)."""
+    from ..chain import compile_chain
+
+    return compile_chain(alpha, ports).solving_probability_series(
+        task, t_max, backend=backend
+    )
 
 
 def solving_probability_sampled(
@@ -147,7 +162,9 @@ def eventually_solvable(
     ports: PortAssignment | None = None,
 ) -> bool:
     """Exact Definition 3.3 decision via the chain's absorption analysis."""
-    return ConsistencyChain(alpha, ports).eventually_solvable(task)
+    from ..chain import compile_chain
+
+    return compile_chain(alpha, ports).eventually_solvable(task)
 
 
 __all__ = [

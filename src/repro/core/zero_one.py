@@ -6,34 +6,70 @@ cumulative: a solving state keeps solving) and its limit is 0 or 1
 partition Markov chain; this module adds series-level diagnostics used by
 the benchmarks: monotonicity checks, limit classification, and convergence
 rates against the paper's explicit blackboard bound.
+
+The diagnostics accept whatever a probability series realistically looks
+like by the time it reaches them: exact ``Fraction`` values from the
+exact backend, ``float``/numpy scalars from the float backend, any mix
+of the two, any iterable (including generators and numpy arrays), and
+the empty series.  Mixed comparisons go through exact rational
+conversion, so a ``Fraction`` and the float that approximates it are
+ordered by value, never by type quirks.
 """
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
-from typing import Sequence
+from typing import Iterable, Union
+
+Probability = Union[Fraction, float, int]
 
 
-def is_monotone_non_decreasing(series: Sequence[Fraction | float]) -> bool:
-    """Check the cumulative-knowledge monotonicity of ``Pr[S(t)]``."""
-    return all(a <= b for a, b in zip(series, series[1:]))
+def _exact(value: Probability) -> Fraction | None:
+    """Exact rational value, or ``None`` for non-finite floats (NaN/inf).
+
+    ``Fraction(float)`` is exact, so comparing a converted float against
+    a true ``Fraction`` cannot misorder values that genuinely differ.
+    """
+    if isinstance(value, Fraction):
+        return value
+    as_float = float(value)
+    if not math.isfinite(as_float):
+        return None
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(as_float)
+
+
+def is_monotone_non_decreasing(series: Iterable[Probability]) -> bool:
+    """Check the cumulative-knowledge monotonicity of ``Pr[S(t)]``.
+
+    Empty and singleton series are vacuously monotone.  A series
+    containing a non-finite value (NaN/inf) cannot be certified and
+    reports ``False`` rather than raising.
+    """
+    items = [_exact(value) for value in series]
+    if any(value is None for value in items):
+        return False
+    return all(a <= b for a, b in zip(items, items[1:]))
 
 
 def classify_limit(
-    series: Sequence[Fraction | float], *, tolerance: float = 0.05
+    series: Iterable[Probability], *, tolerance: float = 0.05
 ) -> int | None:
     """Classify the apparent limit of a probability series.
 
     Returns 1 when the tail is within ``tolerance`` of 1, 0 when the series
-    is identically 0, and ``None`` when undetermined (too short or stuck in
-    between -- which Lemma 3.2 says cannot persist as ``t`` grows).
+    is identically 0, and ``None`` when undetermined (empty, too short,
+    non-finite, or stuck in between -- which Lemma 3.2 says cannot persist
+    as ``t`` grows).
     """
-    if not series:
+    items = [_exact(value) for value in series]
+    if not items or any(value is None for value in items):
         return None
-    tail = float(series[-1])
-    if all(float(p) == 0.0 for p in series):
+    if all(value == 0 for value in items):
         return 0
-    if tail >= 1.0 - tolerance:
+    if items[-1] >= 1 - Fraction(tolerance):
         return 1
     return None
 

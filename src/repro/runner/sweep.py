@@ -136,6 +136,12 @@ def run_sweep(
     prior: list[dict] = []
     if run_dir is not None:
         directory = RunDirectory(run_dir)
+        # Persist compiled chains next to the records: every worker (and
+        # every resumed run) then compiles each (alpha, ports) chain at
+        # most once, sweep-wide.
+        chain_cache = str(directory.path / "chains")
+        for payload in payloads:
+            payload["chain_cache"] = chain_cache
         directory.write_manifest(
             {
                 "sweep": sweep.to_dict(),
@@ -167,13 +173,23 @@ def run_sweep(
         ]
     executed = 0
     fresh: list[dict] = []
-    for record in engine.map(execute_run, payloads):
+    try:
+        for record in engine.map(execute_run, payloads):
+            if directory is not None:
+                directory.append(record)
+            fresh.append(record)
+            executed += 1
+            if progress is not None:
+                progress(record)
+    finally:
         if directory is not None:
-            directory.append(record)
-        fresh.append(record)
-        executed += 1
-        if progress is not None:
-            progress(record)
+            # Serial engines execute jobs in THIS process, installing the
+            # sweep's disk cache process-wide; detach it so later work
+            # does not keep writing into a finished run directory.  (Pool
+            # workers detach at their next cache-less payload instead.)
+            from ..chain import configure_disk_cache
+
+            configure_disk_cache(None)
     records = sorted(prior + fresh, key=lambda r: r["index"])
     return SweepOutcome(
         sweep=sweep,

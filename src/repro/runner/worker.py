@@ -17,19 +17,49 @@ from __future__ import annotations
 import time
 from fractions import Fraction
 
-from ..core.markov import ConsistencyChain
+from ..chain import CompiledChain, compile_chain, configure_disk_cache
 from ..core.probability import solving_probability_sampled
+from ..core.tasks import SymmetryBreakingTask
 from ..randomness.configuration import RandomnessConfiguration
 from .spec import RunSpec, derive_seed, make_ports, make_task
+
+
+def exact_limit_value(
+    chain: CompiledChain, task: SymmetryBreakingTask
+) -> Fraction:
+    """The one exact chain evaluation every worker path shares.
+
+    Both the per-job exact runs and the port-chunk folds used to inline
+    their own ``ConsistencyChain(...)`` construction; routing them
+    through one helper over the *compiled* chain keeps the evaluation
+    semantics (and any future instrumentation) in one place.
+    """
+    return chain.limit_solving_probability(task)
+
+
+def _apply_chain_cache(payload: dict) -> None:
+    """Install the payload's persisted chain cache -- or uninstall.
+
+    Workers are separate processes: the process-wide compile memo does
+    not cross the pool boundary, but a run-directory cache does, so a
+    resumable sweep compiles each chain once across all workers and runs.
+    The cache is configured *unconditionally*: a payload without one
+    detaches whatever a previous job in this (reused pool or in-process
+    serial) worker installed, so one sweep's run directory never bleeds
+    into the next job's compilations.
+    """
+    configure_disk_cache(payload.get("chain_cache"))
 
 
 def execute_run(payload: dict) -> dict:
     """Execute one :class:`~repro.runner.spec.RunSpec` job.
 
     ``payload`` is ``{"spec": <RunSpec dict>, "master_seed": int,
-    "index": int}``; the result record echoes the spec, its key and index
-    (aggregation order), the derived seed, and the job's value fields.
+    "index": int}`` plus an optional ``"chain_cache"`` directory; the
+    result record echoes the spec, its key and index (aggregation
+    order), the derived seed, and the job's value fields.
     """
+    _apply_chain_cache(payload)
     spec = RunSpec.from_dict(payload["spec"])
     master_seed = int(payload.get("master_seed", 0))
     seed = derive_seed(master_seed, spec.job_key)
@@ -42,7 +72,7 @@ def execute_run(payload: dict) -> dict:
     ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
     value: dict
     if spec.kind == "exact":
-        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        limit = exact_limit_value(compile_chain(alpha, ports), task)
         value = {
             "limit": str(limit),
             "limit_float": float(limit),
@@ -84,6 +114,7 @@ def execute_experiment(payload: dict) -> dict:
     """
     from ..analysis import ALL_EXPERIMENTS
 
+    _apply_chain_cache(payload)
     index = int(payload["index"])
     started = time.perf_counter()
     result = ALL_EXPERIMENTS[index]()
@@ -101,6 +132,7 @@ def execute_sample_batch(payload: dict) -> dict:
     ``t``, ``samples``, and the batch's pre-derived ``seed``; the record
     reports the batch's success count so batches can be summed exactly.
     """
+    _apply_chain_cache(payload)
     samples = int(payload["samples"])
     estimate = solving_probability_sampled(
         payload["alpha"],
@@ -122,9 +154,14 @@ def execute_port_chunk(payload: dict) -> dict:
     ``payload`` is ``{"sizes": [...], "task": str, "tables": [...]}``
     where each table is one clique port assignment; the record carries the
     chunk's min/max limit and solvable/total counts for exact re-folding.
+
+    Each assignment in a chunk is visited exactly once, so its chain is
+    compiled unmemoized -- keeping thousands of one-shot chains out of
+    the process-wide memo.
     """
     from ..models.ports import PortAssignment
 
+    _apply_chain_cache(payload)
     sizes = tuple(payload["sizes"])
     alpha = RandomnessConfiguration.from_group_sizes(sizes)
     task = make_task(payload["task"], alpha.n)
@@ -134,7 +171,9 @@ def execute_port_chunk(payload: dict) -> dict:
     total = 0
     for table in payload["tables"]:
         ports = PortAssignment([list(row) for row in table])
-        limit = ConsistencyChain(alpha, ports).limit_solving_probability(task)
+        limit = exact_limit_value(
+            compile_chain(alpha, ports, use_memo=False), task
+        )
         lowest = min(lowest, limit)
         highest = max(highest, limit)
         solvable += limit == 1
@@ -148,6 +187,7 @@ def execute_port_chunk(payload: dict) -> dict:
 
 
 __all__ = [
+    "exact_limit_value",
     "execute_experiment",
     "execute_port_chunk",
     "execute_run",

@@ -1,0 +1,156 @@
+"""Disk cache: cross-process chain persistence and corruption safety."""
+
+import pickle
+
+import pytest
+
+from repro.chain import (
+    ChainDiskCache,
+    chain_key,
+    clear_memo,
+    compile_chain,
+    configure_disk_cache,
+    disk_cache,
+)
+from repro.core import leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+from repro.runner import SerialEngine, SweepSpec, run_sweep
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """A configured cache that is always detached again afterwards."""
+    root = tmp_path / "chains"
+    configure_disk_cache(root)
+    clear_memo()
+    yield root
+    configure_disk_cache(None)
+    clear_memo()
+
+
+class TestDiskCache:
+    def test_compile_stores_and_reloads(self, cache_dir):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        ports = adversarial_assignment((2, 3))
+        original = compile_chain(alpha, ports)
+        assert len(disk_cache()) == 1
+        clear_memo()  # force the next compile to go through the disk
+        reloaded = compile_chain(alpha, ports)
+        assert reloaded is not original
+        assert reloaded.key == original.key
+        assert reloaded.labels == original.labels
+        task = leader_election(alpha.n)
+        assert reloaded.limit_solving_probability(task) == (
+            original.limit_solving_probability(task)
+        )
+
+    def test_pickle_round_trip_drops_caches(self, cache_dir):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)
+        task = leader_election(3)
+        chain.solvable_mask(task)  # populate a per-process cache
+        clone = pickle.loads(pickle.dumps(chain))
+        assert clone.labels == chain.labels
+        assert clone.solving_probability_series(task, 4) == (
+            chain.solving_probability_series(task, 4)
+        )
+
+    def test_corrupt_file_is_a_miss(self, cache_dir):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        compile_chain(alpha)
+        store = disk_cache()
+        path = store.path_for(chain_key(alpha))
+        path.write_bytes(b"not a pickle")
+        clear_memo()
+        chain = compile_chain(alpha)  # recompiles instead of raising
+        assert chain.num_states >= 1
+
+    def test_one_shot_compiles_bypass_the_disk_cache(self, cache_dir):
+        # Exhaustive enumerations (use_memo=False) must not flood the
+        # cache directory with single-use chains.
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        compile_chain(alpha, adversarial_assignment((2, 2)), use_memo=False)
+        assert len(disk_cache()) == 0
+
+    def test_wrong_key_content_is_a_miss(self, cache_dir):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        other = RandomnessConfiguration.from_group_sizes((2, 2))
+        chain = compile_chain(alpha)
+        store = ChainDiskCache(cache_dir)
+        # Plant the (1,2) chain under the (2,2) key file.
+        store.path_for(chain_key(other)).write_bytes(pickle.dumps(chain))
+        assert store.load(chain_key(other)) is None
+
+
+class TestRunnerPlumbing:
+    def test_sweep_with_run_dir_persists_chains(self, tmp_path):
+        configure_disk_cache(None)
+        clear_memo()
+        sweep = SweepSpec.for_total_size(3, models=("blackboard", "clique"))
+        run_dir = tmp_path / "run"
+        outcome = run_sweep(sweep, engine=SerialEngine(), run_dir=run_dir)
+        assert outcome.executed == outcome.total
+        chains = list((run_dir / "chains").glob("*.chain.pkl"))
+        assert chains  # every exact job's chain got persisted
+        # A resumed sweep re-runs nothing and leaves the cache intact.
+        resumed = run_sweep(sweep, engine=SerialEngine(), run_dir=run_dir)
+        assert resumed.executed == 0
+        assert resumed.resumed == resumed.total
+        configure_disk_cache(None)
+        clear_memo()
+
+    def test_sweep_without_run_dir_leaves_cache_unconfigured(self):
+        configure_disk_cache(None)
+        sweep = SweepSpec.for_total_size(2, models=("blackboard",))
+        run_sweep(sweep, engine=SerialEngine())
+        assert disk_cache() is None
+
+    def test_run_dir_sweep_detaches_its_cache_afterwards(self, tmp_path):
+        # A run-dir sweep on the serial engine installs its cache in
+        # THIS process; run_sweep must detach it on the way out so later
+        # work never writes into a finished run directory.
+        clear_memo()
+        sweep = SweepSpec.for_total_size(2, models=("blackboard",))
+        run_sweep(sweep, engine=SerialEngine(), run_dir=tmp_path / "run")
+        assert disk_cache() is None
+        clear_memo()
+
+    def test_cacheless_payload_detaches_a_previous_jobs_cache(self, tmp_path):
+        # Reused pool workers see payloads back to back; one without a
+        # chain_cache must detach whatever the previous job installed.
+        from repro.runner.worker import execute_run
+
+        clear_memo()
+        spec = {
+            "sizes": [1, 2], "model": "blackboard", "ports": "none",
+            "task": "leader", "kind": "exact", "t": 4,
+            "samples": 100, "replicate": 0,
+        }
+        execute_run({
+            "spec": spec, "master_seed": 0, "index": 0,
+            "chain_cache": str(tmp_path / "chains"),
+        })
+        assert disk_cache() is not None
+        execute_run({"spec": spec, "master_seed": 0, "index": 0})
+        assert disk_cache() is None
+        clear_memo()
+
+    def test_store_survives_a_vanished_cache_directory(self, tmp_path):
+        # Best-effort persistence: deleting the run directory must not
+        # crash later compilations that still hold the cache handle.
+        import shutil
+
+        clear_memo()
+        store = configure_disk_cache(tmp_path / "gone")
+        shutil.rmtree(tmp_path / "gone")
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)  # recreates the directory, no crash
+        assert chain.num_states >= 1
+        assert store.load(chain.key) is not None
+        configure_disk_cache(None)
+        clear_memo()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

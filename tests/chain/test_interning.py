@@ -1,0 +1,67 @@
+"""Unit tests for state interning (label vectors, hash-consing)."""
+
+import itertools
+
+import pytest
+
+from repro.chain import (
+    StateTable,
+    block_count,
+    block_sizes,
+    blocks_from_labels,
+    canonical_labels,
+    labels_from_blocks,
+)
+from repro.core import canonical_state
+from repro.randomness import enumerate_configurations
+
+
+class TestCanonicalLabels:
+    def test_restricted_growth_form(self):
+        assert canonical_labels([7, 7, 3, 7, 3]) == (0, 0, 1, 0, 1)
+        assert canonical_labels([2, 1, 0]) == (0, 1, 2)
+        assert canonical_labels([]) == ()
+
+    def test_equality_pattern_is_all_that_matters(self):
+        for raw in itertools.product(range(3), repeat=4):
+            relabeled = tuple(9 - v for v in raw)
+            assert canonical_labels(raw) == canonical_labels(relabeled)
+
+    def test_idempotent(self):
+        for raw in itertools.product(range(2), repeat=5):
+            once = canonical_labels(raw)
+            assert canonical_labels(once) == once
+
+
+class TestBlocksRoundTrip:
+    def test_round_trip_over_all_partitions(self):
+        # Configurations of [n] enumerate exactly the set partitions.
+        for n in (1, 2, 3, 4):
+            for alpha in enumerate_configurations(n):
+                blocks = alpha.source_partition()
+                labels = labels_from_blocks(blocks)
+                assert canonical_labels(labels) == labels
+                assert blocks_from_labels(labels) == canonical_state(blocks)
+
+    def test_block_statistics(self):
+        labels = (0, 1, 0, 2, 1)
+        assert block_count(labels) == 3
+        assert block_sizes(labels) == (1, 2, 2)
+        assert block_count(()) == 0
+
+
+class TestStateTable:
+    def test_dense_ids_in_intern_order(self):
+        table = StateTable()
+        a = table.intern((0, 0, 0))
+        b = table.intern((0, 0, 1))
+        assert (a, b) == (0, 1)
+        assert table.intern((0, 0, 0)) == 0
+        assert len(table) == 2
+        assert table.labels_of(1) == (0, 0, 1)
+        assert table.get((0, 1, 1)) is None
+        assert list(table) == [(0, 0, 0), (0, 0, 1)]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,67 @@
+"""Edge cases of the zero-one diagnostics (ISSUE 2 satellite).
+
+The diagnostics are fed by both backends now, so they must accept exact
+``Fraction`` values, floats, numpy scalars/arrays, generators, mixes of
+all of the above, the empty series, and non-finite values -- without
+raising and without type-based misclassification.
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core import classify_limit, is_monotone_non_decreasing
+
+
+class TestMonotoneEdgeCases:
+    def test_generator_input(self):
+        assert is_monotone_non_decreasing(Fraction(1, 2**t) for t in (3, 2, 1))
+        assert not is_monotone_non_decreasing(iter([0.5, 0.4]))
+
+    def test_numpy_array_input(self):
+        assert is_monotone_non_decreasing(np.array([0.1, 0.5, 0.5]))
+        assert not is_monotone_non_decreasing(np.array([0.5, 0.1]))
+        assert is_monotone_non_decreasing(np.array([]))
+
+    def test_mixed_fraction_and_float_compare_by_value(self):
+        assert is_monotone_non_decreasing([Fraction(1, 2), 0.5, Fraction(3, 4)])
+        assert is_monotone_non_decreasing([0.25, Fraction(1, 2), 0.75])
+        # 1/3 as a float is strictly below the true rational 1/3: the
+        # comparison must be exact, not a type coincidence.
+        assert not is_monotone_non_decreasing([Fraction(1, 3), 1 / 3])
+        assert is_monotone_non_decreasing([1 / 3, Fraction(1, 3)])
+
+    def test_non_finite_values_do_not_raise(self):
+        assert not is_monotone_non_decreasing([0.1, math.nan, 0.2])
+        assert not is_monotone_non_decreasing([0.1, math.inf])
+
+    def test_numpy_scalars(self):
+        assert is_monotone_non_decreasing(
+            [np.float64(0.25), Fraction(1, 2), np.float64(0.75)]
+        )
+
+
+class TestClassifyLimitEdgeCases:
+    def test_empty_and_generators(self):
+        assert classify_limit([]) is None
+        assert classify_limit(p for p in ()) is None
+        assert classify_limit(Fraction(1, 2**t) for t in (3, 2, 1)) is None
+
+    def test_numpy_array_input(self):
+        assert classify_limit(np.array([])) is None
+        assert classify_limit(np.array([0.0, 0.0])) == 0
+        assert classify_limit(np.array([0.5, 0.99])) == 1
+
+    def test_mixed_exact_and_float(self):
+        assert classify_limit([Fraction(0), 0.0, Fraction(0)]) == 0
+        assert classify_limit([0.5, Fraction(97, 100)]) == 1
+        assert classify_limit([Fraction(1, 2), 0.5]) is None
+
+    def test_non_finite_is_undetermined(self):
+        assert classify_limit([0.5, math.nan]) is None
+        assert classify_limit([math.inf]) is None
+
+    def test_exact_tail_comparison(self):
+        # A tail exactly at the tolerance boundary counts as converged.
+        assert classify_limit([Fraction(19, 20)], tolerance=0.05) == 1
