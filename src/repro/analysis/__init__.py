@@ -96,9 +96,14 @@ def iter_all_experiments(engine=None):
         for generator in ALL_EXPERIMENTS:
             yield generator()
         return
-    from ..runner.worker import execute_experiment
+    from ..runner.worker import chain_context_payload, execute_experiment
 
-    payloads = [{"index": i} for i in range(len(ALL_EXPERIMENTS))]
+    # The parent's chain context (e.g. --no-batch) travels with every
+    # pool payload (results are identical either way).
+    context = chain_context_payload()
+    payloads = [
+        {"index": i, **context} for i in range(len(ALL_EXPERIMENTS))
+    ]
     for record in engine.map(execute_experiment, payloads):
         yield record["result"]
 

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..core.hitting_time import expected_solving_time
 from ..core.leader_election import leader_election
-from ..chain import compile_chain
+from ..chain import Query, compile_chain, run_queries
 from ..core.task_zoo import (
     blackboard_leader_and_deputy_solvable,
     blackboard_threshold_solvable,
@@ -52,11 +51,15 @@ def extension_task_zoo(n_max: int = 5) -> ExperimentResult:
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
             ports = adversarial_assignment(shape)
-            for name, task, bb_predictor, mp_predictor in tasks:
+            # One solvability batch per chain covering the whole zoo.
+            zoo = [Query.solvable(task) for _, task, _, _ in tasks]
+            bb_verdicts = run_queries(compile_chain(alpha), zoo)
+            mp_verdicts = run_queries(compile_chain(alpha, ports), zoo)
+            for (name, task, bb_predictor, mp_predictor), bb, mp in zip(
+                tasks, bb_verdicts, mp_verdicts
+            ):
                 bb_pred = bb_predictor(alpha)
                 mp_pred = mp_predictor(alpha)
-                bb = compile_chain(alpha).eventually_solvable(task)
-                mp = compile_chain(alpha, ports).eventually_solvable(task)
                 ok = bb == bb_pred and mp == mp_pred
                 passed &= ok
                 rows.append(
@@ -108,9 +111,12 @@ def extension_expected_times(n_max: int = 6) -> ExperimentResult:
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            bb = expected_solving_time(compile_chain(alpha), task)
-            mp = expected_solving_time(
-                compile_chain(alpha, adversarial_assignment(shape)), task
+            (bb,) = run_queries(
+                compile_chain(alpha), [Query.expected_time(task)]
+            )
+            (mp,) = run_queries(
+                compile_chain(alpha, adversarial_assignment(shape)),
+                [Query.expected_time(task)],
             )
             bb_ok = (bb is not None) == (1 in shape)
             mp_ok = (mp is not None) == (alpha.gcd == 1)

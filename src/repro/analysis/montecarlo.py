@@ -180,10 +180,11 @@ def parallel_estimate(
         raise ValueError("need 1 <= batches <= samples")
     from ..runner.engines import SerialEngine
     from ..runner.spec import derive_seed
-    from ..runner.worker import execute_sample_batch
+    from ..runner.worker import chain_context_payload, execute_sample_batch
 
     engine = engine or SerialEngine()
     base, extra = divmod(samples, batches)
+    context = chain_context_payload()
     payloads = [
         {
             "alpha": alpha,
@@ -192,6 +193,7 @@ def parallel_estimate(
             "t": t,
             "samples": base + (1 if index < extra else 0),
             "seed": derive_seed(seed, f"mc-batch={index}"),
+            **context,
         }
         for index in range(batches)
     ]

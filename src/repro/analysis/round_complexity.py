@@ -15,9 +15,8 @@ import math
 from ..algorithms.blackboard_leader import BlackboardLeaderNode
 from ..algorithms.euclid_leader import EuclidLeaderNode
 from ..algorithms.network import BlackboardNetwork, CliqueNetwork
-from ..core.hitting_time import expected_solving_time
 from ..core.leader_election import leader_election
-from ..chain import compile_chain
+from ..chain import Query, compile_chain, run_queries
 from ..models.ports import adversarial_assignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -71,7 +70,9 @@ def protocol_round_complexity(
     for shape in blackboard_shapes:
         alpha = RandomnessConfiguration.from_group_sizes(shape)
         task = leader_election(alpha.n)
-        expected = expected_solving_time(compile_chain(alpha), task)
+        (expected,) = run_queries(
+            compile_chain(alpha), [Query.expected_time(task)]
+        )
         assert expected is not None
         predicted = float(expected) + 1
         mean, stderr = _protocol_mean_rounds(shape, clique=False, runs=runs)
@@ -93,8 +94,9 @@ def protocol_round_complexity(
     for shape in clique_shapes:
         alpha = RandomnessConfiguration.from_group_sizes(shape)
         task = leader_election(alpha.n)
-        expected = expected_solving_time(
-            compile_chain(alpha, adversarial_assignment(shape)), task
+        (expected,) = run_queries(
+            compile_chain(alpha, adversarial_assignment(shape)),
+            [Query.expected_time(task)],
         )
         assert expected is not None
         mean, stderr = _protocol_mean_rounds(shape, clique=True, runs=runs)

@@ -17,7 +17,7 @@ from ..core.characterization import (
     message_passing_worst_case_solvable,
 )
 from ..core.leader_election import k_leader_election, leader_election
-from ..chain import compile_chain
+from ..chain import Query, compile_chain, run_queries
 from ..core.reachability import gcd_divides_k, worst_case_k_leader_solvable
 from ..core.zero_one import (
     blackboard_unique_source_linear_bound,
@@ -52,9 +52,12 @@ def theorem41_blackboard(n_max: int = 5, t_max: int = 6) -> ExperimentResult:
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            chain = compile_chain(alpha)
-            series = chain.solving_probability_series(task, t_max)
-            limit = chain.limit_solving_probability(task)
+            # One batch per configuration: the series and the limit share
+            # the chain's cached distributions / absorption sweep.
+            series, limit = run_queries(
+                compile_chain(alpha),
+                [Query.series(task, t_max), Query.limit(task)],
+            )
             predicted = Fraction(1) if blackboard_solvable(alpha) else Fraction(0)
             monotone = is_monotone_non_decreasing(series)
             ok = limit == predicted and monotone and limit in (0, 1)
@@ -94,7 +97,9 @@ def theorem41_convergence(
         sizes = (1,) + (2,) * (k - 1)
         alpha = RandomnessConfiguration.from_group_sizes(sizes)
         task = leader_election(alpha.n)
-        series = compile_chain(alpha).solving_probability_series(task, t_max)
+        series = run_queries(
+            compile_chain(alpha), [Query.series(task, t_max)]
+        )[0]
         for t, prob in enumerate(series, start=1):
             strong = blackboard_unique_source_lower_bound(k, t)
             linear = blackboard_unique_source_linear_bound(k, t)
@@ -135,9 +140,9 @@ def theorem42_message_passing(
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
             adv = compile_chain(alpha, adversarial_assignment(shape))
-            adv_limit = adv.limit_solving_probability(task)
+            (adv_limit,) = run_queries(adv, [Query.limit(task)])
             rr = compile_chain(alpha, round_robin_assignment(n))
-            rr_limit = rr.limit_solving_probability(task)
+            (rr_limit,) = run_queries(rr, [Query.limit(task)])
             predicted = message_passing_worst_case_solvable(alpha)
             ok = (
                 (adv_limit == 1) == predicted
@@ -230,19 +235,29 @@ def extension_k_leader(n_max: int = 7) -> ExperimentResult:
     for n in range(2, n_max + 1):
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
+            adv_limits = bb_limits = None
+            if n <= 5:
+                # One batch per chain across every k: all the limits
+                # share one topologically-ordered pass each.
+                tasks = [k_leader_election(n, k) for k in range(1, n + 1)]
+                adv_limits = run_queries(
+                    compile_chain(alpha, adversarial_assignment(shape)),
+                    [Query.limit(t) for t in tasks],
+                )
+                bb_limits = run_queries(
+                    compile_chain(alpha),
+                    [Query.limit(t) for t in tasks],
+                )
             for k in range(1, n + 1):
                 bb = blackboard_k_leader_solvable(alpha, k)
                 oracle = worst_case_k_leader_solvable(shape, k)
                 closed = gcd_divides_k(shape, k)
                 agree = oracle == closed
                 chain_check = "-"
-                if n <= 5:
-                    task = k_leader_election(n, k)
-                    limit = compile_chain(
-                        alpha, adversarial_assignment(shape)
-                    ).limit_solving_probability(task)
+                if adv_limits is not None:
+                    limit = adv_limits[k - 1]
+                    bb_limit = bb_limits[k - 1]
                     agree &= (limit == 1) == oracle
-                    bb_limit = compile_chain(alpha).limit_solving_probability(task)
                     agree &= (bb_limit == 1) == bb
                     chain_check = f"adv={float(limit):g} bb={float(bb_limit):g}"
                 passed &= agree

@@ -22,7 +22,7 @@ from fractions import Fraction
 from typing import Iterator
 
 from ..core.leader_election import leader_election
-from ..chain import compile_chain
+from ..chain import Query, compile_chain, run_queries
 from ..models.ports import PortAssignment, adversarial_assignment
 from ..randomness.configuration import RandomnessConfiguration
 from .result import ExperimentResult
@@ -69,7 +69,9 @@ def exhaustive_worst_case(
     # exact fold; the serial path is kept separate so it never pays the
     # table-serialization round-trip.  Keep the two in sync.
     if engine is not None and getattr(engine, "name", "serial") != "serial":
-        from ..runner.worker import execute_port_chunk
+        from ..runner.worker import chain_context_payload, execute_port_chunk
+
+        context = chain_context_payload()
 
         def iter_payloads():
             # Chunk straight off the assignment iterator instead of
@@ -86,6 +88,7 @@ def exhaustive_worst_case(
                     "sizes": list(shape),
                     "task": "leader",
                     "tables": batch,
+                    **context,
                 }
 
         payloads = iter_payloads()
@@ -105,9 +108,10 @@ def exhaustive_worst_case(
     total = 0
     for ports in iter_all_port_assignments(alpha.n):
         # One-shot chains: compile unmemoized to bound memo growth.
-        limit = compile_chain(
-            alpha, ports, use_memo=False
-        ).limit_solving_probability(task)
+        (limit,) = run_queries(
+            compile_chain(alpha, ports, use_memo=False),
+            [Query.limit(task)],
+        )
         lowest = min(lowest, limit)
         highest = max(highest, limit)
         solvable += limit == 1
@@ -133,9 +137,10 @@ def worst_case_port_search(
         lowest, highest, solvable, total = exhaustive_worst_case(
             shape, engine=engine
         )
-        lemma_limit = compile_chain(
-            alpha, adversarial_assignment(shape)
-        ).limit_solving_probability(task)
+        (lemma_limit,) = run_queries(
+            compile_chain(alpha, adversarial_assignment(shape)),
+            [Query.limit(task)],
+        )
         predicted_worst = Fraction(1) if alpha.gcd == 1 else Fraction(0)
         ok = (
             lowest == predicted_worst

@@ -9,15 +9,39 @@ The package-level API:
   under both an exact ``Fraction`` backend and a numpy ``float64``
   backend (``backend="exact" | "float"``);
 * :func:`configure_disk_cache` -- persist compilations across worker
-  processes and runs.
+  processes and runs (LRU ``max_bytes``/``max_entries`` caps optional);
+* :func:`run_queries` / :class:`QueryBatch` -- answer whole sets of
+  ``(task, horizon, quantity)`` questions against one chain in shared
+  topologically-ordered passes (:mod:`repro.chain.batch`);
+* :class:`SharedChainStore` / :func:`configure_shared_chains` -- place
+  compiled arrays in ``multiprocessing.shared_memory`` so pool workers
+  attach zero-copy views instead of re-loading from disk
+  (:mod:`repro.chain.shm`).
 
 ``repro.core.markov`` keeps its historical API as a thin facade over
 this engine; see ``CHAIN.md`` for the design.
 """
 
 from .backends import BACKENDS, validate_backend
-from .cache import ChainDiskCache, configure_disk_cache, disk_cache
+from .batch import (
+    QUANTITIES,
+    Query,
+    QueryBatch,
+    QueryPlan,
+    batching_enabled,
+    configure_batching,
+    run_queries,
+    run_query_batch,
+)
+from .cache import (
+    CacheEntry,
+    ChainDiskCache,
+    configure_disk_cache,
+    disk_cache,
+)
 from .engine import (
+    DEFAULT_DISTRIBUTION_CACHE_CAP,
+    DENSE_STATE_LIMIT,
     MAX_NODES,
     ChainKey,
     CompiledChain,
@@ -26,8 +50,16 @@ from .engine import (
     clear_memo,
     compile_chain,
     memo_size,
+    memoized_chain,
     neighbour_tables,
     refine_labels,
+    set_distribution_cache_cap,
+)
+from .shm import (
+    SharedChainStore,
+    attach_chain,
+    configure_shared_chains,
+    shared_chain,
 )
 from .interning import (
     LabelVector,
@@ -41,13 +73,23 @@ from .interning import (
 
 __all__ = [
     "BACKENDS",
+    "CacheEntry",
     "ChainDiskCache",
     "ChainKey",
     "CompiledChain",
+    "DEFAULT_DISTRIBUTION_CACHE_CAP",
+    "DENSE_STATE_LIMIT",
     "LabelVector",
     "MAX_NODES",
+    "QUANTITIES",
+    "Query",
+    "QueryBatch",
+    "QueryPlan",
+    "SharedChainStore",
     "StateTable",
+    "attach_chain",
     "back_port_tables",
+    "batching_enabled",
     "block_count",
     "block_sizes",
     "blocks_from_labels",
@@ -55,11 +97,18 @@ __all__ = [
     "chain_key",
     "clear_memo",
     "compile_chain",
+    "configure_batching",
     "configure_disk_cache",
+    "configure_shared_chains",
     "disk_cache",
     "labels_from_blocks",
     "memo_size",
+    "memoized_chain",
     "neighbour_tables",
     "refine_labels",
+    "run_queries",
+    "run_query_batch",
+    "set_distribution_cache_cap",
+    "shared_chain",
     "validate_backend",
 ]

@@ -77,11 +77,24 @@ def distribution_exact(chain: "CompiledChain", t: int) -> dict[int, Fraction]:
 def series_exact(
     chain: "CompiledChain", mask: Sequence[bool], t_max: int
 ) -> list[Fraction]:
-    """``[Pr[S(1)], ..., Pr[S(t_max)]]`` over the cached distributions."""
-    return [
+    """``[Pr[S(1)], ..., Pr[S(t_max)]]`` over the cached distributions.
+
+    Horizons past the chain's distribution-cache cap stream one
+    transient step at a time (still exact, still linear in ``t_max``)
+    instead of re-stepping from the last cached entry per horizon.
+    """
+    cap = chain.distribution_cache_cap
+    cached_until = min(t_max, cap - 1)
+    series = [
         mass_exact(chain.cached_distribution_exact(t), mask)
-        for t in range(1, t_max + 1)
+        for t in range(1, cached_until + 1)
     ]
+    if t_max > cached_until:
+        dist = chain.cached_distribution_exact(cached_until)
+        for _ in range(cached_until + 1, t_max + 1):
+            dist = step_exact(chain, dist)
+            series.append(mass_exact(dist, mask))
+    return series
 
 
 def absorption_exact(
@@ -176,67 +189,170 @@ def series_float(
     return series
 
 
+def _self_loop_weights(chain: "CompiledChain") -> np.ndarray:
+    """Per-state self-loop weight as float64 (exact: powers of two)."""
+    src, dst, weight = chain.coo()
+    self_w = np.zeros(chain.num_states)
+    loops = src == dst
+    self_w[src[loops]] = weight[loops]
+    return self_w
+
+
+def _reverse_level_sweep(
+    chain: "CompiledChain",
+    masks: np.ndarray,
+    *,
+    accumulator_init: float,
+    masked_value: float,
+    absorbing_value: float,
+) -> np.ndarray:
+    """The shared first-step-equation solver over block-count levels.
+
+    States are topologically sorted by block count and refinement edges
+    never stay inside a level except as self-loops, so one reverse pass
+    over the ``O(n)`` levels solves ``x[s] = (init + sum_{s' != s}
+    P(s->s') x[s']) / (1 - P(s->s))`` for every mask row at once --
+    ``masks`` is ``(Q, S)`` boolean, the result ``(Q, S)`` float64.
+    Masked states take ``masked_value``; pure non-masked self-loops
+    (``P(s->s) = 1``) take ``absorbing_value``.  Absorption uses
+    ``(init=0, masked=1, absorbing=0)``; expected hitting time uses
+    ``(init=1, masked=0, absorbing=inf)``, where ``inf`` propagates
+    through the recurrence exactly like the scalar kernel's ``None``
+    (every stored edge weight is positive, so ``0 * inf`` never arises).
+    """
+    masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+    src, dst, weight = chain.coo()
+    indptr = chain.csr()[0]
+    self_w = _self_loop_weights(chain)
+    values = np.zeros((masks.shape[0], chain.num_states))
+    for start, stop in reversed(chain.levels()):
+        lo, hi = int(indptr[start]), int(indptr[stop])
+        s, d, w = src[lo:hi], dst[lo:hi], weight[lo:hi]
+        cross = s != d
+        total = np.full(
+            (masks.shape[0], stop - start), accumulator_init
+        )
+        if cross.any():
+            np.add.at(
+                total,
+                (slice(None), s[cross] - start),
+                w[cross] * values[:, d[cross]],
+            )
+        hold = 1.0 - self_w[start:stop]
+        vals = np.divide(
+            total,
+            hold[None, :],
+            out=np.full_like(total, absorbing_value),
+            where=hold > 0.0,
+        )
+        values[:, start:stop] = np.where(
+            masks[:, start:stop], masked_value, vals
+        )
+    return values
+
+
+def absorption_float_matrix(
+    chain: "CompiledChain", masks: np.ndarray
+) -> np.ndarray:
+    """Per-state hitting probabilities for a *batch* of masks at once.
+
+    One :func:`_reverse_level_sweep`: all ``Q`` mask rows share each
+    pass over the transition arrays.
+    """
+    return _reverse_level_sweep(
+        chain,
+        masks,
+        accumulator_init=0.0,
+        masked_value=1.0,
+        absorbing_value=0.0,
+    )
+
+
 def absorption_float(
     chain: "CompiledChain", mask: Sequence[bool]
 ) -> np.ndarray:
-    """Float analogue of :func:`absorption_exact` (same traversal)."""
-    probs = np.zeros(chain.num_states)
-    denom = chain.denom
-    for sid in range(chain.num_states - 1, -1, -1):
-        if mask[sid]:
-            probs[sid] = 1.0
-            continue
-        self_cnt = 0
-        total = 0.0
-        for dst, cnt in chain.out_edges(sid):
-            if dst == sid:
-                self_cnt = cnt
-            else:
-                total += (cnt / denom) * probs[dst]
-        probs[sid] = (
-            0.0 if self_cnt == denom else total / (1.0 - self_cnt / denom)
-        )
-    return probs
+    """Float analogue of :func:`absorption_exact` (same traversal,
+    vectorized level passes instead of a per-state python loop)."""
+    return absorption_float_matrix(chain, np.asarray([mask], dtype=bool))[0]
+
+
+def expected_float_matrix(
+    chain: "CompiledChain", masks: np.ndarray
+) -> np.ndarray:
+    """Per-state expected hitting times for a batch of masks at once.
+
+    Infinite expectations (the masked set is not reached almost surely)
+    come back as ``np.inf``; see :func:`_reverse_level_sweep`.
+    """
+    return _reverse_level_sweep(
+        chain,
+        masks,
+        accumulator_init=1.0,
+        masked_value=0.0,
+        absorbing_value=np.inf,
+    )
 
 
 def expected_float(
     chain: "CompiledChain", mask: Sequence[bool]
 ) -> list[float | None]:
-    """Float analogue of :func:`expected_exact`."""
-    expected: list[float | None] = [None] * chain.num_states
-    denom = chain.denom
-    for sid in range(chain.num_states - 1, -1, -1):
-        if mask[sid]:
-            expected[sid] = 0.0
-            continue
-        self_cnt = 0
-        total = 1.0
-        feasible = True
-        for dst, cnt in chain.out_edges(sid):
-            if dst == sid:
-                self_cnt = cnt
-                continue
-            sub = expected[dst]
-            if sub is None:
-                feasible = False
-                break
-            total += (cnt / denom) * sub
-        if not feasible or self_cnt == denom:
-            expected[sid] = None
+    """Float analogue of :func:`expected_exact` (vectorized sweep)."""
+    row = expected_float_matrix(chain, np.asarray([mask], dtype=bool))[0]
+    return [None if np.isinf(value) else float(value) for value in row]
+
+
+def masses_float_over_time(
+    chain: "CompiledChain",
+    masks: np.ndarray,
+    times: "Sequence[int]",
+) -> dict[int, np.ndarray]:
+    """Masked masses of the distribution at each requested time.
+
+    One evolution to ``max(times)`` shared by every ``(mask, t)`` pair:
+    ``masks`` is ``(Q, S)`` boolean and the result maps each requested
+    ``t`` to the ``(Q,)`` vector of per-mask masses.  Small chains step
+    with a dense matrix-vector product; larger ones with the same
+    scatter-add :func:`distribution_float` uses.
+    """
+    wanted = sorted(set(int(t) for t in times))
+    if wanted and wanted[0] < 0:
+        raise ValueError("need t >= 0")
+    mask_matrix = np.atleast_2d(np.asarray(masks, dtype=bool)).astype(
+        np.float64
+    )
+    dist = np.zeros(chain.num_states)
+    dist[chain.start] = 1.0
+    out: dict[int, np.ndarray] = {}
+    if wanted and wanted[0] == 0:
+        out[0] = mask_matrix @ dist
+    remaining = set(wanted)
+    dense = chain.dense_transition_matrix()
+    if dense is None:
+        src, dst, weight = chain.coo()
+    for t in range(1, (wanted[-1] if wanted else 0) + 1):
+        if dense is not None:
+            dist = dist @ dense
         else:
-            expected[sid] = total / (1.0 - self_cnt / denom)
-    return expected
+            nxt = np.zeros(chain.num_states)
+            np.add.at(nxt, dst, dist[src] * weight)
+            dist = nxt
+        if t in remaining:
+            out[t] = mask_matrix @ dist
+    return out
 
 
 __all__ = [
     "BACKENDS",
     "absorption_exact",
     "absorption_float",
+    "absorption_float_matrix",
     "distribution_exact",
     "distribution_float",
     "expected_exact",
     "expected_float",
+    "expected_float_matrix",
     "mass_exact",
+    "masses_float_over_time",
     "series_exact",
     "series_float",
     "step_exact",

@@ -1,0 +1,392 @@
+"""Batched query planning and execution over one compiled chain.
+
+Every caller of the compiled engine used to ask one ``(task, horizon)``
+question at a time through the scalar methods on
+:class:`~repro.chain.engine.CompiledChain` -- a theorem sweep that wants
+four tasks at ten horizons paid for forty separate distribution
+evolutions under the float backend, and the exact backend re-ran its
+absorption sweep per call.  This module turns those call sites into
+*batches*: a set of :class:`Query` objects (``quantity``, ``task``,
+optional ``horizon``) against one chain, answered together:
+
+* **float** -- one distribution evolution to the batch's deepest horizon
+  (dense matrix-vector recurrence on small chains, shared scatter-adds
+  otherwise) answers every probability/series query; one vectorized
+  reverse-topological level sweep answers every limit (and one more
+  every expected-time) across all masks at once
+  (:func:`~repro.chain.backends.absorption_float_matrix`).
+* **exact** -- the chain's cached task-independent distributions are
+  shared across all probability/series queries, and each distinct task
+  mask pays for at most one absorption/expected sweep per batch.  The
+  exact kernels are the very ones the scalar path uses, so batched
+  exact results are byte-identical to scalar ones by construction.
+
+:func:`run_queries` is the front door consumers use: it honours the
+process-wide batching toggle (:func:`configure_batching`, the CLI's
+``--batch/--no-batch``) and falls back to the scalar per-query methods
+when batching is off -- with identical results either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .backends import (
+    absorption_exact,
+    absorption_float_matrix,
+    expected_exact,
+    expected_float_matrix,
+    mass_exact,
+    masses_float_over_time,
+    series_exact,
+    validate_backend,
+)
+
+#: What a query may ask for.  ``solvable`` (Definition 3.3) is always
+#: decided on exact arithmetic -- the zero-one law is asserted on exact
+#: 0/1 limits -- whatever backend the rest of the batch runs under.
+QUANTITIES = ("probability", "series", "limit", "expected", "solvable")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One ``(quantity, task, horizon)`` question against a chain."""
+
+    quantity: str
+    task: object
+    horizon: "int | None" = None
+
+    def __post_init__(self):
+        if self.quantity not in QUANTITIES:
+            raise ValueError(
+                f"unknown quantity {self.quantity!r}; "
+                f"expected one of {QUANTITIES}"
+            )
+        if self.quantity in ("probability", "series"):
+            if self.horizon is None or self.horizon < 0:
+                raise ValueError(
+                    f"{self.quantity} queries need a horizon >= 0"
+                )
+        elif self.horizon is not None:
+            raise ValueError(
+                f"{self.quantity} queries take no horizon"
+            )
+
+    # -- convenience constructors (the spellings call sites read best) --
+    @classmethod
+    def probability(cls, task, t: int) -> "Query":
+        """``Pr[S(t) | alpha]`` at one horizon."""
+        return cls("probability", task, t)
+
+    @classmethod
+    def series(cls, task, t_max: int) -> "Query":
+        """``[Pr[S(1)], ..., Pr[S(t_max)]]``."""
+        return cls("series", task, t_max)
+
+    @classmethod
+    def limit(cls, task) -> "Query":
+        """``lim_t Pr[S(t) | alpha]`` (absorption from the start state)."""
+        return cls("limit", task)
+
+    @classmethod
+    def expected_time(cls, task) -> "Query":
+        """Expected rounds to first solve (``None`` when infinite)."""
+        return cls("expected", task)
+
+    @classmethod
+    def solvable(cls, task) -> "Query":
+        """Definition 3.3, decided exactly with the zero-one assertion."""
+        return cls("solvable", task)
+
+
+class QueryPlan:
+    """A batch of queries against one chain, grouped for shared passes.
+
+    Grouping happens per distinct *solvability mask* (two task objects
+    with the same mask share every pass), and the plan records which
+    kernels the batch needs: distribution masses at which times,
+    absorption for which masks, expected times for which masks.
+    """
+
+    def __init__(self, chain, queries: Iterable[Query]):
+        self.chain = chain
+        self.queries = tuple(queries)
+        self._masks: list[tuple[bool, ...]] = []
+        slot_of: dict[tuple[bool, ...], int] = {}
+        self._slots: list[int] = []
+        for query in self.queries:
+            mask = chain.solvable_mask(query.task)
+            slot = slot_of.get(mask)
+            if slot is None:
+                slot = slot_of[mask] = len(self._masks)
+                self._masks.append(mask)
+            self._slots.append(slot)
+        # Which (slot, t) masses the distribution pass must produce.
+        self._mass_times: set[int] = set()
+        self._mass_slots: set[int] = set()
+        self._absorb_slots: set[int] = set()
+        self._expected_slots: set[int] = set()
+        for query, slot in zip(self.queries, self._slots):
+            if query.quantity == "probability":
+                self._mass_times.add(query.horizon)
+                self._mass_slots.add(slot)
+            elif query.quantity == "series":
+                self._mass_times.update(range(1, query.horizon + 1))
+                self._mass_slots.add(slot)
+            elif query.quantity in ("limit", "solvable"):
+                self._absorb_slots.add(slot)
+            else:  # expected
+                self._expected_slots.add(slot)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, *, backend: str = "exact") -> list:
+        """Answer every query, in query order."""
+        if validate_backend(backend) == "exact":
+            return self._execute_exact()
+        return self._execute_float()
+
+    def _execute_exact(self) -> list:
+        chain = self.chain
+        absorption: dict[int, list[Fraction]] = {}
+        expected: dict[int, list] = {}
+        for slot in self._absorb_slots:
+            absorption[slot] = absorption_exact(chain, self._masks[slot])
+        for slot in self._expected_slots:
+            expected[slot] = expected_exact(chain, self._masks[slot])
+        results = []
+        for query, slot in zip(self.queries, self._slots):
+            mask = self._masks[slot]
+            if query.quantity == "probability":
+                results.append(
+                    mass_exact(
+                        chain.cached_distribution_exact(query.horizon), mask
+                    )
+                )
+            elif query.quantity == "series":
+                results.append(series_exact(chain, mask, query.horizon))
+            elif query.quantity == "limit":
+                results.append(absorption[slot][chain.start])
+            elif query.quantity == "solvable":
+                results.append(
+                    _assert_zero_one(chain, absorption[slot][chain.start])
+                )
+            else:  # expected
+                results.append(expected[slot][chain.start])
+        return results
+
+    def _execute_float(self) -> list:
+        chain = self.chain
+        masses: dict[int, np.ndarray] = {}
+        mass_rows: dict[int, int] = {}
+        if self._mass_times:
+            # Only the mask rows probability/series queries actually
+            # read join the per-time mass products.
+            ordered = sorted(self._mass_slots)
+            mass_rows = {slot: row for row, slot in enumerate(ordered)}
+            masses = masses_float_over_time(
+                chain,
+                np.asarray(
+                    [self._masks[slot] for slot in ordered], dtype=bool
+                ),
+                self._mass_times,
+            )
+        absorption: "np.ndarray | None" = None
+        absorb_rows: dict[int, int] = {}
+        # ``solvable`` stays exact under every backend (the zero-one law
+        # is a statement about exact limits), so it does not join the
+        # float absorption batch.
+        float_absorb = sorted({
+            slot
+            for query, slot in zip(self.queries, self._slots)
+            if query.quantity == "limit"
+        })
+        if float_absorb:
+            absorb_rows = {slot: row for row, slot in enumerate(float_absorb)}
+            absorption = absorption_float_matrix(
+                chain,
+                np.asarray(
+                    [self._masks[slot] for slot in float_absorb], dtype=bool
+                ),
+            )
+        expected: "np.ndarray | None" = None
+        expected_rows: dict[int, int] = {}
+        if self._expected_slots:
+            ordered = sorted(self._expected_slots)
+            expected_rows = {slot: row for row, slot in enumerate(ordered)}
+            expected = expected_float_matrix(
+                chain,
+                np.asarray(
+                    [self._masks[slot] for slot in ordered], dtype=bool
+                ),
+            )
+        exact_absorption: dict[int, list[Fraction]] = {}
+        results = []
+        for query, slot in zip(self.queries, self._slots):
+            if query.quantity == "probability":
+                results.append(
+                    float(masses[query.horizon][mass_rows[slot]])
+                )
+            elif query.quantity == "series":
+                row = mass_rows[slot]
+                results.append(
+                    [
+                        float(masses[t][row])
+                        for t in range(1, query.horizon + 1)
+                    ]
+                )
+            elif query.quantity == "limit":
+                results.append(
+                    float(absorption[absorb_rows[slot], chain.start])
+                )
+            elif query.quantity == "solvable":
+                if slot not in exact_absorption:
+                    exact_absorption[slot] = absorption_exact(
+                        chain, self._masks[slot]
+                    )
+                results.append(
+                    _assert_zero_one(
+                        chain, exact_absorption[slot][chain.start]
+                    )
+                )
+            else:  # expected
+                value = expected[expected_rows[slot], chain.start]
+                results.append(None if np.isinf(value) else float(value))
+        return results
+
+
+def _assert_zero_one(chain, limit: Fraction) -> bool:
+    """Definition 3.3 verdict with the machine-checked zero-one law."""
+    if limit not in (Fraction(0), Fraction(1)):
+        raise AssertionError(
+            f"zero-one law violated: limit {limit} for chain {chain.key!r}"
+        )
+    return limit == 1
+
+
+class QueryBatch:
+    """Builder: accumulate queries, run once, read results by handle.
+
+    ::
+
+        batch = QueryBatch(chain)
+        s = batch.series(task, t_max)
+        l = batch.limit(task)
+        results = batch.run()
+        series, limit = results[s], results[l]
+    """
+
+    def __init__(self, chain):
+        self.chain = chain
+        self._queries: list[Query] = []
+
+    def add(self, query: Query) -> int:
+        """Append a query; the returned handle indexes ``run()``'s list."""
+        self._queries.append(query)
+        return len(self._queries) - 1
+
+    def probability(self, task, t: int) -> int:
+        return self.add(Query.probability(task, t))
+
+    def series(self, task, t_max: int) -> int:
+        return self.add(Query.series(task, t_max))
+
+    def limit(self, task) -> int:
+        return self.add(Query.limit(task))
+
+    def expected_time(self, task) -> int:
+        return self.add(Query.expected_time(task))
+
+    def solvable(self, task) -> int:
+        return self.add(Query.solvable(task))
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def run(self, *, backend: str = "exact") -> list:
+        """Execute (respecting the batching toggle), in handle order."""
+        return run_queries(self.chain, self._queries, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# The process-wide batching toggle (CLI --batch/--no-batch)
+# ----------------------------------------------------------------------
+_BATCHING = True
+
+
+def configure_batching(enabled: bool) -> bool:
+    """Turn the batched query path on or off; returns the previous value.
+
+    Results are identical either way (the exact kernels are shared, the
+    float ones agree to 1e-12); the toggle exists so regressions can be
+    bisected to the planner and so benchmarks can time both paths.
+    """
+    global _BATCHING
+    previous = _BATCHING
+    _BATCHING = bool(enabled)
+    return previous
+
+
+def batching_enabled() -> bool:
+    return _BATCHING
+
+
+def _scalar_answer(chain, query: Query, backend: str):
+    """The PR-2 scalar path for one query (the --no-batch fallback)."""
+    if query.quantity == "probability":
+        return chain.solving_probability(
+            query.task, query.horizon, backend=backend
+        )
+    if query.quantity == "series":
+        return chain.solving_probability_series(
+            query.task, query.horizon, backend=backend
+        )
+    if query.quantity == "limit":
+        return chain.limit_solving_probability(query.task, backend=backend)
+    if query.quantity == "expected":
+        return chain.expected_solving_time(query.task, backend=backend)
+    return chain.eventually_solvable(query.task)
+
+
+def run_queries(
+    chain, queries: Sequence[Query], *, backend: str = "exact"
+) -> list:
+    """Answer ``queries`` against ``chain``, in order.
+
+    Batched (one shared pass per needed kernel) when batching is
+    enabled; the scalar per-query methods otherwise.
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    if _BATCHING:
+        return QueryPlan(chain, queries).execute(backend=backend)
+    validate_backend(backend)
+    return [_scalar_answer(chain, query, backend) for query in queries]
+
+
+def run_query_batch(
+    chain, queries: Sequence[Query], *, backend: str = "exact"
+) -> list:
+    """Always-batched execution (ignores the toggle; benchmarks use it)."""
+    return QueryPlan(chain, queries).execute(backend=backend)
+
+
+__all__ = [
+    "QUANTITIES",
+    "Query",
+    "QueryBatch",
+    "QueryPlan",
+    "batching_enabled",
+    "configure_batching",
+    "run_queries",
+    "run_query_batch",
+]

@@ -16,6 +16,7 @@ and ``configure_disk_cache(None)`` turns it back off.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pathlib
@@ -30,15 +31,115 @@ def key_digest(key: ChainKey) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
-class ChainDiskCache:
-    """A directory of pickled :class:`CompiledChain` objects."""
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One cached chain file, as the hygiene tooling sees it."""
 
-    def __init__(self, root: "str | os.PathLike[str]"):
+    digest: str
+    path: pathlib.Path
+    size: int
+    mtime: float
+
+
+class ChainDiskCache:
+    """A directory of pickled :class:`CompiledChain` objects.
+
+    ``max_bytes``/``max_entries`` cap the directory size: every store
+    (and every explicit :meth:`evict`) drops least-recently-used entries
+    until both caps hold.  Recency is file mtime -- loads touch their
+    hit, so a chain a long-lived run directory keeps coming back to
+    stays resident while one-off chains age out.  ``None`` (the
+    default) leaves that dimension unbounded.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        *,
+        max_bytes: "int | None" = None,
+        max_entries: "int | None" = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
         self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, key: ChainKey) -> pathlib.Path:
         return self.root / f"{key_digest(key)}.chain.pkl"
+
+    # ------------------------------------------------------------------
+    # Hygiene: listing and LRU eviction
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """Every cached chain file, least recently used first.
+
+        Entries that vanish mid-listing (a concurrent prune) are simply
+        skipped.
+        """
+        found = []
+        for path in self.root.glob("*.chain.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(
+                CacheEntry(
+                    digest=path.name.removesuffix(".chain.pkl"),
+                    path=path,
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        found.sort(key=lambda entry: (entry.mtime, entry.digest))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries())
+
+    def evict(
+        self,
+        max_bytes: "int | None" = None,
+        max_entries: "int | None" = None,
+    ) -> list[CacheEntry]:
+        """Drop LRU entries until the caps hold; returns what was removed.
+
+        Caps default to the cache's own; passing explicit values prunes
+        to those instead (the ``repro chains prune`` path).  Removal is
+        best-effort: files that vanish concurrently count as evicted.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        max_entries = self.max_entries if max_entries is None else max_entries
+        if max_bytes is None and max_entries is None:
+            return []
+        entries = self.entries()
+        total = sum(entry.size for entry in entries)
+        removed: list[CacheEntry] = []
+        while entries and (
+            (max_entries is not None and len(entries) > max_entries)
+            or (max_bytes is not None and total > max_bytes)
+        ):
+            victim = entries.pop(0)
+            try:
+                victim.path.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                break
+            total -= victim.size
+            removed.append(victim)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every cached chain; returns how many were dropped."""
+        return len(self.evict(max_bytes=0, max_entries=0))
 
     def load(self, key: ChainKey) -> CompiledChain | None:
         """The cached chain for ``key``, or ``None``.
@@ -55,6 +156,10 @@ class ChainDiskCache:
             return None
         if not isinstance(chain, CompiledChain) or chain.key != key:
             return None
+        try:
+            os.utime(path)  # refresh LRU recency; best-effort
+        except OSError:
+            pass
         return chain
 
     def store(self, chain: CompiledChain) -> "pathlib.Path | None":
@@ -84,6 +189,7 @@ class ChainDiskCache:
             if isinstance(exc, OSError):
                 return None
             raise
+        self.evict()
         return path
 
     def __len__(self) -> int:
@@ -96,10 +202,21 @@ _DISK_CACHE: ChainDiskCache | None = None
 
 def configure_disk_cache(
     root: "str | os.PathLike[str] | None",
+    *,
+    max_bytes: "int | None" = None,
+    max_entries: "int | None" = None,
 ) -> ChainDiskCache | None:
-    """Install (or, with ``None``, remove) the process-wide disk cache."""
+    """Install (or, with ``None``, remove) the process-wide disk cache.
+
+    ``max_bytes``/``max_entries`` turn on LRU eviction for the installed
+    cache (see :class:`ChainDiskCache`).
+    """
     global _DISK_CACHE
-    _DISK_CACHE = None if root is None else ChainDiskCache(root)
+    _DISK_CACHE = (
+        None
+        if root is None
+        else ChainDiskCache(root, max_bytes=max_bytes, max_entries=max_entries)
+    )
     return _DISK_CACHE
 
 
@@ -109,6 +226,7 @@ def disk_cache() -> ChainDiskCache | None:
 
 
 __all__ = [
+    "CacheEntry",
     "ChainDiskCache",
     "configure_disk_cache",
     "disk_cache",

@@ -58,6 +58,31 @@ MAX_NODES = 10
 #: Structural memo key: (assignment, neighbour tables, back-port tables).
 ChainKey = tuple
 
+#: Chains at or below this many states keep a dense ``(S, S)`` float64
+#: transition matrix for the batched query path (2 MB at the limit);
+#: larger chains fall back to sparse scatter-adds.
+DENSE_STATE_LIMIT = 512
+
+#: Default cap on cached exact distributions per chain (entries, i.e.
+#: time steps 0..cap-1).  Deeper horizons are still answered exactly by
+#: stepping transiently past the last cached entry; they just stop
+#: growing the per-chain cache.  See :func:`set_distribution_cache_cap`.
+DEFAULT_DISTRIBUTION_CACHE_CAP = 1024
+
+
+def set_distribution_cache_cap(cap: "int | None") -> None:
+    """Bound every chain's exact-distribution cache to ``cap`` entries.
+
+    ``None`` restores :data:`DEFAULT_DISTRIBUTION_CACHE_CAP`.  The cap
+    is process-wide and applies to already-compiled chains too (their
+    existing caches are not truncated, but stop growing past the cap).
+    """
+    if cap is None:
+        cap = DEFAULT_DISTRIBUTION_CACHE_CAP
+    if cap < 1:
+        raise ValueError("distribution cache cap must be >= 1")
+    CompiledChain.distribution_cache_cap = cap
+
 
 def refine_labels(
     labels: LabelVector,
@@ -161,24 +186,40 @@ class CompiledChain:
     ``backend`` argument: ``"exact"`` (Fraction) or ``"float"`` (numpy).
     """
 
+    #: Process-wide cap on the per-chain exact-distribution cache (see
+    #: :func:`set_distribution_cache_cap`).
+    distribution_cache_cap: int = DEFAULT_DISTRIBUTION_CACHE_CAP
+
     def __init__(
         self,
         key: ChainKey,
         n: int,
         k: int,
         labels: tuple[LabelVector, ...],
-        out: tuple[tuple[tuple[int, int], ...], ...],
+        out: "tuple[tuple[tuple[int, int], ...], ...] | None" = None,
+        *,
+        csr: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
     ):
+        if (out is None) == (csr is None):
+            raise ValueError("need exactly one of out= or csr=")
         self.key = key
         self.n = n
         self.k = k
         self.denom = 2 ** (k - 1)
         self.labels = labels
         self.block_counts = tuple(block_count(v) for v in labels)
+        #: Per-state ``(dst, count)`` tuples; built lazily when the chain
+        #: arrives as shared-memory CSR arrays (the exact backend is the
+        #: only consumer, so a float-only worker never materializes it).
         self._out = out
+        #: ``(indptr, dst, cnt)`` int64 arrays; for shared-memory chains
+        #: these are zero-copy views into the published segment.
+        self._csr = csr
         self._ids = {v: sid for sid, v in enumerate(labels)}
         self.start = self._ids[(0,) * n]
         self._coo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._dense: np.ndarray | None = None
+        self._levels: tuple[tuple[int, int], ...] | None = None
         #: Masks for content-keyed tasks (CountTask and friends): chains
         #: are process-immortal via the memo, so identity keys would pin
         #: every freshly-constructed task forever.  Tasks without a
@@ -201,7 +242,7 @@ class CompiledChain:
             "n": self.n,
             "k": self.k,
             "labels": self.labels,
-            "_out": self._out,
+            "_out": self.out_table(),
         }
 
     def __setstate__(self, state):
@@ -219,15 +260,78 @@ class CompiledChain:
 
     @property
     def num_transitions(self) -> int:
-        return sum(len(edges) for edges in self._out)
+        if self._out is not None:
+            return sum(len(edges) for edges in self._out)
+        return int(len(self._csr[1]))
 
     def state_id(self, labels: LabelVector) -> int | None:
         """Dense id of a label vector (``None`` if unreachable)."""
         return self._ids.get(labels)
 
+    def out_table(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Per-state ``(dst, count)`` tuples (materialized from CSR if
+        the chain was attached from shared memory)."""
+        if self._out is None:
+            indptr, dst, cnt = self._csr
+            self._out = tuple(
+                tuple(
+                    (int(dst[e]), int(cnt[e]))
+                    for e in range(int(indptr[sid]), int(indptr[sid + 1]))
+                )
+                for sid in range(self.num_states)
+            )
+        return self._out
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Transitions as flat int64 CSR arrays ``(indptr, dst, cnt)``.
+
+        State ``sid``'s edges are ``dst[indptr[sid]:indptr[sid+1]]`` with
+        integer counts ``cnt[...]`` out of :attr:`denom`.  This is the
+        layout the shared-memory store publishes; chains attached from a
+        segment return zero-copy views here.
+        """
+        if self._csr is None:
+            out = self._out
+            indptr = np.zeros(self.num_states + 1, dtype=np.int64)
+            for sid, edges in enumerate(out):
+                indptr[sid + 1] = indptr[sid] + len(edges)
+            dst = np.fromiter(
+                (d for edges in out for d, _ in edges),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            cnt = np.fromiter(
+                (c for edges in out for _, c in edges),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            self._csr = (indptr, dst, cnt)
+        return self._csr
+
+    def levels(self) -> tuple[tuple[int, int], ...]:
+        """``(start, stop)`` id ranges of equal block count, ascending.
+
+        States are topologically sorted by block count, so refinement
+        edges only ever leave a level for a strictly later one (or
+        self-loop); the vectorized float kernels sweep these ranges in
+        reverse instead of looping state by state.
+        """
+        if self._levels is None:
+            ranges = []
+            start = 0
+            for sid in range(1, self.num_states + 1):
+                if (
+                    sid == self.num_states
+                    or self.block_counts[sid] != self.block_counts[start]
+                ):
+                    ranges.append((start, sid))
+                    start = sid
+            self._levels = tuple(ranges)
+        return self._levels
+
     def out_edges(self, sid: int) -> tuple[tuple[int, int], ...]:
         """``(dst, count)`` pairs; weights are ``count / denom``."""
-        return self._out[sid]
+        return self.out_table()[sid]
 
     def exact_out_edges(self, sid: int) -> tuple[tuple[int, Fraction], ...]:
         """``(dst, weight)`` pairs with pre-built exact ``Fraction`` weights."""
@@ -236,7 +340,7 @@ class CompiledChain:
                 tuple(
                     (dst, Fraction(cnt, self.denom)) for dst, cnt in edges
                 )
-                for edges in self._out
+                for edges in self.out_table()
             )
         return self._exact_weights[sid]
 
@@ -250,11 +354,24 @@ class CompiledChain:
         Task-independent and therefore shared by every query against
         this chain; callers must treat the returned dict as read-only
         (the public :meth:`state_distribution` hands out copies).
+
+        The cache holds at most :attr:`distribution_cache_cap` entries
+        (see :func:`set_distribution_cache_cap`): deeper horizons step
+        transiently from the last cached entry, so deep queries on large
+        state spaces stay exact without growing memory without bound.
         """
         cache = self._dist_exact
-        while len(cache) <= t:
+        if t < len(cache):
+            return cache[t]
+        cap = self.distribution_cache_cap
+        while len(cache) <= t and len(cache) < cap:
             cache.append(step_exact(self, cache[-1]))
-        return cache[t]
+        if t < len(cache):
+            return cache[t]
+        dist = cache[-1]
+        for _ in range(t - len(cache) + 1):
+            dist = step_exact(self, dist)
+        return dist
 
     def partition_of(self, sid: int):
         """State ``sid`` as the facade's canonical ``PartitionState``."""
@@ -268,20 +385,37 @@ class CompiledChain:
         return cached
 
     def coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flat ``(src, dst, weight)`` float64 arrays (built lazily)."""
+        """Flat ``(src, dst, weight)`` arrays derived from :meth:`csr`
+        (``src``/``dst`` int64, ``weight`` float64; built lazily)."""
         if self._coo is None:
-            src, dst, cnt = [], [], []
-            for sid, edges in enumerate(self._out):
-                for d, c in edges:
-                    src.append(sid)
-                    dst.append(d)
-                    cnt.append(c)
+            indptr, dst, cnt = self.csr()
+            src = np.repeat(
+                np.arange(self.num_states, dtype=np.int64),
+                np.diff(indptr),
+            )
             self._coo = (
-                np.asarray(src, dtype=np.int64),
+                src,
                 np.asarray(dst, dtype=np.int64),
                 np.asarray(cnt, dtype=np.float64) / self.denom,
             )
         return self._coo
+
+    def dense_transition_matrix(self) -> "np.ndarray | None":
+        """Dense ``(S, S)`` float64 transition matrix, or ``None``.
+
+        Only chains with at most :data:`DENSE_STATE_LIMIT` states keep
+        one (chains are process-immortal via the memo, so the cached
+        matrix must stay small); the batched float path falls back to
+        sparse scatter-adds above the limit.
+        """
+        if self.num_states > DENSE_STATE_LIMIT:
+            return None
+        if self._dense is None:
+            src, dst, weight = self.coo()
+            dense = np.zeros((self.num_states, self.num_states))
+            dense[src, dst] = weight
+            self._dense = dense
+        return self._dense
 
     # ------------------------------------------------------------------
     # Task solvability bitmasks
@@ -486,6 +620,16 @@ def memo_size() -> int:
     return len(_MEMO)
 
 
+def memoized_chain(key: ChainKey) -> "CompiledChain | None":
+    """The memoized chain for ``key``, without compiling on a miss.
+
+    Lets callers (the sweep's shared-memory publisher) distinguish
+    warm chains -- free to publish -- from cold ones that would stall
+    the parent process if compiled eagerly.
+    """
+    return _MEMO.get(key)
+
+
 def compile_chain(
     alpha: RandomnessConfiguration,
     ports=None,
@@ -518,6 +662,15 @@ def compile_chain(
     hit = _MEMO.get(key)
     if hit is not None:
         return hit
+    from .shm import shared_chain
+
+    attached = shared_chain(key)
+    if attached is not None:
+        # Shared memory beats the disk cache: attaching is a zero-copy
+        # mapping of arrays another process already built, so pool
+        # workers skip the per-process pickle load entirely.
+        _MEMO[key] = attached
+        return attached
     from .cache import disk_cache
 
     store = disk_cache()
@@ -536,12 +689,16 @@ def compile_chain(
 __all__ = [
     "ChainKey",
     "CompiledChain",
+    "DEFAULT_DISTRIBUTION_CACHE_CAP",
+    "DENSE_STATE_LIMIT",
     "MAX_NODES",
     "back_port_tables",
     "chain_key",
     "clear_memo",
     "compile_chain",
     "memo_size",
+    "memoized_chain",
     "neighbour_tables",
     "refine_labels",
+    "set_distribution_cache_cap",
 ]

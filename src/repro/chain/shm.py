@@ -1,0 +1,257 @@
+"""Shared-memory distribution of compiled chains to pool workers.
+
+The disk cache (:mod:`repro.chain.cache`) removes *recompilation* across
+processes, but every pool worker still pays a pickle load -- and a full
+reconstruction of the per-state tuple tables -- per chain per process.
+:class:`SharedChainStore` removes that too: the parent process places
+each compiled chain's integer arrays into one
+``multiprocessing.shared_memory`` segment and ships only a manifest of
+``{key digest: segment name}`` in the worker payload.  Workers attach
+zero-copy numpy views: the float backend reads the CSR transition
+arrays straight out of the shared segment; exact-backend structures
+(``Fraction`` weights, per-state tuples) are materialized lazily per
+worker on first use.
+
+Worker-side lookup is installed with :func:`configure_shared_chains`
+(the runner does this from the job payload, next to the disk cache) and
+consulted by :func:`repro.chain.engine.compile_chain` after the process
+memo but *before* the disk cache, so cache-warm chains are never
+re-read from disk by workers.
+
+Segment layout (version 1) -- everything int64 so views need no casts:
+
+====================  =====================================================
+``header[0:6]``       ``version, n, k, num_states, nnz, key_bytes``
+``labels``            ``num_states * n`` label-vector entries, row-major
+``indptr``            ``num_states + 1`` CSR row offsets
+``dst``               ``nnz`` destination state ids
+``cnt``               ``nnz`` integer counts out of ``2^(k-1)``
+``key``               ``key_bytes`` of pickled structural chain key
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+
+import numpy as np
+
+from .cache import key_digest
+from .engine import ChainKey, CompiledChain
+
+#: Bump when the segment layout changes; mismatches degrade to a miss.
+LAYOUT_VERSION = 1
+
+_HEADER_WORDS = 6
+_WORD = 8  # bytes per int64
+
+
+@contextlib.contextmanager
+def _untracked_attach():
+    """Suppress resource_tracker registration while attaching (gh-82300).
+
+    Before 3.13's ``track=False``, merely *attaching* a segment
+    registers it with the (process-tree-wide) resource tracker as if
+    this process owned it; the tracker would then double-account the
+    publisher's own registration and complain -- or worse, unlink early.
+    Only the publishing :class:`SharedChainStore` owns segments here.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - multiprocessing always ships
+        yield
+        return
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _segment_size(chain: CompiledChain, key_bytes: bytes) -> int:
+    states, nnz = chain.num_states, chain.num_transitions
+    words = (
+        _HEADER_WORDS
+        + states * chain.n
+        + (states + 1)
+        + 2 * nnz
+    )
+    return words * _WORD + len(key_bytes)
+
+
+class SharedChainStore:
+    """Publisher side: one shared-memory segment per compiled chain.
+
+    The store owns its segments: :meth:`close` (or exiting the context
+    manager) closes and unlinks every one.  Unlinking while workers
+    still hold mappings is safe on POSIX -- their views stay valid until
+    the worker process exits; only the *name* disappears.
+    """
+
+    def __init__(self):
+        self._segments: dict[str, "object"] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def manifest(self) -> dict[str, str]:
+        """``{key digest: segment name}`` -- what worker payloads carry."""
+        return {
+            digest: shm.name for digest, shm in self._segments.items()
+        }
+
+    def publish(self, chain: CompiledChain) -> str:
+        """Place ``chain``'s arrays in a segment; returns its name.
+
+        Idempotent per structural key within one store.
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        digest = key_digest(chain.key)
+        existing = self._segments.get(digest)
+        if existing is not None:
+            return existing.name
+        key_bytes = pickle.dumps(chain.key, protocol=pickle.HIGHEST_PROTOCOL)
+        shm = SharedMemory(create=True, size=_segment_size(chain, key_bytes))
+        states, nnz = chain.num_states, chain.num_transitions
+        header = np.ndarray((_HEADER_WORDS,), dtype=np.int64, buffer=shm.buf)
+        header[:] = (LAYOUT_VERSION, chain.n, chain.k, states, nnz,
+                     len(key_bytes))
+        offset = _HEADER_WORDS * _WORD
+        labels = np.ndarray(
+            (states, chain.n), dtype=np.int64, buffer=shm.buf, offset=offset
+        )
+        labels[:] = chain.labels
+        offset += states * chain.n * _WORD
+        indptr_src, dst_src, cnt_src = chain.csr()
+        indptr = np.ndarray(
+            (states + 1,), dtype=np.int64, buffer=shm.buf, offset=offset
+        )
+        indptr[:] = indptr_src
+        offset += (states + 1) * _WORD
+        dst = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
+        dst[:] = dst_src
+        offset += nnz * _WORD
+        cnt = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
+        cnt[:] = cnt_src
+        offset += nnz * _WORD
+        shm.buf[offset:offset + len(key_bytes)] = key_bytes
+        # Writable views into the buffer must be dropped before close()
+        # can ever succeed (exporting views pin the mmap).
+        del header, labels, indptr, dst, cnt
+        self._segments[digest] = shm
+        return shm.name
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except OSError:
+                pass
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedChainStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_chain(name: str) -> CompiledChain:
+    """Attach the segment ``name`` and build a chain over its arrays.
+
+    The CSR transition arrays are zero-copy views into the segment (the
+    mapping is pinned on the returned chain for its lifetime); the label
+    tuples are rebuilt eagerly (they back the id table), and exact-
+    backend structures stay lazy as usual.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    with _untracked_attach():
+        shm = SharedMemory(name=name)
+    header = np.ndarray((_HEADER_WORDS,), dtype=np.int64, buffer=shm.buf)
+    version, n, k, states, nnz, key_bytes = (int(x) for x in header)
+    if version != LAYOUT_VERSION:
+        shm.close()
+        raise ValueError(f"unknown shared-chain layout version {version}")
+    offset = _HEADER_WORDS * _WORD
+    labels_array = np.ndarray(
+        (states, n), dtype=np.int64, buffer=shm.buf, offset=offset
+    )
+    offset += states * n * _WORD
+    indptr = np.ndarray(
+        (states + 1,), dtype=np.int64, buffer=shm.buf, offset=offset
+    )
+    offset += (states + 1) * _WORD
+    dst = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
+    offset += nnz * _WORD
+    cnt = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
+    offset += nnz * _WORD
+    key = pickle.loads(bytes(shm.buf[offset:offset + key_bytes]))
+    labels = tuple(
+        tuple(int(value) for value in row) for row in labels_array
+    )
+    chain = CompiledChain(key, n, k, labels, csr=(indptr, dst, cnt))
+    # Pin the mapping: the CSR views stay valid exactly as long as the
+    # chain (and with it this SharedMemory object) is alive.
+    chain._shm = shm
+    return chain
+
+
+# ----------------------------------------------------------------------
+# Worker-side lookup (installed per job payload by the runner)
+# ----------------------------------------------------------------------
+_MANIFEST: dict[str, str] = {}
+
+
+def configure_shared_chains(manifest: "dict[str, str] | None") -> None:
+    """Install (or, with ``None``/empty, remove) the attach manifest."""
+    global _MANIFEST
+    _MANIFEST = dict(manifest) if manifest else {}
+
+
+def shared_manifest() -> dict[str, str]:
+    """The currently installed manifest (a copy)."""
+    return dict(_MANIFEST)
+
+
+def shared_chain(key: ChainKey) -> "CompiledChain | None":
+    """The published chain for ``key``, or ``None``.
+
+    Every failure mode -- segment gone, layout mismatch, digest
+    collision -- degrades to a miss (the caller falls back to the disk
+    cache or a recompile), never to wrong results: a hit is validated
+    against the full structural key.
+    """
+    name = _MANIFEST.get(key_digest(key))
+    if name is None:
+        return None
+    try:
+        chain = attach_chain(name)
+    except Exception:
+        # Anything: segment gone (OSError), truncated/foreign buffer
+        # (TypeError from the array views), bad layout (ValueError),
+        # garbage key bytes (arbitrary unpickling errors).  All of it
+        # must degrade to the disk-cache path, never kill the job.
+        return None
+    if chain.key != key:
+        return None
+    return chain
+
+
+__all__ = [
+    "LAYOUT_VERSION",
+    "SharedChainStore",
+    "attach_chain",
+    "configure_shared_chains",
+    "shared_chain",
+    "shared_manifest",
+]

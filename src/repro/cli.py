@@ -11,6 +11,12 @@ figures         render the paper's Figures 1-3 as text
 experiments     run reproduction experiments (all or by id)
 run             execute one runner job and print its JSON record
 sweep           expand and execute a sweep (parallel, resumable)
+chains          list/inspect/prune a chain disk cache directory
+
+Chain queries default to the batched query layer (``repro.chain.batch``:
+one shared pass answers a whole set of (task, horizon) questions);
+``--no-batch`` on the query-heavy commands falls back to scalar
+per-query passes with byte-identical exact results.
 
 Examples
 --------
@@ -135,13 +141,30 @@ def _add_backend_arg(p) -> None:
     )
 
 
+def _add_batch_arg(p) -> None:
+    p.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "answer chain queries through the batched query layer "
+            "(default; --no-batch falls back to scalar per-query passes "
+            "-- exact results are byte-identical either way)"
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_solve(args) -> int:
+    from .chain import Query, run_queries
+
     alpha, chain = _chain(args)
     task = _make_task(args.task, alpha.n)
-    limit = chain.limit_solving_probability(task)
+    limit = run_queries(
+        chain.compiled, [Query.limit(task)], backend=chain.backend
+    )[0]
     print(
         f"configuration: sizes {alpha.group_sizes} (n={alpha.n}, "
         f"k={alpha.k}, gcd={alpha.gcd})"
@@ -160,9 +183,14 @@ def cmd_solve(args) -> int:
 
 
 def cmd_series(args) -> int:
+    from .chain import Query, run_queries
+
     alpha, chain = _chain(args)
     task = _make_task(args.task, alpha.n)
-    series = chain.solving_probability_series(task, args.t_max)
+    series = run_queries(
+        chain.compiled, [Query.series(task, args.t_max)],
+        backend=chain.backend,
+    )[0]
     rows = [
         (t, str(p), f"{float(p):.6f}")
         for t, p in enumerate(series, start=1)
@@ -173,11 +201,13 @@ def cmd_series(args) -> int:
 
 
 def cmd_expected_time(args) -> int:
+    from .chain import Query, run_queries
+
     alpha, chain = _chain(args)
     task = _make_task(args.task, alpha.n)
-    expected = chain.compiled.expected_solving_time(
-        task, backend=chain.backend
-    )
+    expected = run_queries(
+        chain.compiled, [Query.expected_time(task)], backend=chain.backend
+    )[0]
     if expected is None:
         print("expected time: infinite (task not eventually solvable)")
     else:
@@ -322,6 +352,77 @@ def cmd_graphs(args) -> int:
         "worst-case deterministic leader election:",
         "YES" if verdict else "NO",
     )
+    return 0
+
+
+def cmd_chains(args) -> int:
+    """List, inspect, or prune a chain disk cache directory."""
+    import datetime
+    import pathlib
+    import pickle
+
+    from .chain import ChainDiskCache
+
+    root = pathlib.Path(args.directory)
+    # Accept a run directory transparently: sweeps persist their chains
+    # under <run_dir>/chains.
+    if (root / "chains").is_dir():
+        root = root / "chains"
+    if not root.is_dir():
+        raise SystemExit(f"chains: no cache directory at {args.directory}")
+    cache = ChainDiskCache(root)
+    entries = cache.entries()
+    if args.action == "prune":
+        if args.all:
+            removed = cache.evict(max_bytes=0, max_entries=0)
+        elif args.max_bytes is None and args.max_entries is None:
+            raise SystemExit(
+                "chains prune: need --max-bytes, --max-entries, or --all"
+            )
+        else:
+            try:
+                removed = cache.evict(
+                    max_bytes=args.max_bytes, max_entries=args.max_entries
+                )
+            except ValueError as exc:
+                raise SystemExit(f"chains prune: {exc}")
+        freed = sum(entry.size for entry in removed)
+        print(
+            f"pruned {len(removed)}/{len(entries)} cached chains "
+            f"({freed} bytes freed) from {root}"
+        )
+        return 0
+    if not entries:
+        print(f"{root}: empty chain cache")
+        return 0
+    rows = []
+    for entry in entries:
+        stamp = datetime.datetime.fromtimestamp(entry.mtime).isoformat(
+            sep=" ", timespec="seconds"
+        )
+        if args.action == "inspect":
+            try:
+                with entry.path.open("rb") as handle:
+                    chain = pickle.load(handle)
+                model = "blackboard" if chain.key[1] is None else (
+                    "classical" if chain.key[2] is not None else "clique"
+                )
+                detail = (
+                    f"n={chain.n} k={chain.k} states={chain.num_states} "
+                    f"transitions={chain.num_transitions} {model}"
+                )
+            except Exception as exc:
+                detail = f"unreadable ({type(exc).__name__})"
+            rows.append((entry.digest[:12], entry.size, stamp, detail))
+        else:
+            rows.append((entry.digest[:12], entry.size, stamp))
+    headers = (
+        ("digest", "bytes", "last used", "chain")
+        if args.action == "inspect"
+        else ("digest", "bytes", "last used")
+    )
+    print(format_table(headers, rows))
+    print(f"{len(entries)} chains, {cache.total_bytes()} bytes in {root}")
     return 0
 
 
@@ -473,23 +574,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="decide eventual solvability")
     add_common(p)
     _add_backend_arg(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("series", help="exact Pr[S(t)] series")
     add_common(p)
     _add_backend_arg(p)
+    _add_batch_arg(p)
     p.add_argument("--t-max", type=int, default=8)
     p.set_defaults(func=cmd_series)
 
     p = sub.add_parser("expected-time", help="exact expected solving time")
     add_common(p)
     _add_backend_arg(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_expected_time)
 
     p = sub.add_parser("phase-diagram", help="sweep all shapes of n")
     p.add_argument("n", type=int)
     p.add_argument("--task", default="leader")
     _add_engine_args(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -504,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="run reproduction experiments")
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     _add_engine_args(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser(
@@ -573,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir", default=None, help="JSONL run directory (resumable)"
     )
     _add_engine_args(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -593,10 +700,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_mermaid)
 
     p = sub.add_parser(
+        "chains", help="list/inspect/prune a chain disk cache"
+    )
+    p.add_argument("action", choices=("list", "inspect", "prune"))
+    p.add_argument(
+        "directory",
+        help="cache directory (or a run directory containing chains/)",
+    )
+    p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="prune: evict LRU chains until the cache fits this many bytes",
+    )
+    p.add_argument(
+        "--max-entries", type=int, default=None,
+        help="prune: evict LRU chains down to this many files",
+    )
+    p.add_argument(
+        "--all", action="store_true", help="prune: remove every cached chain"
+    )
+    p.set_defaults(func=cmd_chains)
+
+    p = sub.add_parser(
         "report", help="run all experiments and write JSON/CSV/Markdown"
     )
     p.add_argument("output", help="output directory")
     _add_engine_args(p)
+    _add_batch_arg(p)
     p.set_defaults(func=cmd_report)
 
     return parser
@@ -605,6 +734,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "batch"):
+        from .chain import configure_batching
+
+        # Process-wide: run_sweep additionally forwards the toggle into
+        # pool workers via the job payloads.
+        configure_batching(args.batch)
     return args.func(args)
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..chain import CompiledChain
+from ..chain import CompiledChain, Query, run_queries
 from .markov import ConsistencyChain
 from .tasks import SymmetryBreakingTask
 
@@ -51,7 +51,7 @@ def expected_solving_time(
     protocols need one extra round to turn the state into outputs, since
     the partition becomes common knowledge with a one-round lag.
     """
-    return _compiled(chain).expected_solving_time(task)
+    return run_queries(_compiled(chain), [Query.expected_time(task)])[0]
 
 
 def expected_time_table(
@@ -81,7 +81,7 @@ def solving_time_distribution(
     ``1 - Pr[S(t_max)]`` covers both later solves and (for non-eventually-
     solvable configurations) the never-solving event.
     """
-    series = _compiled(chain).solving_probability_series(task, t_max)
+    series = run_queries(_compiled(chain), [Query.series(task, t_max)])[0]
     previous = Fraction(0)
     distribution = []
     for prob in series:

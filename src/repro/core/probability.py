@@ -103,13 +103,17 @@ def solving_probability_exact(
     """``Pr[S(t) | alpha]`` via the compiled partition Markov chain.
 
     ``backend="exact"`` (default) returns a ``Fraction``;
-    ``backend="float"`` the numpy ``float64`` value.
+    ``backend="float"`` the numpy ``float64`` value.  Routed through the
+    batched query layer (:mod:`repro.chain.batch`), which shares the
+    chain's cached distributions across calls and batches.
     """
-    from ..chain import compile_chain
+    from ..chain import Query, compile_chain, run_queries
 
-    return compile_chain(alpha, ports).solving_probability(
-        task, t, backend=backend
-    )
+    return run_queries(
+        compile_chain(alpha, ports),
+        [Query.probability(task, t)],
+        backend=backend,
+    )[0]
 
 
 def solving_probability_series(
@@ -120,12 +124,14 @@ def solving_probability_series(
     *,
     backend: str = "exact",
 ) -> "list[Fraction] | list[float]":
-    """``Pr[S(t) | alpha]`` for ``t = 1..t_max`` (compiled-chain-based)."""
-    from ..chain import compile_chain
+    """``Pr[S(t) | alpha]`` for ``t = 1..t_max`` (batched-query-based)."""
+    from ..chain import Query, compile_chain, run_queries
 
-    return compile_chain(alpha, ports).solving_probability_series(
-        task, t_max, backend=backend
-    )
+    return run_queries(
+        compile_chain(alpha, ports),
+        [Query.series(task, t_max)],
+        backend=backend,
+    )[0]
 
 
 def solving_probability_sampled(
@@ -162,9 +168,11 @@ def eventually_solvable(
     ports: PortAssignment | None = None,
 ) -> bool:
     """Exact Definition 3.3 decision via the chain's absorption analysis."""
-    from ..chain import compile_chain
+    from ..chain import Query, compile_chain, run_queries
 
-    return compile_chain(alpha, ports).eventually_solvable(task)
+    return run_queries(
+        compile_chain(alpha, ports), [Query.solvable(task)]
+    )[0]
 
 
 __all__ = [

@@ -21,8 +21,82 @@ from dataclasses import dataclass, field
 
 from .engines import ExecutionEngine, SerialEngine
 from .persistence import RunDirectory
-from .spec import SweepSpec, derive_seed
+from .spec import SweepSpec, derive_seed, make_ports
 from .worker import execute_run
+
+
+def _publish_shared_chains(jobs, payloads, directory):
+    """Publish the sweep's deterministic chains to shared memory.
+
+    Every ``kind="exact"`` job with a non-random port assignment uses a
+    chain fully determined by its spec, so the parent can place each
+    distinct chain's arrays in shared memory once and let workers attach
+    by chain key instead of unpickling from disk.  To avoid stalling the
+    pool behind serial parent-side compilation, cold chains are only
+    compiled here when the sweep has *no* run directory (no disk cache
+    for workers to share through -- parent-compiling once still beats
+    every worker compiling its own copy); with a run directory, the
+    parent publishes what loads warm from the disk cache / memo and
+    leaves cold chains to the workers, which share them through the
+    cache exactly as before (and publish warm on the next resume).
+    Random-port and sampling jobs are always left to the workers (their
+    chains are one-shot / unneeded).  Returns the live
+    :class:`~repro.chain.shm.SharedChainStore` (the caller closes it
+    once the engine has drained) or ``None`` when there is nothing to
+    share or shared memory is unavailable on this platform.
+    """
+    from ..chain import (
+        chain_key,
+        compile_chain,
+        configure_disk_cache,
+        disk_cache,
+        memoized_chain,
+    )
+    from ..chain.shm import SharedChainStore
+    from ..randomness.configuration import RandomnessConfiguration
+
+    shareable = []
+    seen = set()
+    for payload in payloads:
+        spec = jobs[payload["index"]]
+        if spec.kind != "exact" or spec.ports == "random":
+            continue
+        marker = (spec.sizes, spec.ports)
+        if marker not in seen:
+            seen.add(marker)
+            shareable.append(spec)
+    if not shareable:
+        return None
+    if directory is not None:
+        # Warm loads: the parent reads the run directory's disk cache so
+        # resumed sweeps publish without recompiling anything.
+        configure_disk_cache(str(directory.path / "chains"))
+    store = SharedChainStore()
+    try:
+        for spec in shareable:
+            alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+            ports = make_ports(spec.ports, spec.sizes, 0)
+            key = chain_key(alpha, ports)
+            chain = memoized_chain(key)
+            if chain is None and directory is not None:
+                warm = disk_cache()
+                chain = warm.load(key) if warm is not None else None
+            if chain is None:
+                if directory is not None:
+                    continue  # cold + disk-cached sweep: workers share it
+                chain = compile_chain(alpha, ports)
+            store.publish(chain)
+    except OSError:
+        # No (or full) /dev/shm: fall back to the disk-cache-only path.
+        store.close()
+        return None
+    if not len(store):
+        store.close()
+        return None
+    manifest = store.manifest
+    for payload in payloads:
+        payload["chain_shm"] = manifest
+    return store
 
 
 @dataclass
@@ -171,9 +245,19 @@ def run_sweep(
         payloads = [
             p for p in payloads if jobs[p["index"]].job_key not in done
         ]
+    from .worker import chain_context_payload
+
+    context = chain_context_payload()
+    for payload in payloads:
+        # Propagate the parent's chain context (e.g. the CLI --no-batch
+        # toggle) into pool workers; results are identical either way.
+        payload.update(context)
+    store = None
     executed = 0
     fresh: list[dict] = []
     try:
+        if payloads and getattr(engine, "supports_shared_chains", False):
+            store = _publish_shared_chains(jobs, payloads, directory)
         for record in engine.map(execute_run, payloads):
             if directory is not None:
                 directory.append(record)
@@ -182,11 +266,19 @@ def run_sweep(
             if progress is not None:
                 progress(record)
     finally:
+        if store is not None:
+            # Unlinking is safe while workers still hold mappings; only
+            # the names disappear, live views stay valid until exit.
+            store.close()
         if directory is not None:
             # Serial engines execute jobs in THIS process, installing the
-            # sweep's disk cache process-wide; detach it so later work
-            # does not keep writing into a finished run directory.  (Pool
-            # workers detach at their next cache-less payload instead.)
+            # sweep's disk cache process-wide -- and publishing shared
+            # chains configures it in the parent too (only ever with a
+            # run directory); detach it so later work does not keep
+            # writing into a finished run directory.  Without a run dir
+            # nothing here touched the cache, so a caller-installed one
+            # stays installed.  (Pool workers detach at their next
+            # cache-less payload.)
             from ..chain import configure_disk_cache
 
             configure_disk_cache(None)

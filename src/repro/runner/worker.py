@@ -17,7 +17,15 @@ from __future__ import annotations
 import time
 from fractions import Fraction
 
-from ..chain import CompiledChain, compile_chain, configure_disk_cache
+from ..chain import (
+    CompiledChain,
+    Query,
+    compile_chain,
+    configure_batching,
+    configure_disk_cache,
+    configure_shared_chains,
+    run_queries,
+)
 from ..core.probability import solving_probability_sampled
 from ..core.tasks import SymmetryBreakingTask
 from ..randomness.configuration import RandomnessConfiguration
@@ -31,24 +39,41 @@ def exact_limit_value(
 
     Both the per-job exact runs and the port-chunk folds used to inline
     their own ``ConsistencyChain(...)`` construction; routing them
-    through one helper over the *compiled* chain keeps the evaluation
-    semantics (and any future instrumentation) in one place.
+    through one helper over the batched query layer keeps the
+    evaluation semantics (and any future instrumentation) in one place.
     """
-    return chain.limit_solving_probability(task)
+    return run_queries(chain, [Query.limit(task)])[0]
 
 
-def _apply_chain_cache(payload: dict) -> None:
-    """Install the payload's persisted chain cache -- or uninstall.
+def chain_context_payload() -> dict:
+    """The parent-side chain-context fields every pool payload carries.
+
+    One choke point for the fields :func:`_apply_chain_context` mirrors
+    in the worker (currently the batching toggle; ``chain_cache`` /
+    ``chain_shm`` are sweep-specific and attached by ``run_sweep``).  A
+    payload producer that merges this dict can never silently reset a
+    worker to defaults the parent has overridden.
+    """
+    from ..chain import batching_enabled
+
+    return {"batch": batching_enabled()}
+
+
+def _apply_chain_context(payload: dict) -> None:
+    """Install the payload's chain context -- or uninstall it.
 
     Workers are separate processes: the process-wide compile memo does
-    not cross the pool boundary, but a run-directory cache does, so a
-    resumable sweep compiles each chain once across all workers and runs.
-    The cache is configured *unconditionally*: a payload without one
-    detaches whatever a previous job in this (reused pool or in-process
-    serial) worker installed, so one sweep's run directory never bleeds
-    into the next job's compilations.
+    not cross the pool boundary, but a run-directory disk cache does --
+    and a shared-memory manifest (``chain_shm``) lets the worker attach
+    chains the parent already compiled without even touching disk.
+    Everything is configured *unconditionally*: a payload without a
+    cache/manifest/batch flag detaches whatever a previous job in this
+    (reused pool or in-process serial) worker installed, so one sweep's
+    context never bleeds into the next job's compilations.
     """
     configure_disk_cache(payload.get("chain_cache"))
+    configure_shared_chains(payload.get("chain_shm"))
+    configure_batching(payload.get("batch", True))
 
 
 def execute_run(payload: dict) -> dict:
@@ -59,7 +84,7 @@ def execute_run(payload: dict) -> dict:
     result record echoes the spec, its key and index (aggregation
     order), the derived seed, and the job's value fields.
     """
-    _apply_chain_cache(payload)
+    _apply_chain_context(payload)
     spec = RunSpec.from_dict(payload["spec"])
     master_seed = int(payload.get("master_seed", 0))
     seed = derive_seed(master_seed, spec.job_key)
@@ -114,7 +139,7 @@ def execute_experiment(payload: dict) -> dict:
     """
     from ..analysis import ALL_EXPERIMENTS
 
-    _apply_chain_cache(payload)
+    _apply_chain_context(payload)
     index = int(payload["index"])
     started = time.perf_counter()
     result = ALL_EXPERIMENTS[index]()
@@ -132,7 +157,7 @@ def execute_sample_batch(payload: dict) -> dict:
     ``t``, ``samples``, and the batch's pre-derived ``seed``; the record
     reports the batch's success count so batches can be summed exactly.
     """
-    _apply_chain_cache(payload)
+    _apply_chain_context(payload)
     samples = int(payload["samples"])
     estimate = solving_probability_sampled(
         payload["alpha"],
@@ -161,7 +186,7 @@ def execute_port_chunk(payload: dict) -> dict:
     """
     from ..models.ports import PortAssignment
 
-    _apply_chain_cache(payload)
+    _apply_chain_context(payload)
     sizes = tuple(payload["sizes"])
     alpha = RandomnessConfiguration.from_group_sizes(sizes)
     task = make_task(payload["task"], alpha.n)
@@ -187,6 +212,7 @@ def execute_port_chunk(payload: dict) -> dict:
 
 
 __all__ = [
+    "chain_context_payload",
     "exact_limit_value",
     "execute_experiment",
     "execute_port_chunk",

@@ -1,14 +1,23 @@
 """Mermaid rendering of consistency chains.
 
-Renders the reachable portion of a :class:`ConsistencyChain` as a mermaid
+Renders the reachable portion of a consistency chain as a mermaid
 ``stateDiagram-v2`` string: states are partitions (paper's 1-based node
 numbering), edges carry transition probabilities, and solving states are
 marked.  Paste the output into any mermaid renderer to *see* the
 refinement lattice the proofs walk down.
+
+The renderer works directly on the compiled chain's label vectors and
+sparse transition arrays (accepting either the
+:class:`~repro.core.markov.ConsistencyChain` facade or a raw
+:class:`~repro.chain.engine.CompiledChain`): states stream out in the
+compiled topological order (ascending block count), solvability comes
+from the chain's memoized per-task bitmask, and edges from the interned
+``(dst, weight)`` pairs -- no per-state facade dictionaries are built.
 """
 
 from __future__ import annotations
 
+from ..chain import CompiledChain
 from ..core.markov import ConsistencyChain, PartitionState
 from ..core.tasks import SymmetryBreakingTask
 
@@ -27,7 +36,7 @@ def _state_label(state: PartitionState) -> str:
 
 
 def chain_to_mermaid(
-    chain: ConsistencyChain,
+    chain: "ConsistencyChain | CompiledChain",
     task: SymmetryBreakingTask | None = None,
     *,
     max_states: int = 64,
@@ -38,29 +47,32 @@ def chain_to_mermaid(
     label.  Raises when the reachable state space exceeds ``max_states``
     (diagrams beyond that are unreadable anyway).
     """
-    states = sorted(chain.reachable_states(), key=lambda s: (len(s), s))
-    if len(states) > max_states:
+    compiled = (
+        chain.compiled if isinstance(chain, ConsistencyChain) else chain
+    )
+    if compiled.num_states > max_states:
         raise ValueError(
-            f"{len(states)} reachable states exceed max_states={max_states}"
+            f"{compiled.num_states} reachable states exceed "
+            f"max_states={max_states}"
         )
+    mask = compiled.solvable_mask(task) if task is not None else None
+    names = [
+        _state_name(compiled.partition_of(sid))
+        for sid in range(compiled.num_states)
+    ]
     lines = ["stateDiagram-v2"]
-    for state in states:
-        label = _state_label(state)
-        if task is not None and task.solvable_from_partition(
-            [frozenset(b) for b in state]
-        ):
+    if compiled.num_states:
+        lines.append(f"    [*] --> {names[compiled.start]}")
+    for sid in range(compiled.num_states):
+        label = _state_label(compiled.partition_of(sid))
+        if mask is not None and mask[sid]:
             label += " [solves]"
-        lines.append(f'    {_state_name(state)} : {label}')
-    initial = states[0] if states else None
-    for state in states:
-        for nxt, prob in sorted(chain.transitions(state).items()):
-            if nxt == state and prob == 1:
+        lines.append(f"    {names[sid]} : {label}")
+    for sid in range(compiled.num_states):
+        for dst, prob in compiled.exact_out_edges(sid):
+            if dst == sid and prob == 1:
                 continue  # absorbing self-loop: implicit
-            lines.append(
-                f"    {_state_name(state)} --> {_state_name(nxt)} : {prob}"
-            )
-    if initial is not None:
-        lines.insert(1, f"    [*] --> {_state_name(initial)}")
+            lines.append(f"    {names[sid]} --> {names[dst]} : {prob}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,257 @@
+"""Batched query layer: agreement with the scalar paths, plan hygiene.
+
+The batched exact path must be *byte-identical* to the scalar one (it
+reuses the scalar kernels, and these tests pin that contract), and the
+batched float path must agree with the scalar float path -- and with
+exact -- to 1e-12, across a grid of configurations, port assignments,
+tasks, and horizons.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.chain import (
+    Query,
+    QueryBatch,
+    QueryPlan,
+    batching_enabled,
+    compile_chain,
+    configure_batching,
+    run_queries,
+    run_query_batch,
+    set_distribution_cache_cap,
+)
+from repro.core import k_leader_election, leader_election, unique_ids
+from repro.models import adversarial_assignment, round_robin_assignment
+from repro.randomness import RandomnessConfiguration
+
+SHAPES = ((1, 1), (3,), (1, 2), (2, 2), (1, 1, 2), (1, 2, 2))
+PORT_MAKERS = (
+    ("blackboard", lambda shape: None),
+    ("adversarial", lambda shape: adversarial_assignment(shape)),
+    ("round-robin", lambda shape: round_robin_assignment(sum(shape))),
+)
+HORIZONS = (0, 1, 3, 6)
+
+
+def _tasks(n):
+    return (
+        leader_election(n),
+        k_leader_election(n, 2),
+        unique_ids(n),
+    )
+
+
+def _grid():
+    for shape in SHAPES:
+        for name, make in PORT_MAKERS:
+            yield pytest.param(shape, make, id=f"{shape}-{name}")
+
+
+def _all_queries(tasks, horizons):
+    queries = []
+    for task in tasks:
+        queries.append(Query.series(task, max(horizons)))
+        queries.append(Query.limit(task))
+        queries.append(Query.expected_time(task))
+        queries.append(Query.solvable(task))
+        for t in horizons:
+            queries.append(Query.probability(task, t))
+    return queries
+
+
+def _scalar_answers(chain, queries, backend):
+    answers = []
+    for query in queries:
+        if query.quantity == "probability":
+            answers.append(
+                chain.solving_probability(
+                    query.task, query.horizon, backend=backend
+                )
+            )
+        elif query.quantity == "series":
+            answers.append(
+                chain.solving_probability_series(
+                    query.task, query.horizon, backend=backend
+                )
+            )
+        elif query.quantity == "limit":
+            answers.append(
+                chain.limit_solving_probability(query.task, backend=backend)
+            )
+        elif query.quantity == "expected":
+            answers.append(
+                chain.expected_solving_time(query.task, backend=backend)
+            )
+        else:
+            answers.append(chain.eventually_solvable(query.task))
+    return answers
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("shape,make_ports", list(_grid()))
+    def test_batched_exact_byte_identical_to_scalar(self, shape, make_ports):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        chain = compile_chain(alpha, make_ports(shape))
+        queries = _all_queries(_tasks(alpha.n), HORIZONS)
+        batched = run_query_batch(chain, queries, backend="exact")
+        scalar = _scalar_answers(chain, queries, "exact")
+        assert batched == scalar
+        # Byte-identical means identical types too: Fractions everywhere
+        # a scalar query yields one (never silently degraded floats).
+        for got, want in zip(batched, scalar):
+            if isinstance(want, list):
+                assert [type(x) for x in got] == [type(x) for x in want]
+            else:
+                assert type(got) is type(want)
+
+
+class TestFloatAgreement:
+    @pytest.mark.parametrize("shape,make_ports", list(_grid()))
+    def test_batched_float_matches_scalar_and_exact(self, shape, make_ports):
+        alpha = RandomnessConfiguration.from_group_sizes(shape)
+        chain = compile_chain(alpha, make_ports(shape))
+        queries = _all_queries(_tasks(alpha.n), HORIZONS)
+        batched = run_query_batch(chain, queries, backend="float")
+        scalar = _scalar_answers(chain, queries, "float")
+        exact = _scalar_answers(chain, queries, "exact")
+        for got, flt, ref in zip(batched, scalar, exact):
+            if isinstance(got, list):
+                assert len(got) == len(flt) == len(ref)
+                for g, f, r in zip(got, flt, ref):
+                    assert g == pytest.approx(f, abs=1e-12)
+                    assert g == pytest.approx(float(r), abs=1e-12)
+            elif got is None or isinstance(got, bool):
+                assert got == flt == (
+                    ref if isinstance(got, bool) else None
+                )
+            else:
+                assert got == pytest.approx(flt, abs=1e-12)
+                assert got == pytest.approx(float(ref), abs=1e-12)
+
+
+class TestPlan:
+    def test_shared_masks_collapse_to_one_slot(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)
+        task = leader_election(3)
+        plan = QueryPlan(
+            chain, [Query.limit(task), Query.expected_time(task),
+                    Query.limit(task)]
+        )
+        assert len(plan._masks) == 1
+        assert len(plan) == 3
+
+    def test_empty_batch(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        assert run_queries(compile_chain(alpha), []) == []
+
+    def test_unknown_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            Query("absorbance", leader_election(2))
+
+    def test_probability_needs_horizon(self):
+        with pytest.raises(ValueError):
+            Query("probability", leader_election(2))
+        with pytest.raises(ValueError):
+            Query("probability", leader_election(2), -1)
+
+    def test_limit_takes_no_horizon(self):
+        with pytest.raises(ValueError):
+            Query("limit", leader_election(2), 4)
+
+    def test_unknown_backend_rejected(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)
+        with pytest.raises(ValueError):
+            run_query_batch(
+                chain, [Query.limit(leader_election(3))], backend="decimal"
+            )
+
+
+class TestQueryBatchBuilder:
+    def test_handles_index_results_in_order(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)
+        task = leader_election(3)
+        batch = QueryBatch(chain)
+        h_series = batch.series(task, 4)
+        h_limit = batch.limit(task)
+        h_prob = batch.probability(task, 2)
+        h_expected = batch.expected_time(task)
+        h_solvable = batch.solvable(task)
+        assert len(batch) == 5
+        results = batch.run()
+        assert results[h_series] == chain.solving_probability_series(task, 4)
+        assert results[h_limit] == chain.limit_solving_probability(task)
+        assert results[h_prob] == chain.solving_probability(task, 2)
+        assert results[h_expected] == chain.expected_solving_time(task)
+        assert results[h_solvable] == chain.eventually_solvable(task)
+
+
+class TestToggle:
+    def test_configure_batching_round_trips(self):
+        assert batching_enabled()
+        previous = configure_batching(False)
+        try:
+            assert previous is True
+            assert not batching_enabled()
+            alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+            chain = compile_chain(alpha)
+            task = leader_election(alpha.n)
+            off = run_queries(
+                chain, [Query.series(task, 5), Query.limit(task)]
+            )
+        finally:
+            configure_batching(True)
+        on = run_queries(chain, [Query.series(task, 5), Query.limit(task)])
+        assert off == on
+
+    def test_run_query_batch_ignores_toggle(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+        chain = compile_chain(alpha)
+        task = leader_election(3)
+        configure_batching(False)
+        try:
+            value = run_query_batch(chain, [Query.limit(task)])[0]
+        finally:
+            configure_batching(True)
+        assert value == chain.limit_solving_probability(task)
+
+
+class TestZeroOneAssertion:
+    def test_solvable_asserts_zero_one_on_both_backends(self):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 2))
+        chain = compile_chain(alpha)
+        task = leader_election(4)
+        assert run_query_batch(chain, [Query.solvable(task)]) == [False]
+        assert run_query_batch(
+            chain, [Query.solvable(task)], backend="float"
+        ) == [False]
+        # Float 'solvable' verdicts are exact Fractions under the hood.
+        assert isinstance(
+            run_query_batch(chain, [Query.limit(task)])[0], Fraction
+        )
+
+
+class TestDistributionCacheCap:
+    def test_deep_horizons_stay_exact_under_a_small_cap(self):
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        task = leader_election(alpha.n)
+        chain = compile_chain(alpha)
+        reference = chain.solving_probability(task, 12)
+        fresh = compile_chain(alpha, use_memo=False)
+        set_distribution_cache_cap(4)
+        try:
+            assert fresh.solving_probability(task, 12) == reference
+            assert len(fresh._dist_exact) <= 4
+            # Batched series past the cap stays byte-identical too.
+            capped = run_query_batch(fresh, [Query.series(task, 12)])[0]
+        finally:
+            set_distribution_cache_cap(None)
+        assert capped == chain.solving_probability_series(task, 12)
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            set_distribution_cache_cap(0)

@@ -83,6 +83,107 @@ class TestDiskCache:
         assert store.load(chain_key(other)) is None
 
 
+class TestLRUEviction:
+    def _fill(self, root, shapes):
+        """Compile one chain per shape through a capless cache."""
+        import time
+
+        configure_disk_cache(root)
+        for shape in shapes:
+            clear_memo()
+            compile_chain(RandomnessConfiguration.from_group_sizes(shape))
+            # mtimes are the LRU clock; space the stores out so eviction
+            # order is deterministic even on coarse filesystems.
+            time.sleep(0.01)
+        configure_disk_cache(None)
+        clear_memo()
+
+    def test_entries_are_listed_lru_first(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2), (1, 1, 2)])
+        entries = ChainDiskCache(root).entries()
+        assert len(entries) == 3
+        assert entries == sorted(
+            entries, key=lambda e: (e.mtime, e.digest)
+        )
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2), (1, 1, 2)])
+        cache = ChainDiskCache(root, max_entries=2)
+        oldest = cache.entries()[0]
+        removed = cache.evict()
+        assert [entry.digest for entry in removed] == [oldest.digest]
+        assert len(cache.entries()) == 2
+        assert not oldest.path.exists()
+
+    def test_max_bytes_cap_applies_on_store(self, tmp_path):
+        root = tmp_path / "chains"
+        configure_disk_cache(root, max_bytes=1)  # nothing fits
+        clear_memo()
+        compile_chain(RandomnessConfiguration.from_group_sizes((1, 2)))
+        compile_chain(RandomnessConfiguration.from_group_sizes((2, 2)))
+        assert ChainDiskCache(root).entries() == []
+        configure_disk_cache(None)
+        clear_memo()
+
+    def test_load_refreshes_recency(self, tmp_path):
+        import time
+
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2)])
+        cache = ChainDiskCache(root)
+        oldest = cache.entries()[0]
+        time.sleep(0.01)
+        # Touch the cold entry by loading it; the other one now ages out.
+        alpha_keys = [
+            chain_key(RandomnessConfiguration.from_group_sizes(shape))
+            for shape in [(1, 2), (2, 2)]
+        ]
+        cold_key = next(
+            key for key in alpha_keys
+            if cache.path_for(key).name.startswith(oldest.digest)
+        )
+        assert cache.load(cold_key) is not None
+        removed = cache.evict(max_entries=1)
+        assert len(removed) == 1
+        assert [entry.digest for entry in cache.entries()] == [oldest.digest]
+
+    def test_clear_removes_everything(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2)])
+        cache = ChainDiskCache(root)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2)])
+        cache = ChainDiskCache(root)
+        assert cache.evict() == []
+        assert len(cache.entries()) == 2
+
+    def test_negative_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChainDiskCache(tmp_path / "chains", max_bytes=-1)
+        with pytest.raises(ValueError):
+            ChainDiskCache(tmp_path / "chains", max_entries=-1)
+
+    def test_negative_explicit_evict_caps_rejected(self, tmp_path):
+        # `repro chains prune --max-entries -1` must not silently wipe
+        # the cache: explicit caps get the same validation the
+        # constructor enforces.
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2)])
+        cache = ChainDiskCache(root)
+        with pytest.raises(ValueError):
+            cache.evict(max_entries=-1)
+        with pytest.raises(ValueError):
+            cache.evict(max_bytes=-1)
+        assert len(cache.entries()) == 1
+
+
 class TestRunnerPlumbing:
     def test_sweep_with_run_dir_persists_chains(self, tmp_path):
         configure_disk_cache(None)

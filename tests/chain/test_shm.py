@@ -1,0 +1,153 @@
+"""Shared-memory chain store: publish/attach round trips and lookup."""
+
+import numpy as np
+import pytest
+
+from repro.chain import (
+    SharedChainStore,
+    attach_chain,
+    chain_key,
+    clear_memo,
+    compile_chain,
+    configure_disk_cache,
+    configure_shared_chains,
+    shared_chain,
+)
+from repro.chain.cache import ChainDiskCache, key_digest
+from repro.core import leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    configure_shared_chains(None)
+    configure_disk_cache(None)
+
+
+def _chain(shape=(1, 2, 2), ports=None):
+    alpha = RandomnessConfiguration.from_group_sizes(shape)
+    return compile_chain(alpha, ports)
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_the_chain(self):
+        chain = _chain()
+        with SharedChainStore() as store:
+            attached = attach_chain(store.publish(chain))
+            assert attached.key == chain.key
+            assert attached.labels == chain.labels
+            assert attached.n == chain.n and attached.k == chain.k
+            assert attached.num_states == chain.num_states
+            assert attached.num_transitions == chain.num_transitions
+            assert attached.out_table() == chain.out_table()
+
+    def test_attached_queries_match_exactly(self):
+        chain = _chain()
+        task = leader_election(5)
+        with SharedChainStore() as store:
+            attached = attach_chain(store.publish(chain))
+            assert attached.solving_probability_series(
+                task, 6
+            ) == chain.solving_probability_series(task, 6)
+            assert attached.limit_solving_probability(
+                task
+            ) == chain.limit_solving_probability(task)
+            assert np.array_equal(
+                attached.coo()[2], chain.coo()[2]
+            )
+
+    def test_ports_chain_round_trips(self):
+        shape = (2, 3)
+        chain = _chain(shape, adversarial_assignment(shape))
+        task = leader_election(5)
+        with SharedChainStore() as store:
+            attached = attach_chain(store.publish(chain))
+            assert attached.key == chain.key
+            assert attached.limit_solving_probability(
+                task
+            ) == chain.limit_solving_probability(task)
+
+    def test_csr_views_are_zero_copy(self):
+        chain = _chain()
+        with SharedChainStore() as store:
+            attached = attach_chain(store.publish(chain))
+            indptr, dst, cnt = attached.csr()
+            # Views into the shared segment, not per-process copies.
+            for array in (indptr, dst, cnt):
+                assert array.base is not None
+
+    def test_publish_is_idempotent(self):
+        chain = _chain()
+        with SharedChainStore() as store:
+            first = store.publish(chain)
+            assert store.publish(chain) == first
+            assert len(store) == 1
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        chain = _chain()
+        store = SharedChainStore()
+        name = store.publish(chain)
+        store.close()
+        with pytest.raises(OSError):
+            attach_chain(name)
+        store.close()  # idempotent
+
+    def test_pickling_an_attached_chain_materializes_arrays(self):
+        import pickle
+
+        chain = _chain()
+        with SharedChainStore() as store:
+            attached = attach_chain(store.publish(chain))
+            clone = pickle.loads(pickle.dumps(attached))
+        assert clone.key == chain.key
+        assert clone.out_table() == chain.out_table()
+
+
+class TestWorkerLookup:
+    def test_compile_chain_attaches_before_touching_disk(
+        self, tmp_path, monkeypatch
+    ):
+        chain = _chain()
+        alpha = RandomnessConfiguration.from_group_sizes((1, 2, 2))
+        with SharedChainStore() as store:
+            store.publish(chain)
+            configure_shared_chains(store.manifest)
+            configure_disk_cache(tmp_path)
+            monkeypatch.setattr(
+                ChainDiskCache,
+                "load",
+                lambda self, key: pytest.fail(
+                    "worker consulted the disk cache despite a "
+                    "shared-memory hit"
+                ),
+            )
+            clear_memo()
+            got = compile_chain(alpha)
+            assert got.key == chain.key
+            assert hasattr(got, "_shm")
+            # Second compile hits the per-process memo, not a re-attach.
+            assert compile_chain(alpha) is got
+
+    def test_missing_segment_degrades_to_a_miss(self):
+        chain = _chain()
+        configure_shared_chains({key_digest(chain.key): "psm_gone_stale"})
+        assert shared_chain(chain.key) is None
+
+    def test_unlisted_key_is_a_miss(self):
+        configure_shared_chains({})
+        assert shared_chain(chain_key(
+            RandomnessConfiguration.from_group_sizes((1, 2))
+        )) is None
+
+    def test_digest_collision_is_rejected_by_full_key(self):
+        chain = _chain()
+        other = _chain((2, 3))
+        with SharedChainStore() as store:
+            name = store.publish(other)
+            # Lie: map chain's digest at the *other* chain's segment.
+            configure_shared_chains({key_digest(chain.key): name})
+            assert shared_chain(chain.key) is None

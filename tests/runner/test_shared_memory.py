@@ -1,0 +1,224 @@
+"""Process-pool sweeps over shared-memory chains (workers=2).
+
+The acceptance contract: a pooled sweep with a
+:class:`~repro.chain.shm.SharedChainStore` produces byte-identical run
+directories (modulo per-record wall-clock timing) and byte-identical
+aggregates to a serial run -- and warm workers attach published chains
+instead of loading the disk cache.
+"""
+
+import json
+
+import pytest
+
+from repro.chain import configure_disk_cache, configure_shared_chains
+from repro.runner import (
+    ProcessPoolEngine,
+    SerialEngine,
+    SweepSpec,
+    run_sweep,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    configure_shared_chains(None)
+    configure_disk_cache(None)
+
+
+def _strip_timing(records):
+    return [
+        {key: value for key, value in record.items() if key != "elapsed"}
+        for record in records
+    ]
+
+
+def _sweep():
+    return SweepSpec.for_total_size(
+        4, models=("blackboard", "clique"), ports=("adversarial",)
+    )
+
+
+class TestPooledSharedMemorySweeps:
+    def test_pool_with_shared_chains_matches_serial(self, tmp_path):
+        serial = run_sweep(_sweep(), engine=SerialEngine(),
+                           run_dir=tmp_path / "serial")
+        pooled = run_sweep(
+            _sweep(),
+            engine=ProcessPoolEngine(workers=2),
+            run_dir=tmp_path / "pooled",
+        )
+        assert _strip_timing(serial.records) == _strip_timing(pooled.records)
+        assert serial.result().render() == pooled.result().render()
+        # The persisted JSONL agrees too (same stripped records on disk).
+        for run in ("serial", "pooled"):
+            lines = (tmp_path / run / "records.jsonl").read_text()
+            loaded = [json.loads(line) for line in lines.splitlines()]
+            assert _strip_timing(loaded) == _strip_timing(serial.records)
+
+    def test_shared_chains_opt_out_still_matches(self, tmp_path):
+        baseline = run_sweep(_sweep(), engine=SerialEngine())
+        pooled = run_sweep(
+            _sweep(),
+            engine=ProcessPoolEngine(workers=2, shared_chains=False),
+        )
+        assert _strip_timing(baseline.records) == _strip_timing(
+            pooled.records
+        )
+
+    def test_store_is_closed_after_the_sweep(self, tmp_path):
+        from repro.chain.shm import SharedChainStore, attach_chain
+
+        published = []
+        original = SharedChainStore.publish
+
+        def spying_publish(self, chain):
+            name = original(self, chain)
+            published.append(name)
+            return name
+
+        # Warm the parent memo first (a serial run executes in-process):
+        # pooled run-dir sweeps only publish chains that are already
+        # warm, leaving cold compilations to the workers.
+        run_sweep(_sweep(), engine=SerialEngine())
+        SharedChainStore.publish = spying_publish
+        try:
+            run_sweep(
+                _sweep(),
+                engine=ProcessPoolEngine(workers=2),
+                run_dir=tmp_path / "run",
+            )
+        finally:
+            SharedChainStore.publish = original
+        assert published, "warm pooled sweep should publish shared chains"
+        for name in published:
+            with pytest.raises(OSError):
+                attach_chain(name)
+
+    def test_cold_run_dir_sweep_leaves_compilation_to_workers(
+        self, tmp_path
+    ):
+        from repro.chain import clear_memo, compile_chain
+        from repro.chain.shm import SharedChainStore
+
+        published = []
+        original = SharedChainStore.publish
+
+        def spying_publish(self, chain):
+            published.append(chain.key)
+            return original(self, chain)
+
+        clear_memo()
+        SharedChainStore.publish = spying_publish
+        try:
+            outcome = run_sweep(
+                _sweep(),
+                engine=ProcessPoolEngine(workers=2),
+                run_dir=tmp_path / "run",
+            )
+        finally:
+            SharedChainStore.publish = original
+        # Cold parent + a disk cache for workers to share through: no
+        # serial parent-side compilation stall, nothing published...
+        assert published == []
+        assert outcome.executed == outcome.total
+        # ...but the workers still persisted every chain, so a resumed
+        # (cache-warm) re-run publishes from the disk cache.
+        (tmp_path / "run" / "records.jsonl").unlink()
+        clear_memo()
+        SharedChainStore.publish = spying_publish
+        try:
+            again = run_sweep(
+                _sweep(),
+                engine=ProcessPoolEngine(workers=2),
+                run_dir=tmp_path / "run",
+            )
+        finally:
+            SharedChainStore.publish = original
+        assert published, "cache-warm re-run should publish shared chains"
+        assert _strip_timing(again.records) == _strip_timing(outcome.records)
+
+    def test_resumed_pooled_sweep_executes_nothing(self, tmp_path):
+        first = run_sweep(
+            _sweep(),
+            engine=ProcessPoolEngine(workers=2),
+            run_dir=tmp_path / "run",
+        )
+        again = run_sweep(
+            _sweep(),
+            engine=ProcessPoolEngine(workers=2),
+            run_dir=tmp_path / "run",
+        )
+        assert first.total == again.total == again.resumed
+        assert again.executed == 0
+        assert _strip_timing(first.records) == _strip_timing(again.records)
+
+
+class TestProcessContext:
+    def test_callers_disk_cache_survives_a_run_dirless_pool_sweep(
+        self, tmp_path
+    ):
+        from repro.chain import disk_cache
+
+        installed = configure_disk_cache(tmp_path / "mine")
+        run_sweep(_sweep(), engine=ProcessPoolEngine(workers=2))
+        assert disk_cache() is installed
+
+    def test_no_batch_travels_in_every_pool_payload(self):
+        from repro.analysis import iter_all_experiments
+        from repro.chain import configure_batching
+
+        captured = []
+
+        class SpyEngine:
+            name = "spy"
+
+            def map(self, fn, payloads):
+                captured.extend(payloads)
+                return iter(())
+
+        configure_batching(False)
+        try:
+            list(iter_all_experiments(engine=SpyEngine()))
+        finally:
+            configure_batching(True)
+        assert captured and all(
+            payload["batch"] is False for payload in captured
+        )
+
+
+class TestWarmWorkersSkipDisk:
+    def test_attach_beats_the_disk_cache_on_cache_warm_chains(
+        self, tmp_path, monkeypatch
+    ):
+        """The worker-side lookup order is memo -> shared -> disk.
+
+        Simulated in-process (the same code path ``execute_run`` takes in
+        a pool worker): with a manifest installed, compiling a published
+        chain must never call ``ChainDiskCache.load`` even though a warm
+        disk cache is configured.
+        """
+        from repro.chain import clear_memo, compile_chain
+        from repro.chain.cache import ChainDiskCache
+        from repro.chain.shm import SharedChainStore
+        from repro.randomness import RandomnessConfiguration
+
+        alpha = RandomnessConfiguration.from_group_sizes((1, 1, 2))
+        configure_disk_cache(tmp_path / "chains")
+        chain = compile_chain(alpha)  # compiles and warms the disk cache
+        with SharedChainStore() as store:
+            store.publish(chain)
+            configure_shared_chains(store.manifest)
+            monkeypatch.setattr(
+                ChainDiskCache,
+                "load",
+                lambda self, key: pytest.fail(
+                    "cache-warm chain was loaded from disk despite "
+                    "shared memory"
+                ),
+            )
+            clear_memo()
+            attached = compile_chain(alpha)
+            assert attached.key == chain.key
+            assert hasattr(attached, "_shm")
