@@ -12,7 +12,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from ..core.leader_election import leader_election
-from ..chain import Query, compile_chain, run_queries
+from ..chain import Query, compile_chain, run_group_queries
 from ..core.task_zoo import (
     blackboard_leader_and_deputy_solvable,
     blackboard_threshold_solvable,
@@ -34,8 +34,8 @@ from .result import ExperimentResult
 
 def extension_task_zoo(n_max: int = 5) -> ExperimentResult:
     """Closed-form characterizations for the task zoo vs exact limits."""
-    rows = []
-    passed = True
+    configs = []
+    items = []
     for n in range(2, n_max + 1):
         tasks = (
             ("unique-ids", unique_ids(n),
@@ -51,29 +51,38 @@ def extension_task_zoo(n_max: int = 5) -> ExperimentResult:
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
             ports = adversarial_assignment(shape)
-            # One solvability batch per chain covering the whole zoo.
+            configs.append((n, shape, alpha, tasks))
+            # One solvability batch per chain covering the whole zoo;
+            # the whole axis (every shape, both models) runs as one
+            # grouped pass below.
             zoo = [Query.solvable(task) for _, task, _, _ in tasks]
-            bb_verdicts = run_queries(compile_chain(alpha), zoo)
-            mp_verdicts = run_queries(compile_chain(alpha, ports), zoo)
-            for (name, task, bb_predictor, mp_predictor), bb, mp in zip(
-                tasks, bb_verdicts, mp_verdicts
-            ):
-                bb_pred = bb_predictor(alpha)
-                mp_pred = mp_predictor(alpha)
-                ok = bb == bb_pred and mp == mp_pred
-                passed &= ok
-                rows.append(
-                    (
-                        n,
-                        shape,
-                        name,
-                        "yes" if bb else "no",
-                        "yes" if bb_pred else "no",
-                        "yes" if mp else "no",
-                        "yes" if mp_pred else "no",
-                        "ok" if ok else "MISMATCH",
-                    )
+            items.append((compile_chain(alpha), zoo))
+            items.append((compile_chain(alpha, ports), zoo))
+    answers = run_group_queries(items)
+    rows = []
+    passed = True
+    for (n, shape, alpha, tasks), bb_verdicts, mp_verdicts in zip(
+        configs, answers[0::2], answers[1::2]
+    ):
+        for (name, task, bb_predictor, mp_predictor), bb, mp in zip(
+            tasks, bb_verdicts, mp_verdicts
+        ):
+            bb_pred = bb_predictor(alpha)
+            mp_pred = mp_predictor(alpha)
+            ok = bb == bb_pred and mp == mp_pred
+            passed &= ok
+            rows.append(
+                (
+                    n,
+                    shape,
+                    name,
+                    "yes" if bb else "no",
+                    "yes" if bb_pred else "no",
+                    "yes" if mp else "no",
+                    "yes" if mp_pred else "no",
+                    "ok" if ok else "MISMATCH",
                 )
+            )
     return ExperimentResult(
         experiment_id="extension-task-zoo",
         title="Task zoo: exact limits vs derived closed forms",
@@ -105,36 +114,47 @@ def extension_expected_times(n_max: int = 6) -> ExperimentResult:
     average in the test suite.  The paper proves eventual solvability; this
     quantifies the rate implied by its mechanisms.
     """
-    rows = []
-    passed = True
+    configs = []
+    items = []
     for n in range(1, n_max + 1):
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            (bb,) = run_queries(
-                compile_chain(alpha), [Query.expected_time(task)]
+            configs.append((n, shape, alpha))
+            items.append(
+                (compile_chain(alpha), [Query.expected_time(task)])
             )
-            (mp,) = run_queries(
-                compile_chain(alpha, adversarial_assignment(shape)),
-                [Query.expected_time(task)],
-            )
-            bb_ok = (bb is not None) == (1 in shape)
-            mp_ok = (mp is not None) == (alpha.gcd == 1)
-            if bb is not None and mp is not None:
-                # ports only help: expected time never worse than blackboard
-                mp_ok &= mp <= bb
-            passed &= bb_ok and mp_ok
-            rows.append(
+            items.append(
                 (
-                    n,
-                    shape,
-                    str(bb) if bb is not None else "inf",
-                    f"{float(bb):.3f}" if bb is not None else "-",
-                    str(mp) if mp is not None else "inf",
-                    f"{float(mp):.3f}" if mp is not None else "-",
-                    "ok" if bb_ok and mp_ok else "MISMATCH",
+                    compile_chain(alpha, adversarial_assignment(shape)),
+                    [Query.expected_time(task)],
                 )
             )
+    # Every shape's blackboard and adversarial expected times in one
+    # grouped pass (items alternate blackboard/clique per shape).
+    answers = run_group_queries(items)
+    rows = []
+    passed = True
+    for (n, shape, alpha), (bb,), (mp,) in zip(
+        configs, answers[0::2], answers[1::2]
+    ):
+        bb_ok = (bb is not None) == (1 in shape)
+        mp_ok = (mp is not None) == (alpha.gcd == 1)
+        if bb is not None and mp is not None:
+            # ports only help: expected time never worse than blackboard
+            mp_ok &= mp <= bb
+        passed &= bb_ok and mp_ok
+        rows.append(
+            (
+                n,
+                shape,
+                str(bb) if bb is not None else "inf",
+                f"{float(bb):.3f}" if bb is not None else "-",
+                str(mp) if mp is not None else "inf",
+                f"{float(mp):.3f}" if mp is not None else "-",
+                "ok" if bb_ok and mp_ok else "MISMATCH",
+            )
+        )
     return ExperimentResult(
         experiment_id="extension-expected-time",
         title="Exact expected rounds to a solving global state",

@@ -17,7 +17,7 @@ from ..core.characterization import (
     message_passing_worst_case_solvable,
 )
 from ..core.leader_election import k_leader_election, leader_election
-from ..chain import Query, compile_chain, run_queries
+from ..chain import Query, compile_chain, run_group_queries, run_queries
 from ..core.reachability import gcd_divides_k, worst_case_k_leader_solvable
 from ..core.zero_one import (
     blackboard_unique_source_linear_bound,
@@ -46,32 +46,42 @@ def theorem41_blackboard(n_max: int = 5, t_max: int = 6) -> ExperimentResult:
     For every group-size shape of every ``n <= n_max``: the exact
     ``Pr[S(t)]`` series, its exact limit, and the predicted 0/1.
     """
-    rows = []
-    passed = True
+    configs = []
     for n in range(1, n_max + 1):
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
-            alpha = RandomnessConfiguration.from_group_sizes(shape)
-            # One batch per configuration: the series and the limit share
-            # the chain's cached distributions / absorption sweep.
-            series, limit = run_queries(
+            configs.append(
+                (n, shape, RandomnessConfiguration.from_group_sizes(shape), task)
+            )
+    # One grouped pass over the whole shape axis: every chain's series
+    # and limit answered together (per chain, the two queries share the
+    # cached distributions / absorption sweep exactly as before).
+    answers = run_group_queries(
+        [
+            (
                 compile_chain(alpha),
                 [Query.series(task, t_max), Query.limit(task)],
             )
-            predicted = Fraction(1) if blackboard_solvable(alpha) else Fraction(0)
-            monotone = is_monotone_non_decreasing(series)
-            ok = limit == predicted and monotone and limit in (0, 1)
-            passed &= ok
-            rows.append(
-                (
-                    n,
-                    shape,
-                    _series_str(series),
-                    float(limit),
-                    "yes" if predicted == 1 else "no",
-                    "ok" if ok else "MISMATCH",
-                )
+            for _, _, alpha, task in configs
+        ]
+    )
+    rows = []
+    passed = True
+    for (n, shape, alpha, task), (series, limit) in zip(configs, answers):
+        predicted = Fraction(1) if blackboard_solvable(alpha) else Fraction(0)
+        monotone = is_monotone_non_decreasing(series)
+        ok = limit == predicted and monotone and limit in (0, 1)
+        passed &= ok
+        rows.append(
+            (
+                n,
+                shape,
+                _series_str(series),
+                float(limit),
+                "yes" if predicted == 1 else "no",
+                "ok" if ok else "MISMATCH",
             )
+        )
     return ExperimentResult(
         experiment_id="theorem-4.1",
         title="Blackboard leader election: solvable iff exists n_i = 1",
@@ -133,35 +143,52 @@ def theorem42_message_passing(
     (must be 1 iff gcd = 1) and under benign round-robin ports (may be 1
     even when gcd > 1 -- footnote 5; always 1 when gcd = 1).
     """
-    rows = []
-    passed = True
+    configs = []
+    items = []
     for n in range(2, n_max + 1):
         task = leader_election(n)
         for shape in enumerate_size_shapes(n):
             alpha = RandomnessConfiguration.from_group_sizes(shape)
-            adv = compile_chain(alpha, adversarial_assignment(shape))
-            (adv_limit,) = run_queries(adv, [Query.limit(task)])
-            rr = compile_chain(alpha, round_robin_assignment(n))
-            (rr_limit,) = run_queries(rr, [Query.limit(task)])
-            predicted = message_passing_worst_case_solvable(alpha)
-            ok = (
-                (adv_limit == 1) == predicted
-                and adv_limit in (0, 1)
-                and rr_limit in (0, 1)
-                and (not predicted or rr_limit == 1)
-            )
-            passed &= ok
-            rows.append(
+            configs.append((n, shape, alpha))
+            items.append(
                 (
-                    n,
-                    shape,
-                    alpha.gcd,
-                    float(adv_limit),
-                    float(rr_limit),
-                    "yes" if predicted else "no",
-                    "ok" if ok else "MISMATCH",
+                    compile_chain(alpha, adversarial_assignment(shape)),
+                    [Query.limit(task)],
                 )
             )
+            items.append(
+                (
+                    compile_chain(alpha, round_robin_assignment(n)),
+                    [Query.limit(task)],
+                )
+            )
+    # Both port assignments of every shape answered in one grouped
+    # pass: items alternate adversarial/round-robin per shape.
+    answers = run_group_queries(items)
+    rows = []
+    passed = True
+    for (n, shape, alpha), (adv_limit,), (rr_limit,) in zip(
+        configs, answers[0::2], answers[1::2]
+    ):
+        predicted = message_passing_worst_case_solvable(alpha)
+        ok = (
+            (adv_limit == 1) == predicted
+            and adv_limit in (0, 1)
+            and rr_limit in (0, 1)
+            and (not predicted or rr_limit == 1)
+        )
+        passed &= ok
+        rows.append(
+            (
+                n,
+                shape,
+                alpha.gcd,
+                float(adv_limit),
+                float(rr_limit),
+                "yes" if predicted else "no",
+                "ok" if ok else "MISMATCH",
+            )
+        )
     return ExperimentResult(
         experiment_id="theorem-4.2",
         title="Message-passing worst-case leader election: solvable iff gcd = 1",

@@ -22,7 +22,12 @@ The package-level API:
 this engine; see ``CHAIN.md`` for the design.
 """
 
-from .backends import BACKENDS, validate_backend
+from .backends import (
+    BACKENDS,
+    evolution_strategy,
+    transition_density,
+    validate_backend,
+)
 from .batch import (
     QUANTITIES,
     Query,
@@ -55,6 +60,14 @@ from .engine import (
     refine_labels,
     set_distribution_cache_cap,
 )
+from .multi import (
+    MAX_GROUP_STATES,
+    ChainGroup,
+    MultiQueryPlan,
+    configure_grouping,
+    grouping_enabled,
+    run_group_queries,
+)
 from .shm import (
     SharedChainStore,
     attach_chain,
@@ -75,12 +88,15 @@ __all__ = [
     "BACKENDS",
     "CacheEntry",
     "ChainDiskCache",
+    "ChainGroup",
     "ChainKey",
     "CompiledChain",
     "DEFAULT_DISTRIBUTION_CACHE_CAP",
     "DENSE_STATE_LIMIT",
     "LabelVector",
+    "MAX_GROUP_STATES",
     "MAX_NODES",
+    "MultiQueryPlan",
     "QUANTITIES",
     "Query",
     "QueryBatch",
@@ -99,16 +115,21 @@ __all__ = [
     "compile_chain",
     "configure_batching",
     "configure_disk_cache",
+    "configure_grouping",
     "configure_shared_chains",
     "disk_cache",
+    "evolution_strategy",
+    "grouping_enabled",
     "labels_from_blocks",
     "memo_size",
     "memoized_chain",
     "neighbour_tables",
     "refine_labels",
+    "run_group_queries",
     "run_queries",
     "run_query_batch",
     "set_distribution_cache_cap",
     "shared_chain",
+    "transition_density",
     "validate_backend",
 ]

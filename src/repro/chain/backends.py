@@ -32,6 +32,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 #: Recognized backend names (the ``backend=`` kwarg / ``--backend`` flag).
 BACKENDS = ("exact", "float")
 
+#: Density floor for the dense evolution path: a dense matvec does
+#: ``states^2`` fused multiply-adds where the scatter-add does ``nnz``
+#: un-fused ones, and the per-element gap is roughly this factor's
+#: inverse -- below it, the transition structure is too sparse for the
+#: dense product to pay for itself.
+DENSE_DENSITY_FLOOR = 1.0 / 32.0
+
+#: Chains this small always take the dense path: at these sizes the
+#: whole matrix lives in cache and the scatter-add's indexing overhead
+#: dominates whatever sparsity would save.
+DENSE_ALWAYS_STATES = 64
+
+
+def transition_density(num_states: int, nnz: int) -> float:
+    """``nnz / states^2`` -- the fraction of the dense matrix occupied."""
+    if num_states <= 0:
+        return 0.0
+    return nnz / (num_states * num_states)
+
+
+def evolution_strategy(num_states: int, nnz: int) -> str:
+    """``"dense"`` or ``"scatter"`` for a distribution-evolution pass.
+
+    Chosen from the *measured* transition density rather than the fixed
+    state-count threshold alone: :data:`~repro.chain.engine.DENSE_STATE_LIMIT`
+    stays as the hard memory cap (a cached dense matrix above it would
+    outlive the query), but below the cap the decision follows
+    ``nnz / states^2`` -- dense when the structure is dense enough for
+    the matvec's fused arithmetic to beat the scatter-add's indexing,
+    scatter otherwise.  :class:`~repro.chain.batch.QueryBatch` and
+    :class:`~repro.chain.multi.ChainGroup` expose the verdict in their
+    ``repr`` for debuggability.
+    """
+    from .engine import DENSE_STATE_LIMIT
+
+    if num_states > DENSE_STATE_LIMIT:
+        return "scatter"
+    if num_states <= DENSE_ALWAYS_STATES:
+        return "dense"
+    if transition_density(num_states, nnz) >= DENSE_DENSITY_FLOOR:
+        return "dense"
+    return "scatter"
+
 
 def validate_backend(backend: str) -> str:
     if backend not in BACKENDS:
@@ -310,9 +353,10 @@ def masses_float_over_time(
 
     One evolution to ``max(times)`` shared by every ``(mask, t)`` pair:
     ``masks`` is ``(Q, S)`` boolean and the result maps each requested
-    ``t`` to the ``(Q,)`` vector of per-mask masses.  Small chains step
-    with a dense matrix-vector product; larger ones with the same
-    scatter-add :func:`distribution_float` uses.
+    ``t`` to the ``(Q,)`` vector of per-mask masses.  Dense-enough
+    chains step with a dense matrix-vector product; sparse ones with the
+    same scatter-add :func:`distribution_float` uses (the verdict is
+    :func:`evolution_strategy`).
     """
     wanted = sorted(set(int(t) for t in times))
     if wanted and wanted[0] < 0:
@@ -326,7 +370,9 @@ def masses_float_over_time(
     if wanted and wanted[0] == 0:
         out[0] = mask_matrix @ dist
     remaining = set(wanted)
-    dense = chain.dense_transition_matrix()
+    dense = None
+    if evolution_strategy(chain.num_states, chain.num_transitions) == "dense":
+        dense = chain.dense_transition_matrix()
     if dense is None:
         src, dst, weight = chain.coo()
     for t in range(1, (wanted[-1] if wanted else 0) + 1):
@@ -343,11 +389,14 @@ def masses_float_over_time(
 
 __all__ = [
     "BACKENDS",
+    "DENSE_ALWAYS_STATES",
+    "DENSE_DENSITY_FLOOR",
     "absorption_exact",
     "absorption_float",
     "absorption_float_matrix",
     "distribution_exact",
     "distribution_float",
+    "evolution_strategy",
     "expected_exact",
     "expected_float",
     "expected_float_matrix",
@@ -356,5 +405,6 @@ __all__ = [
     "series_exact",
     "series_float",
     "step_exact",
+    "transition_density",
     "validate_backend",
 ]

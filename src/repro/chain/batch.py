@@ -129,6 +129,9 @@ class QueryPlan:
         self._mass_times: set[int] = set()
         self._mass_slots: set[int] = set()
         self._absorb_slots: set[int] = set()
+        #: ``limit`` slots alone: under the float backend these join the
+        #: float absorption batch while ``solvable`` stays exact.
+        self._limit_slots: set[int] = set()
         self._expected_slots: set[int] = set()
         for query, slot in zip(self.queries, self._slots):
             if query.quantity == "probability":
@@ -139,11 +142,29 @@ class QueryPlan:
                 self._mass_slots.add(slot)
             elif query.quantity in ("limit", "solvable"):
                 self._absorb_slots.add(slot)
+                if query.quantity == "limit":
+                    self._limit_slots.add(slot)
             else:  # expected
                 self._expected_slots.add(slot)
 
     def __len__(self) -> int:
         return len(self.queries)
+
+    @property
+    def evolution(self) -> str:
+        """The adaptive dense-vs-scatter verdict for this chain's
+        distribution passes (see :func:`~repro.chain.backends.evolution_strategy`)."""
+        from .backends import evolution_strategy
+
+        return evolution_strategy(
+            self.chain.num_states, self.chain.num_transitions
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryPlan(queries={len(self.queries)}, "
+            f"masks={len(self._masks)}, evolution={self.evolution})"
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -204,11 +225,7 @@ class QueryPlan:
         # ``solvable`` stays exact under every backend (the zero-one law
         # is a statement about exact limits), so it does not join the
         # float absorption batch.
-        float_absorb = sorted({
-            slot
-            for query, slot in zip(self.queries, self._slots)
-            if query.quantity == "limit"
-        })
+        float_absorb = sorted(self._limit_slots)
         if float_absorb:
             absorb_rows = {slot: row for row, slot in enumerate(float_absorb)}
             absorption = absorption_float_matrix(
@@ -310,6 +327,14 @@ class QueryBatch:
 
     def __len__(self) -> int:
         return len(self._queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        from .backends import evolution_strategy
+
+        return (
+            f"QueryBatch(queries={len(self._queries)}, "
+            f"evolution={evolution_strategy(self.chain.num_states, self.chain.num_transitions)})"
+        )
 
     def run(self, *, backend: str = "exact") -> list:
         """Execute (respecting the batching toggle), in handle order."""

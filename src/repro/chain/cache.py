@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
 import pathlib
 import pickle
 import tempfile
 
 from .engine import ChainKey, CompiledChain
+
+#: Sidecar stats file next to the cached chains: ``{digest: load count}``.
+#: Best-effort under concurrency (workers may lose an increment to a
+#: race); the counts inform eviction tie-breaks and the ``repro chains``
+#: listing, never correctness.
+STATS_FILE = "_stats.json"
 
 
 def key_digest(key: ChainKey) -> str:
@@ -39,6 +46,9 @@ class CacheEntry:
     path: pathlib.Path
     size: int
     mtime: float
+    #: How many times :meth:`ChainDiskCache.load` has hit this entry
+    #: (from the sidecar stats file; 0 when untracked).
+    loads: int = 0
 
 
 class ChainDiskCache:
@@ -48,8 +58,10 @@ class ChainDiskCache:
     (and every explicit :meth:`evict`) drops least-recently-used entries
     until both caps hold.  Recency is file mtime -- loads touch their
     hit, so a chain a long-lived run directory keeps coming back to
-    stays resident while one-off chains age out.  ``None`` (the
-    default) leaves that dimension unbounded.
+    stays resident while one-off chains age out -- with the sidecar
+    load count (:data:`STATS_FILE`) breaking mtime ties: between two
+    equally-recent entries the rarely-hit one goes first.  ``None``
+    (the default) leaves that dimension unbounded.
     """
 
     def __init__(
@@ -72,29 +84,76 @@ class ChainDiskCache:
         return self.root / f"{key_digest(key)}.chain.pkl"
 
     # ------------------------------------------------------------------
+    # Sidecar load statistics
+    # ------------------------------------------------------------------
+    def _stats_path(self) -> pathlib.Path:
+        return self.root / STATS_FILE
+
+    def load_stats(self) -> dict[str, int]:
+        """Per-digest load counts from the sidecar file (``{}`` on any
+        read problem -- the stats are advisory)."""
+        try:
+            raw = json.loads(self._stats_path().read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        return {
+            str(digest): int(count)
+            for digest, count in raw.items()
+            if isinstance(count, int)
+        }
+
+    def _write_stats(self, stats: dict[str, int]) -> None:
+        """Atomic best-effort rewrite of the sidecar (losers of a
+        concurrent race drop an increment, nothing worse)."""
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=STATS_FILE, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(stats, handle, sort_keys=True)
+            os.replace(tmp, self._stats_path())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except (OSError, NameError, UnboundLocalError):
+                pass
+
+    def _record_load(self, digest: str) -> None:
+        stats = self.load_stats()
+        stats[digest] = stats.get(digest, 0) + 1
+        self._write_stats(stats)
+
+    # ------------------------------------------------------------------
     # Hygiene: listing and LRU eviction
     # ------------------------------------------------------------------
     def entries(self) -> list[CacheEntry]:
-        """Every cached chain file, least recently used first.
+        """Every cached chain file, first-to-evict first.
 
-        Entries that vanish mid-listing (a concurrent prune) are simply
-        skipped.
+        Order is least-recently-used (file mtime), with the sidecar
+        load count breaking ties -- an equally-stale entry that has
+        served fewer loads evicts sooner.  Entries that vanish
+        mid-listing (a concurrent prune) are simply skipped.
         """
+        stats = self.load_stats()
         found = []
         for path in self.root.glob("*.chain.pkl"):
             try:
                 stat = path.stat()
             except OSError:
                 continue
+            digest = path.name.removesuffix(".chain.pkl")
             found.append(
                 CacheEntry(
-                    digest=path.name.removesuffix(".chain.pkl"),
+                    digest=digest,
                     path=path,
                     size=stat.st_size,
                     mtime=stat.st_mtime,
+                    loads=stats.get(digest, 0),
                 )
             )
-        found.sort(key=lambda entry: (entry.mtime, entry.digest))
+        found.sort(key=lambda entry: (entry.mtime, entry.loads, entry.digest))
         return found
 
     def total_bytes(self) -> int:
@@ -135,6 +194,13 @@ class ChainDiskCache:
                 break
             total -= victim.size
             removed.append(victim)
+        if removed:
+            # Keep the sidecar aligned with the directory (best-effort).
+            stats = self.load_stats()
+            if any(entry.digest in stats for entry in removed):
+                for entry in removed:
+                    stats.pop(entry.digest, None)
+                self._write_stats(stats)
         return removed
 
     def clear(self) -> int:
@@ -160,6 +226,7 @@ class ChainDiskCache:
             os.utime(path)  # refresh LRU recency; best-effort
         except OSError:
             pass
+        self._record_load(path.name.removesuffix(".chain.pkl"))
         return chain
 
     def store(self, chain: CompiledChain) -> "pathlib.Path | None":
@@ -228,6 +295,7 @@ def disk_cache() -> ChainDiskCache | None:
 __all__ = [
     "CacheEntry",
     "ChainDiskCache",
+    "STATS_FILE",
     "configure_disk_cache",
     "disk_cache",
     "key_digest",

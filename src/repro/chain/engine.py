@@ -429,13 +429,15 @@ class CompiledChain:
         Count-profile tasks are cached by *content* (equal tasks built
         at different call sites share one mask); other tasks by weak
         identity, so this immortal chain never pins dead task objects.
+        The weak identity map doubles as a fast path for content-keyed
+        tasks: a repeat query with the same task object skips the
+        content-key computation entirely.
         """
+        cached = self._weak_masks.get(task)
+        if cached is not None:
+            return cached
         key = _task_content_key(task)
-        cached = (
-            self._mask_cache.get(key)
-            if key is not None
-            else self._weak_masks.get(task)
-        )
+        cached = self._mask_cache.get(key) if key is not None else None
         if cached is None:
             by_sizes: dict[tuple[int, ...], bool] = {}
             mask = []
@@ -450,8 +452,10 @@ class CompiledChain:
             cached = tuple(mask)
             if key is not None:
                 self._mask_cache[key] = cached
-            else:
-                self._weak_masks[task] = cached
+        try:
+            self._weak_masks[task] = cached
+        except TypeError:  # non-weakrefable task objects stay content-keyed
+            pass
         return cached
 
     # ------------------------------------------------------------------

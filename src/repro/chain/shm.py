@@ -28,6 +28,15 @@ Segment layout (version 1) -- everything int64 so views need no casts:
 ``cnt``               ``nnz`` integer counts out of ``2^(k-1)``
 ``key``               ``key_bytes`` of pickled structural chain key
 ====================  =====================================================
+
+:meth:`SharedChainStore.publish_group` packs a whole *group* of chains
+into **one** segment -- the per-chain blocks above laid back to back at
+8-byte-aligned offsets -- so a sweep's entire chain family costs one
+``shm_open`` per worker instead of one per chain.  Manifest entries for
+grouped chains read ``"<segment name>@<byte offset>"``; plain entries
+stay bare segment names, so old-style manifests keep working.  Worker
+attachment caches the segment mapping by name (:func:`attach_chain`),
+making every chain of a group after the first a pure pointer offset.
 """
 
 from __future__ import annotations
@@ -81,6 +90,38 @@ def _segment_size(chain: CompiledChain, key_bytes: bytes) -> int:
     return words * _WORD + len(key_bytes)
 
 
+def _write_chain(buf, offset: int, chain: CompiledChain, key_bytes: bytes) -> None:
+    """Write one chain block (the version-1 layout) at ``offset``."""
+    states, nnz = chain.num_states, chain.num_transitions
+    header = np.ndarray(
+        (_HEADER_WORDS,), dtype=np.int64, buffer=buf, offset=offset
+    )
+    header[:] = (LAYOUT_VERSION, chain.n, chain.k, states, nnz,
+                 len(key_bytes))
+    offset += _HEADER_WORDS * _WORD
+    labels = np.ndarray(
+        (states, chain.n), dtype=np.int64, buffer=buf, offset=offset
+    )
+    labels[:] = chain.labels
+    offset += states * chain.n * _WORD
+    indptr_src, dst_src, cnt_src = chain.csr()
+    indptr = np.ndarray(
+        (states + 1,), dtype=np.int64, buffer=buf, offset=offset
+    )
+    indptr[:] = indptr_src
+    offset += (states + 1) * _WORD
+    dst = np.ndarray((nnz,), dtype=np.int64, buffer=buf, offset=offset)
+    dst[:] = dst_src
+    offset += nnz * _WORD
+    cnt = np.ndarray((nnz,), dtype=np.int64, buffer=buf, offset=offset)
+    cnt[:] = cnt_src
+    offset += nnz * _WORD
+    buf[offset:offset + len(key_bytes)] = key_bytes
+    # Writable views into the buffer must be dropped before close() can
+    # ever succeed (exporting views pin the mmap).
+    del header, labels, indptr, dst, cnt
+
+
 class SharedChainStore:
     """Publisher side: one shared-memory segment per compiled chain.
 
@@ -91,63 +132,82 @@ class SharedChainStore:
     """
 
     def __init__(self):
-        self._segments: dict[str, "object"] = {}
+        self._segments: list = []
+        self._manifest: dict[str, str] = {}
 
     def __len__(self) -> int:
-        return len(self._segments)
+        """How many chains this store has published (not segments)."""
+        return len(self._manifest)
 
     @property
     def manifest(self) -> dict[str, str]:
-        """``{key digest: segment name}`` -- what worker payloads carry."""
-        return {
-            digest: shm.name for digest, shm in self._segments.items()
-        }
+        """``{key digest: segment locator}`` -- what worker payloads carry.
+
+        A locator is a bare segment name, or ``"name@offset"`` for a
+        chain packed into a group segment.
+        """
+        return dict(self._manifest)
 
     def publish(self, chain: CompiledChain) -> str:
-        """Place ``chain``'s arrays in a segment; returns its name.
+        """Place ``chain``'s arrays in their own segment.
 
-        Idempotent per structural key within one store.
+        Returns the chain's segment locator: the bare segment name for a
+        fresh (or previously stand-alone) publish, or ``"name@offset"``
+        when the chain already lives inside a group segment -- never a
+        bare group-segment name, which would attach a *different*
+        chain's block.  Idempotent per structural key within one store.
         """
         from multiprocessing.shared_memory import SharedMemory
 
         digest = key_digest(chain.key)
-        existing = self._segments.get(digest)
+        existing = self._manifest.get(digest)
         if existing is not None:
-            return existing.name
+            return existing
         key_bytes = pickle.dumps(chain.key, protocol=pickle.HIGHEST_PROTOCOL)
         shm = SharedMemory(create=True, size=_segment_size(chain, key_bytes))
-        states, nnz = chain.num_states, chain.num_transitions
-        header = np.ndarray((_HEADER_WORDS,), dtype=np.int64, buffer=shm.buf)
-        header[:] = (LAYOUT_VERSION, chain.n, chain.k, states, nnz,
-                     len(key_bytes))
-        offset = _HEADER_WORDS * _WORD
-        labels = np.ndarray(
-            (states, chain.n), dtype=np.int64, buffer=shm.buf, offset=offset
-        )
-        labels[:] = chain.labels
-        offset += states * chain.n * _WORD
-        indptr_src, dst_src, cnt_src = chain.csr()
-        indptr = np.ndarray(
-            (states + 1,), dtype=np.int64, buffer=shm.buf, offset=offset
-        )
-        indptr[:] = indptr_src
-        offset += (states + 1) * _WORD
-        dst = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
-        dst[:] = dst_src
-        offset += nnz * _WORD
-        cnt = np.ndarray((nnz,), dtype=np.int64, buffer=shm.buf, offset=offset)
-        cnt[:] = cnt_src
-        offset += nnz * _WORD
-        shm.buf[offset:offset + len(key_bytes)] = key_bytes
-        # Writable views into the buffer must be dropped before close()
-        # can ever succeed (exporting views pin the mmap).
-        del header, labels, indptr, dst, cnt
-        self._segments[digest] = shm
+        _write_chain(shm.buf, 0, chain, key_bytes)
+        self._segments.append(shm)
+        self._manifest[digest] = shm.name
+        return shm.name
+
+    def publish_group(self, chains) -> "str | None":
+        """Pack every not-yet-published chain into **one** segment.
+
+        One ``shm_open`` then covers the whole group on the worker side
+        (chains within the segment differ only by byte offset).  Returns
+        the segment name, or ``None`` when every chain was already
+        published (nothing new to place).
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        fresh: list[tuple[CompiledChain, str, bytes, int]] = []
+        seen: set[str] = set()
+        total = 0
+        for chain in chains:
+            digest = key_digest(chain.key)
+            if digest in self._manifest or digest in seen:
+                continue
+            seen.add(digest)
+            key_bytes = pickle.dumps(
+                chain.key, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            fresh.append((chain, digest, key_bytes, total))
+            size = _segment_size(chain, key_bytes)
+            # Keep every block's int64 views 8-byte aligned.
+            total += size + (-size) % _WORD
+        if not fresh:
+            return None
+        shm = SharedMemory(create=True, size=total)
+        for chain, digest, key_bytes, offset in fresh:
+            _write_chain(shm.buf, offset, chain, key_bytes)
+        self._segments.append(shm)
+        for chain, digest, key_bytes, offset in fresh:
+            self._manifest[digest] = f"{shm.name}@{offset}"
         return shm.name
 
     def close(self) -> None:
         """Close and unlink every published segment (idempotent)."""
-        for shm in self._segments.values():
+        for shm in self._segments:
             try:
                 shm.close()
             except OSError:
@@ -157,6 +217,7 @@ class SharedChainStore:
             except (OSError, FileNotFoundError):
                 pass
         self._segments.clear()
+        self._manifest.clear()
 
     def __enter__(self) -> "SharedChainStore":
         return self
@@ -165,24 +226,43 @@ class SharedChainStore:
         self.close()
 
 
-def attach_chain(name: str) -> CompiledChain:
+#: Worker-side segment cache: attaching a group segment once serves
+#: every chain packed inside it.  Entries are dropped (not closed --
+#: attached chains pin their mapping via ``chain._shm``) whenever the
+#: manifest changes.
+_ATTACHED: dict[str, "object"] = {}
+
+
+def _segment(name: str):
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        from multiprocessing.shared_memory import SharedMemory
+
+        with _untracked_attach():
+            shm = SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return shm
+
+
+def attach_chain(name: str, offset: int = 0) -> CompiledChain:
     """Attach the segment ``name`` and build a chain over its arrays.
 
-    The CSR transition arrays are zero-copy views into the segment (the
-    mapping is pinned on the returned chain for its lifetime); the label
-    tuples are rebuilt eagerly (they back the id table), and exact-
-    backend structures stay lazy as usual.
+    ``offset`` selects one chain block inside a group segment (0, the
+    default, reads a single-chain segment).  The CSR transition arrays
+    are zero-copy views into the segment (the mapping is pinned on the
+    returned chain for its lifetime); the label tuples are rebuilt
+    eagerly (they back the id table), and exact-backend structures stay
+    lazy as usual.  Segment mappings are cached per name, so a group's
+    second chain costs no ``shm_open``.
     """
-    from multiprocessing.shared_memory import SharedMemory
-
-    with _untracked_attach():
-        shm = SharedMemory(name=name)
-    header = np.ndarray((_HEADER_WORDS,), dtype=np.int64, buffer=shm.buf)
+    shm = _segment(name)
+    header = np.ndarray(
+        (_HEADER_WORDS,), dtype=np.int64, buffer=shm.buf, offset=offset
+    )
     version, n, k, states, nnz, key_bytes = (int(x) for x in header)
     if version != LAYOUT_VERSION:
-        shm.close()
         raise ValueError(f"unknown shared-chain layout version {version}")
-    offset = _HEADER_WORDS * _WORD
+    offset += _HEADER_WORDS * _WORD
     labels_array = np.ndarray(
         (states, n), dtype=np.int64, buffer=shm.buf, offset=offset
     )
@@ -213,9 +293,17 @@ _MANIFEST: dict[str, str] = {}
 
 
 def configure_shared_chains(manifest: "dict[str, str] | None") -> None:
-    """Install (or, with ``None``/empty, remove) the attach manifest."""
+    """Install (or, with ``None``/empty, remove) the attach manifest.
+
+    A manifest change also drops the per-name segment cache: already-
+    attached chains keep their own mapping pinned (``chain._shm``), so
+    dropping the cache references never invalidates live views.
+    """
     global _MANIFEST
-    _MANIFEST = dict(manifest) if manifest else {}
+    fresh = dict(manifest) if manifest else {}
+    if fresh != _MANIFEST:
+        _ATTACHED.clear()
+    _MANIFEST = fresh
 
 
 def shared_manifest() -> dict[str, str]:
@@ -231,11 +319,12 @@ def shared_chain(key: ChainKey) -> "CompiledChain | None":
     cache or a recompile), never to wrong results: a hit is validated
     against the full structural key.
     """
-    name = _MANIFEST.get(key_digest(key))
-    if name is None:
+    locator = _MANIFEST.get(key_digest(key))
+    if locator is None:
         return None
+    name, _, offset = locator.partition("@")
     try:
-        chain = attach_chain(name)
+        chain = attach_chain(name, int(offset) if offset else 0)
     except Exception:
         # Anything: segment gone (OSError), truncated/foreign buffer
         # (TypeError from the array views), bad layout (ValueError),

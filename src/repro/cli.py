@@ -16,7 +16,11 @@ chains          list/inspect/prune a chain disk cache directory
 Chain queries default to the batched query layer (``repro.chain.batch``:
 one shared pass answers a whole set of (task, horizon) questions);
 ``--no-batch`` on the query-heavy commands falls back to scalar
-per-query passes with byte-identical exact results.
+per-query passes with byte-identical exact results.  Sweep-wide queries
+additionally default to the block-diagonal multi-chain group engine
+(``repro.chain.multi``: one stacked pass answers a whole shape axis);
+``--no-group-chains`` falls back to per-chain passes, again with
+byte-identical exact results.
 
 Examples
 --------
@@ -150,6 +154,21 @@ def _add_batch_arg(p) -> None:
             "answer chain queries through the batched query layer "
             "(default; --no-batch falls back to scalar per-query passes "
             "-- exact results are byte-identical either way)"
+        ),
+    )
+
+
+def _add_group_arg(p) -> None:
+    p.add_argument(
+        "--group-chains",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "answer sweep-wide queries through the block-diagonal "
+            "multi-chain group engine (default; stacked passes under "
+            "the float backend, shared per-chain planning under exact "
+            "-- --no-group-chains falls back to per-chain passes with "
+            "byte-identical exact results)"
         ),
     )
 
@@ -413,13 +432,15 @@ def cmd_chains(args) -> int:
                 )
             except Exception as exc:
                 detail = f"unreadable ({type(exc).__name__})"
-            rows.append((entry.digest[:12], entry.size, stamp, detail))
+            rows.append(
+                (entry.digest[:12], entry.size, entry.loads, stamp, detail)
+            )
         else:
-            rows.append((entry.digest[:12], entry.size, stamp))
+            rows.append((entry.digest[:12], entry.size, entry.loads, stamp))
     headers = (
-        ("digest", "bytes", "last used", "chain")
+        ("digest", "bytes", "loads", "last used", "chain")
         if args.action == "inspect"
-        else ("digest", "bytes", "last used")
+        else ("digest", "bytes", "loads", "last used")
     )
     print(format_table(headers, rows))
     print(f"{len(entries)} chains, {cache.total_bytes()} bytes in {root}")
@@ -595,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task", default="leader")
     _add_engine_args(p)
     _add_batch_arg(p)
+    _add_group_arg(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -610,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     _add_engine_args(p)
     _add_batch_arg(p)
+    _add_group_arg(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser(
@@ -680,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(p)
     _add_batch_arg(p)
+    _add_group_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -726,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="output directory")
     _add_engine_args(p)
     _add_batch_arg(p)
+    _add_group_arg(p)
     p.set_defaults(func=cmd_report)
 
     return parser
@@ -740,6 +765,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Process-wide: run_sweep additionally forwards the toggle into
         # pool workers via the job payloads.
         configure_batching(args.batch)
+    if hasattr(args, "group_chains"):
+        from .chain import configure_grouping
+
+        # Same deal: process-wide here, forwarded to pool workers by
+        # the sweep/experiment payloads.
+        configure_grouping(args.group_chains)
     return args.func(args)
 
 

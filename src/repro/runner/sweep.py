@@ -16,13 +16,78 @@ so two runs of the same sweep compare byte-for-byte.
 
 from __future__ import annotations
 
+import math
 import pathlib
 from dataclasses import dataclass, field
 
 from .engines import ExecutionEngine, SerialEngine
 from .persistence import RunDirectory
 from .spec import SweepSpec, derive_seed, make_ports
-from .worker import execute_run
+from .worker import execute_run, execute_run_group
+
+
+def _iter_job_payloads(payloads):
+    """Flat job payloads, whether ``payloads`` is grouped or not."""
+    for payload in payloads:
+        if "jobs" in payload:
+            yield from payload["jobs"]
+        else:
+            yield payload
+
+
+def _group_job_payloads(jobs, payloads, engine):
+    """Pack contiguous chain families into group payloads, or ``None``.
+
+    The sweep grammar expands tasks (and replicates) innermost, so jobs
+    sharing one compiled chain -- same sizes/model/ports/replicate --
+    are contiguous index runs; packing whole runs into bins keeps each
+    bin a contiguous index range, which is what makes grouped run
+    directories byte-identical to serial ungrouped ones (records land
+    in index order either way).  Bins target four groups per pool
+    worker so stragglers rebalance.  Returns ``None`` -- dispatch one
+    payload per job exactly as before -- when grouping is off, the
+    sweep is sampling-kind (Monte-Carlo jobs gain nothing from a
+    shared chain pass), or there is at most one job.
+    """
+    from ..chain import grouping_enabled
+
+    if not grouping_enabled() or len(payloads) < 2:
+        return None
+    if any(jobs[p["index"]].kind != "exact" for p in payloads):
+        return None
+    runs: list[list[dict]] = []
+    marker = None
+    for payload in payloads:
+        spec = jobs[payload["index"]]
+        family = (spec.sizes, spec.model, spec.ports, spec.replicate)
+        if family != marker:
+            marker = family
+            runs.append([])
+        runs[-1].append(payload)
+    workers = getattr(engine, "workers", 1) or 1
+    bins = max(1, min(len(runs), workers * 4))
+    per_bin = math.ceil(len(payloads) / bins)
+    groups: list[list[dict]] = []
+    current: list[dict] = []
+    for run in runs:
+        if current and len(current) + len(run) > per_bin:
+            groups.append(current)
+            current = []
+        current.extend(run)
+    if current:
+        groups.append(current)
+    context_keys = ("chain_cache", "batch", "group_chains")
+    return [
+        {
+            "jobs": group,
+            **{
+                key: group[0][key]
+                for key in context_keys
+                if key in group[0]
+            },
+        }
+        for group in groups
+    ]
 
 
 def _publish_shared_chains(jobs, payloads, directory):
@@ -57,7 +122,7 @@ def _publish_shared_chains(jobs, payloads, directory):
 
     shareable = []
     seen = set()
-    for payload in payloads:
+    for payload in _iter_job_payloads(payloads):
         spec = jobs[payload["index"]]
         if spec.kind != "exact" or spec.ports == "random":
             continue
@@ -73,6 +138,7 @@ def _publish_shared_chains(jobs, payloads, directory):
         configure_disk_cache(str(directory.path / "chains"))
     store = SharedChainStore()
     try:
+        chains = []
         for spec in shareable:
             alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
             ports = make_ports(spec.ports, spec.sizes, 0)
@@ -85,7 +151,10 @@ def _publish_shared_chains(jobs, payloads, directory):
                 if directory is not None:
                     continue  # cold + disk-cached sweep: workers share it
                 chain = compile_chain(alpha, ports)
-            store.publish(chain)
+            chains.append(chain)
+        # One segment for the whole sweep: workers attach it once and
+        # read every chain at a byte offset.
+        store.publish_group(chains)
     except OSError:
         # No (or full) /dev/shm: fall back to the disk-cache-only path.
         store.close()
@@ -252,19 +321,28 @@ def run_sweep(
         # Propagate the parent's chain context (e.g. the CLI --no-batch
         # toggle) into pool workers; results are identical either way.
         payload.update(context)
+    # The shape-grouping dispatcher: hand each worker one group payload
+    # (one shared-memory attach, one grouped query pass) per slice of
+    # the grid instead of one payload per grid point.
+    grouped = _group_job_payloads(jobs, payloads, engine)
+    dispatch = payloads if grouped is None else grouped
+    worker_fn = execute_run if grouped is None else execute_run_group
     store = None
     executed = 0
     fresh: list[dict] = []
     try:
-        if payloads and getattr(engine, "supports_shared_chains", False):
-            store = _publish_shared_chains(jobs, payloads, directory)
-        for record in engine.map(execute_run, payloads):
-            if directory is not None:
-                directory.append(record)
-            fresh.append(record)
-            executed += 1
-            if progress is not None:
-                progress(record)
+        if dispatch and getattr(engine, "supports_shared_chains", False):
+            store = _publish_shared_chains(jobs, dispatch, directory)
+        for result in engine.map(worker_fn, dispatch):
+            for record in (
+                (result,) if grouped is None else result["records"]
+            ):
+                if directory is not None:
+                    directory.append(record)
+                fresh.append(record)
+                executed += 1
+                if progress is not None:
+                    progress(record)
     finally:
         if store is not None:
             # Unlinking is safe while workers still hold mappings; only

@@ -23,7 +23,9 @@ from ..chain import (
     compile_chain,
     configure_batching,
     configure_disk_cache,
+    configure_grouping,
     configure_shared_chains,
+    run_group_queries,
     run_queries,
 )
 from ..core.probability import solving_probability_sampled
@@ -49,14 +51,14 @@ def chain_context_payload() -> dict:
     """The parent-side chain-context fields every pool payload carries.
 
     One choke point for the fields :func:`_apply_chain_context` mirrors
-    in the worker (currently the batching toggle; ``chain_cache`` /
-    ``chain_shm`` are sweep-specific and attached by ``run_sweep``).  A
-    payload producer that merges this dict can never silently reset a
-    worker to defaults the parent has overridden.
+    in the worker (currently the batching and chain-grouping toggles;
+    ``chain_cache`` / ``chain_shm`` are sweep-specific and attached by
+    ``run_sweep``).  A payload producer that merges this dict can never
+    silently reset a worker to defaults the parent has overridden.
     """
-    from ..chain import batching_enabled
+    from ..chain import batching_enabled, grouping_enabled
 
-    return {"batch": batching_enabled()}
+    return {"batch": batching_enabled(), "group_chains": grouping_enabled()}
 
 
 def _apply_chain_context(payload: dict) -> None:
@@ -74,6 +76,31 @@ def _apply_chain_context(payload: dict) -> None:
     configure_disk_cache(payload.get("chain_cache"))
     configure_shared_chains(payload.get("chain_shm"))
     configure_batching(payload.get("batch", True))
+    configure_grouping(payload.get("group_chains", True))
+
+
+def _exact_value(limit: Fraction) -> dict:
+    """The value fields of an exact-job record (one shape, every path)."""
+    return {
+        "limit": str(limit),
+        "limit_float": float(limit),
+        "solvable": limit == 1,
+    }
+
+
+def _job_record(payload: dict, spec: RunSpec, seed: int, alpha,
+                value: dict, elapsed: float) -> dict:
+    """One job record; grouped and per-job execution share this shape,
+    so the grouped dispatch can never silently drift from serial."""
+    return {
+        "key": spec.job_key,
+        "index": int(payload.get("index", 0)),
+        "spec": spec.to_dict(),
+        "seed": seed,
+        "gcd": alpha.gcd,
+        "value": value,
+        "elapsed": elapsed,
+    }
 
 
 def execute_run(payload: dict) -> dict:
@@ -97,12 +124,9 @@ def execute_run(payload: dict) -> dict:
     ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
     value: dict
     if spec.kind == "exact":
-        limit = exact_limit_value(compile_chain(alpha, ports), task)
-        value = {
-            "limit": str(limit),
-            "limit_float": float(limit),
-            "solvable": limit == 1,
-        }
+        value = _exact_value(
+            exact_limit_value(compile_chain(alpha, ports), task)
+        )
     else:  # sample
         estimate = solving_probability_sampled(
             alpha,
@@ -117,15 +141,58 @@ def execute_run(payload: dict) -> dict:
             "successes": round(estimate * spec.samples),
             "samples": spec.samples,
         }
-    return {
-        "key": spec.job_key,
-        "index": int(payload.get("index", 0)),
-        "spec": spec.to_dict(),
-        "seed": seed,
-        "gcd": alpha.gcd,
-        "value": value,
-        "elapsed": time.perf_counter() - started,
-    }
+    return _job_record(
+        payload, spec, seed, alpha, value,
+        time.perf_counter() - started,
+    )
+
+
+def execute_run_group(payload: dict) -> dict:
+    """Execute a whole group of exact jobs in one multi-chain pass.
+
+    ``payload`` is ``{"jobs": [<execute_run payloads>...]}`` plus the
+    usual chain-context fields (applied once for the whole group).  The
+    sweep dispatcher packs contiguous chain families into these groups
+    so a worker pays one payload round trip, one shared-memory attach
+    pass, and one grouped query pass for a whole slice of the grid
+    instead of one of each per grid point.  The returned record carries
+    the member job records, each field-identical to what
+    :func:`execute_run` would have produced (``elapsed`` is the group's
+    wall clock split evenly -- per-job timing has no meaning inside a
+    shared pass).
+    """
+    _apply_chain_context(payload)
+    started = time.perf_counter()
+    prepared = []
+    items: dict[int, tuple[CompiledChain, list]] = {}
+    order: list[int] = []
+    for job in payload["jobs"]:
+        spec = RunSpec.from_dict(job["spec"])
+        master_seed = int(job.get("master_seed", 0))
+        seed = derive_seed(master_seed, spec.job_key)
+        alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+        task = make_task(spec.task, alpha.n)
+        ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
+        chain = compile_chain(alpha, ports)
+        entry = items.get(id(chain))
+        if entry is None:
+            entry = items[id(chain)] = (chain, [])
+            order.append(id(chain))
+        queries = entry[1]
+        prepared.append((job, spec, seed, alpha, id(chain), len(queries)))
+        queries.append(Query.limit(task))
+    answers = dict(
+        zip(order, run_group_queries([items[cid] for cid in order]))
+    )
+    elapsed = (time.perf_counter() - started) / max(1, len(prepared))
+    records = [
+        _job_record(
+            job, spec, seed, alpha,
+            _exact_value(answers[cid][position]), elapsed,
+        )
+        for job, spec, seed, alpha, cid, position in prepared
+    ]
+    return {"records": records}
 
 
 def execute_experiment(payload: dict) -> dict:
@@ -217,5 +284,6 @@ __all__ = [
     "execute_experiment",
     "execute_port_chunk",
     "execute_run",
+    "execute_run_group",
     "execute_sample_batch",
 ]

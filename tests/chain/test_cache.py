@@ -184,6 +184,79 @@ class TestLRUEviction:
         assert len(cache.entries()) == 1
 
 
+class TestLoadStats:
+    def _key(self, shape):
+        return chain_key(RandomnessConfiguration.from_group_sizes(shape))
+
+    def _fill(self, root, shapes):
+        configure_disk_cache(root)
+        for shape in shapes:
+            clear_memo()
+            compile_chain(RandomnessConfiguration.from_group_sizes(shape))
+        configure_disk_cache(None)
+        clear_memo()
+
+    def test_loads_are_counted_in_the_sidecar(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2)])
+        cache = ChainDiskCache(root)
+        assert all(entry.loads == 0 for entry in cache.entries())
+        key = self._key((1, 2))
+        assert cache.load(key) is not None
+        assert cache.load(key) is not None
+        by_digest = {entry.digest: entry.loads for entry in cache.entries()}
+        digest = cache.path_for(key).name.removesuffix(".chain.pkl")
+        assert by_digest[digest] == 2
+        assert sum(by_digest.values()) == 2  # the other entry stays at 0
+        assert (root / "_stats.json").exists()
+
+    def test_hit_count_breaks_lru_mtime_ties(self, tmp_path):
+        import os
+
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2), (1, 1, 2)])
+        cache = ChainDiskCache(root)
+        hot_key = self._key((2, 2))
+        assert cache.load(hot_key) is not None
+        # Force an mtime tie so only the load count can order eviction.
+        for entry in cache.entries():
+            os.utime(entry.path, (1000000000, 1000000000))
+        ordered = cache.entries()
+        assert [entry.loads for entry in ordered] == [0, 0, 1]
+        removed = cache.evict(max_entries=1)
+        hot_digest = cache.path_for(hot_key).name.removesuffix(".chain.pkl")
+        assert hot_digest not in {entry.digest for entry in removed}
+        assert [entry.digest for entry in cache.entries()] == [hot_digest]
+
+    def test_eviction_drops_stats_of_removed_entries(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2), (2, 2)])
+        cache = ChainDiskCache(root)
+        for shape in [(1, 2), (2, 2)]:
+            assert cache.load(self._key(shape)) is not None
+        assert sum(cache.load_stats().values()) == 2
+        cache.clear()
+        assert cache.load_stats() == {}
+
+    def test_corrupt_sidecar_degrades_to_empty_stats(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2)])
+        (root / "_stats.json").write_text("not json {")
+        cache = ChainDiskCache(root)
+        assert cache.load_stats() == {}
+        # ...and loading repairs it.
+        assert cache.load(self._key((1, 2))) is not None
+        assert sum(cache.load_stats().values()) == 1
+
+    def test_stats_file_is_not_listed_as_a_chain(self, tmp_path):
+        root = tmp_path / "chains"
+        self._fill(root, [(1, 2)])
+        cache = ChainDiskCache(root)
+        assert cache.load(self._key((1, 2))) is not None
+        assert len(cache.entries()) == 1
+        assert len(cache) == 1
+
+
 class TestRunnerPlumbing:
     def test_sweep_with_run_dir_persists_chains(self, tmp_path):
         configure_disk_cache(None)

@@ -86,6 +86,63 @@ class TestRoundTrip:
             assert len(store) == 1
 
 
+class TestGroupSegments:
+    def _chains(self):
+        from repro.randomness import enumerate_size_shapes
+
+        chains = []
+        for shape in enumerate_size_shapes(4):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            chains.append(compile_chain(alpha))
+            chains.append(compile_chain(alpha, adversarial_assignment(shape)))
+        return chains
+
+    def test_group_round_trips_every_chain_at_its_offset(self):
+        chains = self._chains()
+        with SharedChainStore() as store:
+            name = store.publish_group(chains)
+            assert name is not None
+            assert len(store) == len(chains)
+            manifest = store.manifest
+            assert all("@" in locator for locator in manifest.values())
+            configure_shared_chains(manifest)
+            task = leader_election(4)
+            for chain in chains:
+                got = shared_chain(chain.key)
+                assert got is not None and got.key == chain.key
+                assert got.labels == chain.labels
+                assert got.out_table() == chain.out_table()
+                assert got.limit_solving_probability(
+                    task
+                ) == chain.limit_solving_probability(task)
+
+    def test_one_segment_mapping_serves_the_whole_group(self):
+        chains = self._chains()
+        with SharedChainStore() as store:
+            store.publish_group(chains)
+            configure_shared_chains(store.manifest)
+            segments = {
+                id(shared_chain(chain.key)._shm) for chain in chains
+            }
+            assert len(segments) == 1
+
+    def test_publish_group_skips_already_published_chains(self):
+        chains = self._chains()
+        with SharedChainStore() as store:
+            store.publish(chains[0])
+            store.publish_group(chains)
+            assert len(store) == len(chains)
+            assert store.publish_group(chains) is None  # nothing fresh
+
+    def test_close_unlinks_the_group_segment(self):
+        chains = self._chains()
+        store = SharedChainStore()
+        name = store.publish_group(chains)
+        store.close()
+        with pytest.raises(OSError):
+            attach_chain(name)
+
+
 class TestLifecycle:
     def test_close_unlinks_segments(self):
         chain = _chain()

@@ -71,18 +71,19 @@ class TestPooledSharedMemorySweeps:
         from repro.chain.shm import SharedChainStore, attach_chain
 
         published = []
-        original = SharedChainStore.publish
+        original = SharedChainStore.publish_group
 
-        def spying_publish(self, chain):
-            name = original(self, chain)
-            published.append(name)
+        def spying_publish_group(self, chains):
+            name = original(self, chains)
+            if name is not None:
+                published.append(name)
             return name
 
         # Warm the parent memo first (a serial run executes in-process):
         # pooled run-dir sweeps only publish chains that are already
         # warm, leaving cold compilations to the workers.
         run_sweep(_sweep(), engine=SerialEngine())
-        SharedChainStore.publish = spying_publish
+        SharedChainStore.publish_group = spying_publish_group
         try:
             run_sweep(
                 _sweep(),
@@ -90,7 +91,7 @@ class TestPooledSharedMemorySweeps:
                 run_dir=tmp_path / "run",
             )
         finally:
-            SharedChainStore.publish = original
+            SharedChainStore.publish_group = original
         assert published, "warm pooled sweep should publish shared chains"
         for name in published:
             with pytest.raises(OSError):
@@ -103,14 +104,14 @@ class TestPooledSharedMemorySweeps:
         from repro.chain.shm import SharedChainStore
 
         published = []
-        original = SharedChainStore.publish
+        original = SharedChainStore.publish_group
 
-        def spying_publish(self, chain):
-            published.append(chain.key)
-            return original(self, chain)
+        def spying_publish_group(self, chains):
+            published.extend(chain.key for chain in chains)
+            return original(self, chains)
 
         clear_memo()
-        SharedChainStore.publish = spying_publish
+        SharedChainStore.publish_group = spying_publish_group
         try:
             outcome = run_sweep(
                 _sweep(),
@@ -118,7 +119,7 @@ class TestPooledSharedMemorySweeps:
                 run_dir=tmp_path / "run",
             )
         finally:
-            SharedChainStore.publish = original
+            SharedChainStore.publish_group = original
         # Cold parent + a disk cache for workers to share through: no
         # serial parent-side compilation stall, nothing published...
         assert published == []
@@ -127,7 +128,7 @@ class TestPooledSharedMemorySweeps:
         # (cache-warm) re-run publishes from the disk cache.
         (tmp_path / "run" / "records.jsonl").unlink()
         clear_memo()
-        SharedChainStore.publish = spying_publish
+        SharedChainStore.publish_group = spying_publish_group
         try:
             again = run_sweep(
                 _sweep(),
@@ -135,9 +136,83 @@ class TestPooledSharedMemorySweeps:
                 run_dir=tmp_path / "run",
             )
         finally:
-            SharedChainStore.publish = original
+            SharedChainStore.publish_group = original
         assert published, "cache-warm re-run should publish shared chains"
         assert _strip_timing(again.records) == _strip_timing(outcome.records)
+
+    def test_grouped_pooled_sweep_byte_identical_to_serial(self, tmp_path):
+        """The ISSUE 4 contract: a 2-worker sweep dispatched as group
+        payloads (one shm attach + one grouped pass per payload) writes
+        a run directory byte-identical to a serial one, and both match
+        an ungrouped (--no-group-chains) serial baseline."""
+        from repro.chain import configure_grouping
+        from repro.runner.worker import execute_run_group
+
+        captured = []
+
+        class SpyPool(ProcessPoolEngine):
+            def map(self, fn, payloads):
+                captured.append((fn, list(payloads)))
+                return super().map(fn, captured[-1][1])
+
+        serial = run_sweep(_sweep(), engine=SerialEngine(),
+                           run_dir=tmp_path / "serial")
+        pooled = run_sweep(
+            _sweep(),
+            engine=SpyPool(workers=2),
+            run_dir=tmp_path / "pooled",
+        )
+        configure_grouping(False)
+        try:
+            ungrouped = run_sweep(_sweep(), engine=SerialEngine())
+        finally:
+            configure_grouping(True)
+        # The pool really ran group payloads, several jobs per payload.
+        fn, payloads = captured[0]
+        assert fn is execute_run_group
+        assert all("jobs" in payload for payload in payloads)
+        assert len(payloads) < serial.total
+        assert sum(len(p["jobs"]) for p in payloads) == serial.total
+        assert _strip_timing(serial.records) == _strip_timing(pooled.records)
+        assert _strip_timing(serial.records) == _strip_timing(
+            ungrouped.records
+        )
+        for run in ("serial", "pooled"):
+            lines = (tmp_path / run / "records.jsonl").read_text()
+            loaded = [json.loads(line) for line in lines.splitlines()]
+            assert _strip_timing(loaded) == _strip_timing(serial.records)
+
+    def test_group_segments_serve_every_chain_from_one_attach(
+        self, tmp_path
+    ):
+        """A warm parent publishes the sweep's chains into one group
+        segment; the manifest locators all name that segment."""
+        from repro.chain.shm import SharedChainStore
+
+        manifests = []
+        original = SharedChainStore.manifest.fget
+
+        def spying_manifest(self):
+            manifest = original(self)
+            manifests.append(manifest)
+            return manifest
+
+        run_sweep(_sweep(), engine=SerialEngine())  # warm the memo
+        SharedChainStore.manifest = property(spying_manifest)
+        try:
+            run_sweep(
+                _sweep(),
+                engine=ProcessPoolEngine(workers=2),
+                run_dir=tmp_path / "run",
+            )
+        finally:
+            SharedChainStore.manifest = property(original)
+        assert manifests and manifests[0]
+        segments = {
+            locator.partition("@")[0] for locator in manifests[0].values()
+        }
+        assert len(segments) == 1, "whole sweep should share one segment"
+        assert all("@" in locator for locator in manifests[0].values())
 
     def test_resumed_pooled_sweep_executes_nothing(self, tmp_path):
         first = run_sweep(
@@ -185,6 +260,46 @@ class TestProcessContext:
             configure_batching(True)
         assert captured and all(
             payload["batch"] is False for payload in captured
+        )
+
+    def test_no_group_chains_travels_in_every_pool_payload(self):
+        from repro.analysis import iter_all_experiments
+        from repro.chain import configure_grouping
+
+        captured = []
+
+        class SpyEngine:
+            name = "spy"
+
+            def map(self, fn, payloads):
+                captured.extend(payloads)
+                return iter(())
+
+        configure_grouping(False)
+        try:
+            list(iter_all_experiments(engine=SpyEngine()))
+        finally:
+            configure_grouping(True)
+        assert captured and all(
+            payload["group_chains"] is False for payload in captured
+        )
+
+    def test_pooled_experiments_get_a_published_chain_manifest(self):
+        from repro.analysis import iter_all_experiments
+
+        captured = []
+
+        class SpyEngine:
+            name = "spy"
+            supports_shared_chains = True
+
+            def map(self, fn, payloads):
+                captured.extend(payloads)
+                return iter(())
+
+        list(iter_all_experiments(engine=SpyEngine()))
+        assert captured and all(
+            payload.get("chain_shm") for payload in captured
         )
 
 
