@@ -24,6 +24,8 @@ algorithms in synchronous anonymous systems, end to end:
 * :mod:`repro.runner` -- parallel experiment orchestration: declarative
   sweeps, serial/process-pool engines with deterministic per-job seed
   streams, and resumable JSONL run directories;
+* :mod:`repro.results` -- the columnar results warehouse and cross-run
+  query memo serving reports and repeated sweeps (see ``STORE.md``);
 * :mod:`repro.viz` -- ASCII/DOT rendering of the paper's figures.
 
 Quickstart::

@@ -364,6 +364,58 @@ def batching_enabled() -> bool:
     return _BATCHING
 
 
+def memoized_answers(chain, queries: Sequence[Query], backend: str):
+    """Split ``queries`` into memo hits and misses for one chain.
+
+    Returns ``(results, tokens, miss_indices)``: ``results`` has the
+    decoded answer at every hit position and ``None`` at every miss,
+    ``tokens`` the per-query memo keys (``None`` where unmemoizable),
+    and ``miss_indices`` the positions still to compute.  With no memo
+    configured every query is a miss with a ``None`` token, so callers
+    need no separate code path.  Exact hits decode to the very
+    ``Fraction`` objects a fresh pass would produce -- byte-identical
+    downstream records -- which is what lets warm sweeps skip evolution
+    passes (and chain compilation) entirely.
+    """
+    from ..results.memo import MISS, query_memo, query_token
+
+    memo = query_memo()
+    if memo is None:
+        return [None] * len(queries), [None] * len(queries), list(
+            range(len(queries))
+        )
+    from .cache import key_digest
+
+    digest = key_digest(chain.key)
+    results: list = [None] * len(queries)
+    tokens: list = []
+    misses: list[int] = []
+    for i, query in enumerate(queries):
+        token = query_token(
+            digest, query.quantity, query.task, query.horizon, backend
+        )
+        tokens.append(token)
+        hit = memo.lookup(token)
+        if hit is MISS:
+            misses.append(i)
+        else:
+            results[i] = hit
+    return results, tokens, misses
+
+
+def record_answers(tokens: Sequence, indices: Sequence[int],
+                   results: Sequence) -> None:
+    """Record freshly computed answers under their memo tokens (no-op
+    without a configured memo or for ``None`` tokens)."""
+    from ..results.memo import query_memo
+
+    memo = query_memo()
+    if memo is None:
+        return
+    for i in indices:
+        memo.record(tokens[i], results[i])
+
+
 def _scalar_answer(chain, query: Query, backend: str):
     """The PR-2 scalar path for one query (the --no-batch fallback)."""
     if query.quantity == "probability":
@@ -386,16 +438,31 @@ def run_queries(
 ) -> list:
     """Answer ``queries`` against ``chain``, in order.
 
-    Batched (one shared pass per needed kernel) when batching is
-    enabled; the scalar per-query methods otherwise.
+    With a query memo configured
+    (:func:`repro.results.memo.configure_query_memo`) every memoizable
+    query is first looked up by content key, and only the misses pay
+    for a pass -- hits are byte-identical to recomputation under the
+    exact backend.  Misses run batched (one shared pass per needed
+    kernel) when batching is enabled, else through the scalar
+    per-query methods.
     """
     queries = list(queries)
     if not queries:
         return []
-    if _BATCHING:
-        return QueryPlan(chain, queries).execute(backend=backend)
     validate_backend(backend)
-    return [_scalar_answer(chain, query, backend) for query in queries]
+    results, tokens, misses = memoized_answers(chain, queries, backend)
+    if misses:
+        subset = [queries[i] for i in misses]
+        if _BATCHING:
+            answers = QueryPlan(chain, subset).execute(backend=backend)
+        else:
+            answers = [
+                _scalar_answer(chain, query, backend) for query in subset
+            ]
+        for i, value in zip(misses, answers):
+            results[i] = value
+        record_answers(tokens, misses, results)
+    return results
 
 
 def run_query_batch(
@@ -412,6 +479,8 @@ __all__ = [
     "QueryPlan",
     "batching_enabled",
     "configure_batching",
+    "memoized_answers",
+    "record_answers",
     "run_queries",
     "run_query_batch",
 ]

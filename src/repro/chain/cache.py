@@ -18,19 +18,42 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 import pathlib
 import pickle
 import tempfile
 
+from ..results.log import AppendLog
 from .engine import ChainKey, CompiledChain
 
-#: Sidecar stats file next to the cached chains: ``{digest: load count}``.
-#: Best-effort under concurrency (workers may lose an increment to a
-#: race); the counts inform eviction tie-breaks and the ``repro chains``
-#: listing, never correctness.
+#: Compacted stats snapshot next to the cached chains (an
+#: :class:`~repro.results.log.AppendLog` snapshot whose state is
+#: ``{digest: load count}``; a legacy flat ``{digest: count}`` document
+#: is read transparently and migrated on the next compaction).
 STATS_FILE = "_stats.json"
+
+#: The live append-only load-event log (one JSON line per cache hit,
+#: written atomically via ``O_APPEND``): counts are exact under any
+#: number of concurrent writers, unlike the old read-modify-write
+#: sidecar which silently dropped racing increments.
+STATS_LOG = "_stats.log"
+
+#: Compact the stats log once it grows past this many bytes.
+STATS_COMPACT_BYTES = 1 << 16
+
+
+def _fold_load_counts(state, events) -> dict[str, int]:
+    """AppendLog fold: sum load events into ``{digest: count}``."""
+    counts = {
+        str(digest): int(count)
+        for digest, count in (state or {}).items()
+        if isinstance(count, int)
+    }
+    for event in events:
+        digest = event.get("d")
+        if isinstance(digest, str):
+            counts[digest] = counts.get(digest, 0) + 1
+    return counts
 
 
 def key_digest(key: ChainKey) -> str:
@@ -84,46 +107,50 @@ class ChainDiskCache:
         return self.root / f"{key_digest(key)}.chain.pkl"
 
     # ------------------------------------------------------------------
-    # Sidecar load statistics
+    # Load statistics (append-only log + compacted snapshot)
     # ------------------------------------------------------------------
-    def _stats_path(self) -> pathlib.Path:
-        return self.root / STATS_FILE
+    def _stats_log(self) -> "AppendLog":
+        return AppendLog(self.root, "_stats")
 
     def load_stats(self) -> dict[str, int]:
-        """Per-digest load counts from the sidecar file (``{}`` on any
-        read problem -- the stats are advisory)."""
-        try:
-            raw = json.loads(self._stats_path().read_text())
-        except (OSError, ValueError):
-            return {}
-        if not isinstance(raw, dict):
-            return {}
-        return {
-            str(digest): int(count)
-            for digest, count in raw.items()
-            if isinstance(count, int)
-        }
+        """Exact per-digest load counts (snapshot plus unfolded events).
 
-    def _write_stats(self, stats: dict[str, int]) -> None:
-        """Atomic best-effort rewrite of the sidecar (losers of a
-        concurrent race drop an increment, nothing worse)."""
-        try:
-            fd, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=STATS_FILE, suffix=".tmp"
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(stats, handle, sort_keys=True)
-            os.replace(tmp, self._stats_path())
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except (OSError, NameError, UnboundLocalError):
-                pass
+        Exact because every load *appends* one event atomically instead
+        of rewriting a shared file: concurrent writers interleave, they
+        never overwrite each other.  A corrupt snapshot or log degrades
+        to whatever remains readable -- the stats stay advisory for
+        eviction tie-breaks and the ``repro chains`` listing.
+        """
+        counts = self._stats_log().load(_fold_load_counts)
+        return counts if isinstance(counts, dict) else {}
 
     def _record_load(self, digest: str) -> None:
-        stats = self.load_stats()
-        stats[digest] = stats.get(digest, 0) + 1
-        self._write_stats(stats)
+        log = self._stats_log()
+        log.append({"d": digest})
+        if log.tail_bytes() > STATS_COMPACT_BYTES:
+            self.compact_stats()
+
+    def compact_stats(self) -> dict[str, int]:
+        """Fold pending load events into the snapshot; returns counts.
+
+        Counts for chains no longer in the cache directory are dropped
+        during the fold, so eviction hygiene rides along for free.
+        Safe to call concurrently (the fold is idempotent and the
+        snapshot replace atomic); an event appended in the instant a
+        rotation lands gets a full compaction cycle of grace before its
+        segment is deleted.
+        """
+
+        def fold_and_prune(state, events):
+            counts = _fold_load_counts(state, events)
+            return {
+                digest: count
+                for digest, count in counts.items()
+                if (self.root / f"{digest}.chain.pkl").exists()
+            }
+
+        counts = self._stats_log().compact(fold_and_prune)
+        return counts if isinstance(counts, dict) else {}
 
     # ------------------------------------------------------------------
     # Hygiene: listing and LRU eviction
@@ -195,12 +222,9 @@ class ChainDiskCache:
             total -= victim.size
             removed.append(victim)
         if removed:
-            # Keep the sidecar aligned with the directory (best-effort).
-            stats = self.load_stats()
-            if any(entry.digest in stats for entry in removed):
-                for entry in removed:
-                    stats.pop(entry.digest, None)
-                self._write_stats(stats)
+            # Fold-and-prune drops the removed entries' counts (the
+            # fold skips digests whose chain files are gone).
+            self.compact_stats()
         return removed
 
     def clear(self) -> int:
@@ -296,6 +320,7 @@ __all__ = [
     "CacheEntry",
     "ChainDiskCache",
     "STATS_FILE",
+    "STATS_LOG",
     "configure_disk_cache",
     "disk_cache",
     "key_digest",

@@ -55,7 +55,15 @@ from .backends import (
     transition_density,
     validate_backend,
 )
-from .batch import Query, QueryPlan, _assert_zero_one, batching_enabled, run_queries
+from .batch import (
+    Query,
+    QueryPlan,
+    _assert_zero_one,
+    batching_enabled,
+    memoized_answers,
+    record_answers,
+    run_queries,
+)
 
 #: Stacked-state budget per :class:`ChainGroup`: groups are split so one
 #: stacked pass never sweeps more than this many states (the mask and
@@ -503,6 +511,13 @@ def run_group_queries(
     backend executes the per-chain plans (byte-identical to per-chain
     :func:`~repro.chain.batch.run_queries`).  With either toggle off,
     every item falls back to exactly that per-chain call.
+
+    A configured cross-run query memo
+    (:func:`repro.results.memo.configure_query_memo`) is consulted
+    first: fully-memoized items never enter the group pass at all, and
+    partially-memoized items contribute only their missing queries --
+    so overlapping or repeated sweeps re-answer only genuinely new
+    cells, with exact hits byte-identical to recomputation.
     """
     items = [(chain, list(queries)) for chain, queries in items]
     if not items:
@@ -513,7 +528,28 @@ def run_group_queries(
             run_queries(chain, queries, backend=backend)
             for chain, queries in items
         ]
-    return MultiQueryPlan(items).execute(backend=backend)
+    validate_backend(backend)
+    results: list = [None] * len(items)
+    pending: list[tuple] = []
+    #: (item index, miss positions, per-query tokens, hit-filled answers)
+    scatter: list[tuple] = []
+    for index, (chain, queries) in enumerate(items):
+        answers, tokens, misses = memoized_answers(chain, queries, backend)
+        if not misses:
+            results[index] = answers
+            continue
+        pending.append((chain, [queries[i] for i in misses]))
+        scatter.append((index, misses, tokens, answers))
+    if pending:
+        computed = MultiQueryPlan(pending).execute(backend=backend)
+        for (index, misses, tokens, answers), values in zip(
+            scatter, computed
+        ):
+            for i, value in zip(misses, values):
+                answers[i] = value
+            record_answers(tokens, misses, answers)
+            results[index] = answers
+    return results
 
 
 __all__ = [

@@ -12,6 +12,7 @@ experiments     run reproduction experiments (all or by id)
 run             execute one runner job and print its JSON record
 sweep           expand and execute a sweep (parallel, resumable)
 chains          list/inspect/prune a chain disk cache directory
+results         query/export/stats/compact/ingest a results warehouse
 
 Chain queries default to the batched query layer (``repro.chain.batch``:
 one shared pass answers a whole set of (task, horizon) questions);
@@ -53,6 +54,24 @@ python -m repro sweep --shapes 2,3 1,2,2 --kind sample --t 4 \\
 ``--engine``/``--workers`` flags and route through the runner, so the
 existing commands parallelize for free (``--engine serial`` remains the
 default and reproduces the historical behaviour exactly).
+
+The results warehouse
+---------------------
+Sweeps with a ``--run-dir`` feed a columnar results warehouse
+(``repro.results``, default ``<run_dir>/warehouse``, override with
+``--warehouse``): completed records ingest incrementally into typed
+numpy column pages, and the warehouse's cross-run query memo lets any
+later sweep -- same run dir or not -- skip every (chain, task, horizon,
+quantity) cell it has already answered, byte-identically.  ``repro
+results`` serves the stored tables:
+
+python -m repro results stats runs/demo
+python -m repro results query runs/demo --where model=clique \\
+    --group-by task --agg count --agg mean:elapsed
+python -m repro results export runs/demo --format csv -o records.csv
+python -m repro results compact runs/demo
+
+See ``STORE.md`` for the on-disk layout and the memo key scheme.
 """
 
 from __future__ import annotations
@@ -158,6 +177,30 @@ def _add_batch_arg(p) -> None:
     )
 
 
+def _add_warehouse_args(p) -> None:
+    p.add_argument(
+        "--warehouse",
+        default=None,
+        help=(
+            "columnar results warehouse to serve and feed (default: "
+            "<run-dir>/warehouse when --run-dir is given; point several "
+            "sweeps at one directory to share the cross-run query memo)"
+        ),
+    )
+    p.add_argument(
+        "--no-warehouse",
+        action="store_true",
+        help="disable warehouse ingestion and the cross-run query memo",
+    )
+
+
+def _warehouse_from(args):
+    """The ``warehouse`` argument for ``run_sweep`` (False = opted out)."""
+    if getattr(args, "no_warehouse", False):
+        return False
+    return getattr(args, "warehouse", None)
+
+
 def _add_group_arg(p) -> None:
     p.add_argument(
         "--group-chains",
@@ -245,7 +288,12 @@ def cmd_phase_diagram(args) -> int:
             ports=("adversarial",),
             tasks=(args.task,),
         )
-        outcome = run_sweep(sweep, engine=_engine_from(args))
+        outcome = run_sweep(
+            sweep,
+            engine=_engine_from(args),
+            run_dir=args.run_dir,
+            warehouse=_warehouse_from(args),
+        )
     except ValueError as exc:  # e.g. a bad --task spec
         raise SystemExit(f"phase-diagram: {exc}")
     # Jobs expand blackboard-then-clique per shape; zip the pairs back
@@ -447,6 +495,203 @@ def cmd_chains(args) -> int:
     return 0
 
 
+#: Comparison spellings ``--where`` understands, longest first so
+#: ``>=`` wins over ``>`` and ``=`` stays the equality shorthand.
+_WHERE_OPS = (">=", "<=", "!=", "==", ">", "<", "=")
+
+
+def _parse_where(clause: str):
+    """Split one ``--where`` clause into ``(column, op, raw value)``."""
+    for op in _WHERE_OPS:
+        name, found, value = clause.partition(op)
+        if found:
+            name, value = name.strip(), value.strip()
+            if name and value:
+                return name, op, value
+    raise SystemExit(
+        f"results: bad --where {clause!r} (expected column OP value "
+        f"with OP in {', '.join(_WHERE_OPS)})"
+    )
+
+
+def _where_predicate(table, clauses):
+    """Fold ``--where`` clauses into one predicate (typed per column)."""
+    from .results import col
+
+    predicate = None
+    for clause in clauses or ():
+        name, op, raw = _parse_where(clause)
+        kind = table.column(name).dtype.kind
+        try:
+            if kind in "US":
+                value = raw
+            elif kind == "b":
+                value = raw.lower() in ("1", "true", "yes")
+            elif kind in "iu":
+                value = int(raw)
+            else:
+                value = float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"results: --where {clause!r}: {raw!r} is not a valid "
+                f"value for column {name!r}"
+            )
+        column = col(name)
+        term = {
+            "=": column == value,
+            "==": column == value,
+            "!=": column != value,
+            ">": column > value,
+            ">=": column >= value,
+            "<": column < value,
+            "<=": column <= value,
+        }[op]
+        predicate = term if predicate is None else predicate & term
+    return predicate
+
+
+def _results_store(directory: str):
+    """Open a warehouse, accepting a run directory transparently."""
+    import pathlib
+
+    from .results import ResultsStore
+
+    root = pathlib.Path(directory)
+    if (root / "warehouse").is_dir():
+        root = root / "warehouse"
+    if not (root / "segments").is_dir():
+        raise SystemExit(f"results: no warehouse at {directory}")
+    return ResultsStore(root)
+
+
+def _results_table(store, args):
+    """The selected table with where/group/sort/limit applied."""
+    table = store.table(args.table)
+    predicate = _where_predicate(table, args.where)
+    if predicate is not None:
+        table = table.filter(predicate)
+    if args.group_by:
+        keys = [k for part in args.group_by for k in part.split(",") if k]
+        aggregates = {}
+        for spec in args.agg or ["count"]:
+            fn, _, column = spec.partition(":")
+            if fn == "count":
+                aggregates["count"] = ("count",)
+            else:
+                if not column:
+                    raise SystemExit(
+                        f"results: --agg {spec!r} needs fn:column"
+                    )
+                aggregates[f"{fn}_{column}"] = (fn, column)
+        try:
+            table = table.group_by(keys, aggregates)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"results: {exc}")
+    if args.columns:
+        names = [c for part in args.columns for c in part.split(",") if c]
+        try:
+            table = table.project(names)
+        except KeyError as exc:
+            raise SystemExit(f"results: {exc}")
+    if args.sort_by:
+        table = table.sort_by(
+            [c for part in args.sort_by for c in part.split(",") if c]
+        )
+    if args.limit is not None:
+        table = table.head(args.limit)
+    return table
+
+
+def cmd_results(args) -> int:
+    """Query, export, inspect, compact, or feed a results warehouse."""
+    import csv
+    import io
+    import json
+    import sys as _sys
+
+    if args.action == "ingest":
+        if not args.run_dirs:
+            raise SystemExit("results ingest: need at least one run dir")
+        import pathlib
+
+        from .results import ResultsStore
+
+        # Same resolution as the read actions: a run directory means
+        # its warehouse/, so ingest and query always see one store.
+        root = pathlib.Path(args.directory)
+        if (root / "warehouse").is_dir():
+            root = root / "warehouse"
+        store = ResultsStore(root)
+        for run_dir in args.run_dirs:
+            added = store.ingest_run_directory(run_dir)
+            print(f"ingested {added} new records from {run_dir}")
+        return 0
+    store = _results_store(args.directory)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            (name, info["rows"], info["segments"], info["bytes"])
+            for name, info in sorted(stats["tables"].items())
+        ]
+        print(format_table(("table", "rows", "segments", "bytes"), rows))
+        memo = stats["memo"]
+        print(
+            f"memo: {memo['entries']} entries, "
+            f"{memo['log_bytes']} log bytes pending compaction"
+        )
+        return 0
+    if args.action == "compact":
+        summary = store.compact()
+        from .results import QueryMemo
+
+        entries = QueryMemo(store.memo_dir).compact()
+        print(
+            f"compacted {summary['merged']} merged segments "
+            f"({summary['removed']} removed), memo folded to "
+            f"{entries} entries"
+        )
+        return 0
+    table = _results_table(store, args)
+    if args.action == "query":
+        headers, rows = table.to_table()
+        if not rows:
+            print(f"no rows in table {args.table!r} match")
+            return 0
+        print(format_table(headers, rows))
+        print(f"{len(rows)} rows from {store.root}")
+        return 0
+    # export
+    out = (
+        open(args.output, "w", encoding="utf-8")
+        if args.output
+        else _sys.stdout
+    )
+    try:
+        if args.format == "json":
+            from .results.store import _nan_safe
+
+            # NaN cells (unfilled kind-specific columns) degrade to
+            # null so the document stays strict JSON.
+            rows = [
+                {name: _nan_safe(value) for name, value in row.items()}
+                for row in table.to_rows()
+            ]
+            json.dump(rows, out, indent=2, default=str)
+            out.write("\n")
+        else:
+            headers, rows = table.to_table()
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(headers)
+            writer.writerows(rows)
+            out.write(buffer.getvalue())
+    finally:
+        if args.output:
+            out.close()
+            print(f"wrote {len(table)} rows to {args.output}")
+    return 0
+
+
 def cmd_mermaid(args) -> int:
     """Print the consistency chain's refinement lattice as mermaid."""
     from .viz import chain_to_mermaid
@@ -463,6 +708,31 @@ def cmd_report(args) -> int:
 
     results = run_all_experiments(engine=_engine_from(args))
     paths = write_report(results, args.output)
+    if getattr(args, "warehouse", None) and not args.no_warehouse:
+        # Land the pass/fail history in the warehouse so `repro results
+        # query --table experiments` serves it across report runs.
+        import time
+
+        from .results import ResultsStore
+        from .results.store import EXPERIMENT_COLUMNS
+
+        store = ResultsStore(args.warehouse)
+        store.append_rows(
+            "experiments",
+            [
+                {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "passed": result.passed,
+                    "rows": len(result.rows),
+                    "stamp": time.time(),
+                }
+                for result in results
+            ],
+            EXPERIMENT_COLUMNS,
+        )
+        print(f"ingested {len(results)} experiment outcomes into "
+              f"{args.warehouse}")
     failed = [r.experiment_id for r in results if not r.passed]
     print(f"wrote {paths['json']}")
     print(f"wrote {paths['markdown']}")
@@ -545,7 +815,10 @@ def cmd_sweep(args) -> int:
         # run_sweep expands first, so a bad --tasks spec or a run-dir
         # manifest mismatch both surface here before any job executes.
         outcome = run_sweep(
-            sweep, engine=_engine_from(args), run_dir=args.run_dir
+            sweep,
+            engine=_engine_from(args),
+            run_dir=args.run_dir,
+            warehouse=_warehouse_from(args),
         )
     except ValueError as exc:
         raise SystemExit(f"sweep: {exc}")
@@ -614,9 +887,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("phase-diagram", help="sweep all shapes of n")
     p.add_argument("n", type=int)
     p.add_argument("--task", default="leader")
+    p.add_argument(
+        "--run-dir", default=None, help="JSONL run directory (resumable)"
+    )
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_warehouse_args(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -704,6 +981,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_warehouse_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -745,12 +1023,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_chains)
 
     p = sub.add_parser(
+        "results",
+        help="query/export/stats/compact/ingest a results warehouse",
+    )
+    p.add_argument(
+        "action", choices=("query", "export", "stats", "compact", "ingest")
+    )
+    p.add_argument(
+        "directory",
+        help="warehouse directory (or a run directory containing warehouse/)",
+    )
+    p.add_argument(
+        "run_dirs",
+        nargs="*",
+        help="ingest: run directories whose records.jsonl to ingest",
+    )
+    p.add_argument(
+        "--table",
+        default="records",
+        help="table to read (records | groups | experiments; default records)",
+    )
+    p.add_argument(
+        "--where",
+        action="append",
+        metavar="COL[OP]VALUE",
+        help="filter clause, e.g. model=clique or gcd>=2 (repeatable, ANDed)",
+    )
+    p.add_argument(
+        "--group-by",
+        action="append",
+        metavar="COLS",
+        help="group by comma-separated key columns",
+    )
+    p.add_argument(
+        "--agg",
+        action="append",
+        metavar="FN[:COL]",
+        help=(
+            "aggregate for --group-by: count, or sum/mean/min/max/any/all"
+            ":column (repeatable; default count)"
+        ),
+    )
+    p.add_argument(
+        "--columns", action="append", metavar="COLS",
+        help="project to comma-separated columns",
+    )
+    p.add_argument(
+        "--sort-by", action="append", metavar="COLS",
+        help="sort rows by comma-separated columns",
+    )
+    p.add_argument("--limit", type=int, default=None, help="keep first N rows")
+    p.add_argument(
+        "--format", choices=("csv", "json"), default="csv",
+        help="export format (default csv)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="export: write here instead of stdout",
+    )
+    p.set_defaults(func=cmd_results)
+
+    p = sub.add_parser(
         "report", help="run all experiments and write JSON/CSV/Markdown"
     )
     p.add_argument("output", help="output directory")
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_warehouse_args(p)
     p.set_defaults(func=cmd_report)
 
     return parser

@@ -1,0 +1,278 @@
+"""Vectorized filter / project / group-aggregate over column pages.
+
+The warehouse stores tables as numpy column arrays; this module is the
+expression API consumers use instead of re-parsing JSONL row by row:
+
+::
+
+    table = store.table("records")
+    solved = table.filter((col("model") == "clique") & col("solvable"))
+    per_task = solved.group_by(
+        ["task"], {"cells": ("count",), "mean_time": ("mean", "elapsed")}
+    )
+
+Predicates evaluate to boolean masks in single vectorized passes;
+grouping factorizes the key columns with ``np.unique`` and folds every
+aggregate with ``bincount``/``ufunc.at`` -- no per-row Python loops
+anywhere on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Aggregate functions ``group_by`` understands.  ``count`` takes no
+#: column; the rest fold one numeric column per group.
+AGGREGATES = ("count", "sum", "mean", "min", "max", "any", "all")
+
+
+class Expr:
+    """A composable predicate over a table's columns."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        """Boolean row mask (vectorized); implemented by subclasses."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return _Combine(np.logical_and, self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return _Combine(np.logical_or, self, other)
+
+    def __invert__(self) -> "Expr":
+        return _Not(self)
+
+
+class _Combine(Expr):
+    """Two predicates joined by a vectorized logical ufunc."""
+
+    def __init__(self, op, left: Expr, right: Expr):
+        self.op, self.left, self.right = op, left, right
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return self.op(self.left.mask(table), self.right.mask(table))
+
+
+class _Not(Expr):
+    """A negated predicate."""
+
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.inner.mask(table)
+
+
+class _Compare(Expr):
+    """One column compared against a literal (or membership set)."""
+
+    def __init__(self, name: str, op: Callable, value):
+        self.name, self.op, self.value = name, op, value
+
+    def mask(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        if self.op is np.isin:
+            return np.isin(column, np.asarray(list(self.value)))
+        value = self.value
+        if column.dtype.kind in "US":
+            value = str(value)
+        return self.op(column, value)
+
+
+class col(Expr):
+    """A named column in predicate position.
+
+    Bare ``col(name)`` is truthiness (non-zero / non-empty / ``True``),
+    so boolean columns read naturally: ``table.filter(col("solvable"))``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def mask(self, table: "Table") -> np.ndarray:
+        column = table.column(self.name)
+        if column.dtype.kind in "US":
+            return column != ""
+        return column.astype(bool)
+
+    def __eq__(self, value) -> Expr:  # type: ignore[override]
+        return _Compare(self.name, np.equal, value)
+
+    def __ne__(self, value) -> Expr:  # type: ignore[override]
+        return _Compare(self.name, np.not_equal, value)
+
+    def __lt__(self, value) -> Expr:
+        return _Compare(self.name, np.less, value)
+
+    def __le__(self, value) -> Expr:
+        return _Compare(self.name, np.less_equal, value)
+
+    def __gt__(self, value) -> Expr:
+        return _Compare(self.name, np.greater, value)
+
+    def __ge__(self, value) -> Expr:
+        return _Compare(self.name, np.greater_equal, value)
+
+    def isin(self, values: Iterable) -> Expr:
+        """Membership against a literal set (vectorized ``np.isin``)."""
+        return _Compare(self.name, np.isin, tuple(values))
+
+    __hash__ = None  # predicates are not hashable (— == builds an Expr)
+
+
+class Table:
+    """An immutable set of equal-length named column arrays."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        self.columns = {
+            name: np.asarray(values) for name, values in columns.items()
+        }
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: {sorted(lengths)}")
+        self._rows = lengths.pop() if lengths else 0
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(rows={self._rows}, columns={sorted(self.columns)})"
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a numpy array."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; have {sorted(self.columns)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Relational verbs
+    # ------------------------------------------------------------------
+    def filter(self, predicate: "Expr | np.ndarray") -> "Table":
+        """Rows where the predicate (or a boolean mask) holds."""
+        mask = (
+            predicate.mask(self)
+            if isinstance(predicate, Expr)
+            else np.asarray(predicate, dtype=bool)
+        )
+        return Table(
+            {name: values[mask] for name, values in self.columns.items()}
+        )
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Only the named columns, in the given order."""
+        return Table({name: self.column(name) for name in names})
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        """Rows ordered by the named columns (first name most significant)."""
+        keys = [self.column(name) for name in reversed(list(names))]
+        order = np.lexsort(keys) if keys else np.arange(self._rows)
+        return Table(
+            {name: values[order] for name, values in self.columns.items()}
+        )
+
+    def head(self, limit: int) -> "Table":
+        """The first ``limit`` rows."""
+        return Table(
+            {name: values[:limit] for name, values in self.columns.items()}
+        )
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Mapping[str, tuple],
+    ) -> "Table":
+        """One row per distinct key combination, plus folded aggregates.
+
+        ``aggregates`` maps output column names to ``("count",)`` or
+        ``(fn, column)`` with ``fn`` in :data:`AGGREGATES`.  Groups come
+        back sorted by key.  Everything is a single factorization pass
+        (``np.unique``) plus one ``bincount``/``ufunc.at`` per aggregate.
+        """
+        keys = list(keys)
+        if not keys:
+            raise ValueError("group_by needs at least one key column")
+        group_ids = np.zeros(self._rows, dtype=np.int64)
+        uniques_per_key: list[np.ndarray] = []
+        for name in keys:
+            values, inverse = np.unique(
+                self.column(name), return_inverse=True
+            )
+            uniques_per_key.append(values)
+            group_ids = group_ids * max(1, len(values)) + inverse
+        distinct, first_at, inverse = np.unique(
+            group_ids, return_index=True, return_inverse=True
+        )
+        groups = len(distinct)
+        out: dict[str, np.ndarray] = {
+            name: self.column(name)[first_at] for name in keys
+        }
+        counts = np.bincount(inverse, minlength=groups)
+        for name, spec in aggregates.items():
+            fn = spec[0]
+            if fn not in AGGREGATES:
+                raise ValueError(
+                    f"unknown aggregate {fn!r}; expected one of {AGGREGATES}"
+                )
+            if fn == "count":
+                out[name] = counts.astype(np.int64)
+                continue
+            column = self.column(spec[1]).astype(np.float64)
+            if fn == "sum":
+                out[name] = np.bincount(
+                    inverse, weights=column, minlength=groups
+                )
+            elif fn == "mean":
+                sums = np.bincount(
+                    inverse, weights=column, minlength=groups
+                )
+                out[name] = sums / np.maximum(counts, 1)
+            elif fn in ("min", "max"):
+                folded = np.full(
+                    groups, np.inf if fn == "min" else -np.inf
+                )
+                (np.minimum if fn == "min" else np.maximum).at(
+                    folded, inverse, column
+                )
+                out[name] = folded
+            elif fn == "any":
+                out[name] = (
+                    np.bincount(
+                        inverse, weights=column != 0, minlength=groups
+                    )
+                    > 0
+                )
+            else:  # all
+                out[name] = np.bincount(
+                    inverse, weights=column != 0, minlength=groups
+                ) == counts
+        return Table(out)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[dict]:
+        """Rows as plain-Python dicts (numpy scalars unboxed)."""
+        names = list(self.columns)
+        return [
+            {
+                name: self.columns[name][i].item()
+                for name in names
+            }
+            for i in range(self._rows)
+        ]
+
+    def to_table(self) -> tuple[tuple[str, ...], list[tuple]]:
+        """``(headers, rows)`` for the text-table renderer."""
+        names = tuple(self.columns)
+        return names, [
+            tuple(self.columns[name][i].item() for name in names)
+            for i in range(self._rows)
+        ]
+
+
+__all__ = ["AGGREGATES", "Expr", "Table", "col"]

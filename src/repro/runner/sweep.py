@@ -35,6 +35,36 @@ def _iter_job_payloads(payloads):
             yield payload
 
 
+#: Bell numbers B(0)..B(10): the partition count of an n-set bounds a
+#: consistency chain's state count from above, so it is the stacked-
+#: state proxy for chains nobody has compiled yet.
+_BELL = (1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975)
+
+
+def _family_state_weight(spec) -> int:
+    """Estimated compiled-state count of one job family's chain.
+
+    An already-compiled chain (process memo) reports its true
+    ``num_states``; otherwise the Bell number of ``n`` -- the number of
+    partitions of the node set, an upper bound on reachable consistency
+    states -- stands in, capped at the group budget so one huge family
+    cannot zero out everyone else's bin space.  Random-port families
+    draw a fresh chain per job, so they always use the estimate.
+    """
+    from ..chain import MAX_GROUP_STATES, chain_key, memoized_chain
+    from ..randomness.configuration import RandomnessConfiguration
+
+    if spec.ports != "random":
+        alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+        ports = make_ports(spec.ports, spec.sizes, 0)
+        chain = memoized_chain(chain_key(alpha, ports))
+        if chain is not None:
+            return chain.num_states
+    n = spec.n
+    estimate = _BELL[n] if n < len(_BELL) else _BELL[-1]
+    return min(estimate, MAX_GROUP_STATES)
+
+
 def _group_job_payloads(jobs, payloads, engine):
     """Pack contiguous chain families into group payloads, or ``None``.
 
@@ -43,19 +73,28 @@ def _group_job_payloads(jobs, payloads, engine):
     are contiguous index runs; packing whole runs into bins keeps each
     bin a contiguous index range, which is what makes grouped run
     directories byte-identical to serial ungrouped ones (records land
-    in index order either way).  Bins target four groups per pool
-    worker so stragglers rebalance.  Returns ``None`` -- dispatch one
-    payload per job exactly as before -- when grouping is off, the
-    sweep is sampling-kind (Monte-Carlo jobs gain nothing from a
-    shared chain pass), or there is at most one job.
+    in index order either way).
+
+    Bins are budgeted by **stacked states**, not job count: each run
+    weighs its family's (estimated) compiled-state count
+    (:func:`_family_state_weight`), the per-bin budget is the total
+    weight split over four bins per pool worker, and no bin ever
+    exceeds :data:`~repro.chain.multi.MAX_GROUP_STATES` -- so a shape
+    axis mixing n=3 and n=8 families no longer hands one worker all
+    the heavy chains that another worker's job-count-equal bin dodged.
+    Returns ``None`` -- dispatch one payload per job exactly as before
+    -- when grouping is off, the sweep is sampling-kind (Monte-Carlo
+    jobs gain nothing from a shared chain pass), or there is at most
+    one job.
     """
-    from ..chain import grouping_enabled
+    from ..chain import MAX_GROUP_STATES, grouping_enabled
 
     if not grouping_enabled() or len(payloads) < 2:
         return None
     if any(jobs[p["index"]].kind != "exact" for p in payloads):
         return None
     runs: list[list[dict]] = []
+    weights: list[int] = []
     marker = None
     for payload in payloads:
         spec = jobs[payload["index"]]
@@ -63,20 +102,26 @@ def _group_job_payloads(jobs, payloads, engine):
         if family != marker:
             marker = family
             runs.append([])
+            weights.append(_family_state_weight(spec))
         runs[-1].append(payload)
     workers = getattr(engine, "workers", 1) or 1
     bins = max(1, min(len(runs), workers * 4))
-    per_bin = math.ceil(len(payloads) / bins)
+    budget = min(
+        MAX_GROUP_STATES, max(1, math.ceil(sum(weights) / bins))
+    )
     groups: list[list[dict]] = []
     current: list[dict] = []
-    for run in runs:
-        if current and len(current) + len(run) > per_bin:
+    current_weight = 0
+    for run, weight in zip(runs, weights):
+        if current and current_weight + weight > budget:
             groups.append(current)
             current = []
+            current_weight = 0
         current.extend(run)
+        current_weight += weight
     if current:
         groups.append(current)
-    context_keys = ("chain_cache", "batch", "group_chains")
+    context_keys = ("chain_cache", "batch", "group_chains", "results_memo")
     return [
         {
             "jobs": group,
@@ -179,6 +224,10 @@ class SweepOutcome:
     executed: int
     #: How many jobs were skipped because the run directory had them.
     resumed: int
+    #: Per-group diagnostics from grouped dispatch (stacked size,
+    #: density, evolution verdict, memo hits); lands in the warehouse's
+    #: ``groups`` table, never in the job records.
+    group_stats: list[dict] = field(default_factory=list)
     #: Fields like the aggregate are derived; see :meth:`result`.
     _result: "object | None" = field(default=None, repr=False)
 
@@ -260,6 +309,7 @@ def run_sweep(
     engine: ExecutionEngine | None = None,
     run_dir: "str | pathlib.Path | None" = None,
     progress=None,
+    warehouse: "str | pathlib.Path | bool | None" = None,
 ) -> SweepOutcome:
     """Execute a sweep, optionally resuming from a run directory.
 
@@ -268,6 +318,18 @@ def run_sweep(
     ``records.jsonl`` immediately, and jobs already recorded there are
     not re-run.  ``progress`` (if given) is called with each fresh record
     as it completes.
+
+    ``warehouse`` names the columnar results warehouse
+    (:class:`~repro.results.store.ResultsStore`) the sweep serves and
+    feeds: completed records are ingested incrementally (watermarked,
+    so resumed runs ingest only what is new), resume reads column pages
+    instead of re-parsing JSONL when the warehouse fully covers the run
+    directory, and every worker consults the warehouse's cross-run
+    query memo before computing a cell -- a sweep whose cells another
+    run already answered re-executes nothing but record writes.  It
+    defaults to ``<run_dir>/warehouse`` when a run directory is given
+    (pass ``False`` to opt out); point several sweeps at one shared
+    warehouse to deduplicate work across them.
     """
     engine = engine or SerialEngine()
     jobs = sweep.expand()
@@ -277,6 +339,15 @@ def run_sweep(
     ]
     directory: RunDirectory | None = None
     prior: list[dict] = []
+    if warehouse is None and run_dir is not None:
+        warehouse = pathlib.Path(run_dir) / "warehouse"
+    store = None
+    if warehouse:
+        from ..results.store import ResultsStore
+
+        store = ResultsStore(warehouse)
+        for payload in payloads:
+            payload["results_memo"] = str(store.memo_dir)
     if run_dir is not None:
         directory = RunDirectory(run_dir)
         # Persist compiled chains next to the records: every worker (and
@@ -297,7 +368,16 @@ def run_sweep(
         }
         key_to_index = {spec.job_key: i for i, spec in enumerate(jobs)}
         done = set()
-        for record in directory.load_records():
+        existing: "list[dict] | None" = None
+        if store is not None:
+            # Catch the watermark up, then serve the resume scan from
+            # column pages instead of re-parsing JSONL (``None`` -- an
+            # uncovered tail -- falls back to the line scan).
+            store.ingest_run_directory(directory)
+            existing = store.run_directory_records(directory)
+        if existing is None:
+            existing = directory.load_records()
+        for record in existing:
             key = record.get("key")
             # The seed check rejects records produced under a different
             # master seed (job keys alone don't encode it), so stale
@@ -327,13 +407,18 @@ def run_sweep(
     grouped = _group_job_payloads(jobs, payloads, engine)
     dispatch = payloads if grouped is None else grouped
     worker_fn = execute_run if grouped is None else execute_run_group
-    store = None
+    shm_store = None
     executed = 0
     fresh: list[dict] = []
+    group_stats: list[dict] = []
     try:
         if dispatch and getattr(engine, "supports_shared_chains", False):
-            store = _publish_shared_chains(jobs, dispatch, directory)
+            shm_store = _publish_shared_chains(jobs, dispatch, directory)
         for result in engine.map(worker_fn, dispatch):
+            if grouped is not None and "group" in result:
+                group_stats.append(
+                    {**result["group"], "master_seed": sweep.master_seed}
+                )
             for record in (
                 (result,) if grouped is None else result["records"]
             ):
@@ -344,10 +429,10 @@ def run_sweep(
                 if progress is not None:
                     progress(record)
     finally:
-        if store is not None:
+        if shm_store is not None:
             # Unlinking is safe while workers still hold mappings; only
             # the names disappear, live views stay valid until exit.
-            store.close()
+            shm_store.close()
         if directory is not None:
             # Serial engines execute jobs in THIS process, installing the
             # sweep's disk cache process-wide -- and publishing shared
@@ -360,12 +445,31 @@ def run_sweep(
             from ..chain import configure_disk_cache
 
             configure_disk_cache(None)
+        if store is not None:
+            # Same deal for the query memo a serial engine installed
+            # in-process.
+            from ..results.memo import configure_query_memo
+
+            configure_query_memo(None)
+            # Land what this invocation produced: the fresh job records
+            # (watermarked -- only the new JSONL bytes are read) and the
+            # grouped-dispatch diagnostics.
+            try:
+                if directory is not None:
+                    store.ingest_run_directory(directory)
+                if group_stats:
+                    from ..results.store import GROUP_COLUMNS
+
+                    store.append_rows("groups", group_stats, GROUP_COLUMNS)
+            except OSError:
+                pass  # the warehouse is derived state; never fail a sweep
     records = sorted(prior + fresh, key=lambda r: r["index"])
     return SweepOutcome(
         sweep=sweep,
         records=records,
         executed=executed,
         resumed=len(prior),
+        group_stats=group_stats,
     )
 
 

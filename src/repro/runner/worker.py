@@ -61,22 +61,65 @@ def chain_context_payload() -> dict:
     return {"batch": batching_enabled(), "group_chains": grouping_enabled()}
 
 
+#: Structural chain digests by deterministic job family: the digest is
+#: a pure function of ``(sizes, port kind)`` for non-random ports, and
+#: hashing the structural key (neighbour tables) per job would otherwise
+#: dominate a fully memo-served sweep.
+_FAMILY_DIGESTS: dict[tuple, str] = {}
+
+
+def _memoized_exact_limit(spec: RunSpec, alpha, ports) -> "Fraction | None":
+    """The job's exact limit straight from the cross-run memo, or ``None``.
+
+    The memo key needs only the chain's *structural* key -- computable
+    from ``(alpha, ports)`` without compiling -- so a warm cell skips
+    chain compilation entirely, not just the evolution pass.  The token
+    is the very one :func:`repro.chain.run_queries` records under
+    (``compile_chain`` keys the chain by the same structural key), so
+    worker-level hits and query-level recording always agree.
+    """
+    from ..chain import chain_key
+    from ..chain.cache import key_digest
+    from ..results.memo import MISS, query_memo, query_token
+
+    memo = query_memo()
+    if memo is None:
+        return None
+    if spec.ports == "random":
+        digest = key_digest(chain_key(alpha, ports))
+    else:
+        family = (spec.sizes, spec.ports)
+        digest = _FAMILY_DIGESTS.get(family)
+        if digest is None:
+            digest = key_digest(chain_key(alpha, ports))
+            _FAMILY_DIGESTS[family] = digest
+    task = make_task(spec.task, alpha.n)
+    token = query_token(digest, "limit", task, None, "exact")
+    hit = memo.lookup(token)
+    return None if hit is MISS else hit
+
+
 def _apply_chain_context(payload: dict) -> None:
     """Install the payload's chain context -- or uninstall it.
 
     Workers are separate processes: the process-wide compile memo does
     not cross the pool boundary, but a run-directory disk cache does --
     and a shared-memory manifest (``chain_shm``) lets the worker attach
-    chains the parent already compiled without even touching disk.
+    chains the parent already compiled without even touching disk.  A
+    ``results_memo`` directory (the warehouse's cross-run query memo)
+    lets the worker skip whole cells another run already answered.
     Everything is configured *unconditionally*: a payload without a
     cache/manifest/batch flag detaches whatever a previous job in this
     (reused pool or in-process serial) worker installed, so one sweep's
     context never bleeds into the next job's compilations.
     """
+    from ..results.memo import configure_query_memo
+
     configure_disk_cache(payload.get("chain_cache"))
     configure_shared_chains(payload.get("chain_shm"))
     configure_batching(payload.get("batch", True))
     configure_grouping(payload.get("group_chains", True))
+    configure_query_memo(payload.get("results_memo"))
 
 
 def _exact_value(limit: Fraction) -> dict:
@@ -124,9 +167,10 @@ def execute_run(payload: dict) -> dict:
     ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
     value: dict
     if spec.kind == "exact":
-        value = _exact_value(
-            exact_limit_value(compile_chain(alpha, ports), task)
-        )
+        limit = _memoized_exact_limit(spec, alpha, ports)
+        if limit is None:
+            limit = exact_limit_value(compile_chain(alpha, ports), task)
+        value = _exact_value(limit)
     else:  # sample
         estimate = solving_probability_sampled(
             alpha,
@@ -160,12 +204,24 @@ def execute_run_group(payload: dict) -> dict:
     :func:`execute_run` would have produced (``elapsed`` is the group's
     wall clock split evenly -- per-job timing has no meaning inside a
     shared pass).
+
+    With a cross-run query memo configured, jobs whose cell is already
+    answered never even compile their chain; only the misses enter the
+    grouped pass.  The result additionally carries a ``"group"``
+    diagnostics dict -- stacked size/density and the adaptive
+    ``evolution_strategy`` verdict, plus the memo hit count -- which the
+    sweep orchestrator lands in the warehouse's ``groups`` table for
+    perf forensics (deliberately *outside* the job records, whose bytes
+    stay engine- and warmth-independent).
     """
+    from ..chain import evolution_strategy, transition_density
+
     _apply_chain_context(payload)
     started = time.perf_counter()
     prepared = []
     items: dict[int, tuple[CompiledChain, list]] = {}
     order: list[int] = []
+    memo_hits = 0
     for job in payload["jobs"]:
         spec = RunSpec.from_dict(job["spec"])
         master_seed = int(job.get("master_seed", 0))
@@ -173,26 +229,51 @@ def execute_run_group(payload: dict) -> dict:
         alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
         task = make_task(spec.task, alpha.n)
         ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
+        limit = _memoized_exact_limit(spec, alpha, ports)
+        if limit is not None:
+            memo_hits += 1
+            prepared.append((job, spec, seed, alpha, None, limit))
+            continue
         chain = compile_chain(alpha, ports)
         entry = items.get(id(chain))
         if entry is None:
             entry = items[id(chain)] = (chain, [])
             order.append(id(chain))
         queries = entry[1]
-        prepared.append((job, spec, seed, alpha, id(chain), len(queries)))
+        prepared.append((job, spec, seed, alpha, (id(chain), len(queries)),
+                         None))
         queries.append(Query.limit(task))
     answers = dict(
         zip(order, run_group_queries([items[cid] for cid in order]))
     )
-    elapsed = (time.perf_counter() - started) / max(1, len(prepared))
+    elapsed_total = time.perf_counter() - started
+    elapsed = elapsed_total / max(1, len(prepared))
     records = [
         _job_record(
             job, spec, seed, alpha,
-            _exact_value(answers[cid][position]), elapsed,
+            _exact_value(
+                limit if handle is None else answers[handle[0]][handle[1]]
+            ),
+            elapsed,
         )
-        for job, spec, seed, alpha, cid, position in prepared
+        for job, spec, seed, alpha, handle, limit in prepared
     ]
-    return {"records": records}
+    chains = [items[cid][0] for cid in order]
+    states = sum(chain.num_states for chain in chains)
+    transitions = sum(chain.num_transitions for chain in chains)
+    group = {
+        "jobs": len(prepared),
+        "chains": len(chains),
+        "states": states,
+        "transitions": transitions,
+        "density": transition_density(states, transitions) if states else 0.0,
+        "evolution": (
+            evolution_strategy(states, transitions) if states else "memo"
+        ),
+        "memo_hits": memo_hits,
+        "elapsed": elapsed_total,
+    }
+    return {"records": records, "group": group}
 
 
 def execute_experiment(payload: dict) -> dict:

@@ -208,7 +208,12 @@ class TestLoadStats:
         digest = cache.path_for(key).name.removesuffix(".chain.pkl")
         assert by_digest[digest] == 2
         assert sum(by_digest.values()) == 2  # the other entry stays at 0
+        # Loads land in the append-only event log; compaction folds them
+        # into the snapshot without changing the observable counts.
+        assert (root / "_stats.log").exists()
+        assert cache.compact_stats() == {digest: 2}
         assert (root / "_stats.json").exists()
+        assert {e.digest: e.loads for e in cache.entries()} == by_digest
 
     def test_hit_count_breaks_lru_mtime_ties(self, tmp_path):
         import os

@@ -1,0 +1,183 @@
+"""Cross-run query memo: byte-identical hits, skipped passes."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.chain import (
+    Query,
+    clear_memo,
+    compile_chain,
+    run_group_queries,
+    run_queries,
+)
+from repro.core import k_leader_election, leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+from repro.results import (
+    configure_query_memo,
+    decode_value,
+    encode_value,
+    query_memo,
+    query_token,
+    task_token,
+)
+from repro.runner import SweepSpec, run_sweep
+
+
+@pytest.fixture
+def memo(tmp_path):
+    installed = configure_query_memo(tmp_path / "memo")
+    yield installed
+    configure_query_memo(None)
+
+
+def queries_for(n):
+    task = leader_election(n)
+    return [
+        Query.limit(task),
+        Query.expected_time(task),
+        Query.series(task, 4),
+        Query.probability(task, 3),
+        Query.solvable(task),
+    ]
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            7,
+            Fraction(3, 7),
+            Fraction(1),
+            0.1 + 0.2,  # not exactly representable in decimal
+            float("inf"),
+            [Fraction(1, 3), Fraction(2, 3)],
+            [0.25, 0.5],
+            [],
+        ],
+    )
+    def test_round_trip_is_exact(self, value):
+        decoded = decode_value(encode_value(value))
+        if isinstance(value, tuple):
+            value = list(value)
+        assert decoded == value
+        assert type(decoded) is type(value) or isinstance(value, list)
+
+    def test_fraction_survives_json(self):
+        encoded = json.loads(json.dumps(encode_value(Fraction(22, 7))))
+        assert decode_value(encoded) == Fraction(22, 7)
+
+    def test_tokens_need_value_identity(self):
+        assert task_token(leader_election(3)) is not None
+        assert task_token(object()) is None
+        assert query_token("digest", "limit", object(), None, "exact") is None
+
+    def test_distinct_tasks_get_distinct_tokens(self):
+        one = query_token(
+            "d", "limit", leader_election(4), None, "exact"
+        )
+        other = query_token(
+            "d", "limit", k_leader_election(4, 2), None, "exact"
+        )
+        assert one != other
+
+    def test_solvable_keys_exact_under_any_backend(self):
+        task = leader_election(3)
+        assert query_token("d", "solvable", task, None, "float") == (
+            query_token("d", "solvable", task, None, "exact")
+        )
+
+
+class TestRunQueriesMemo:
+    def test_exact_hits_are_byte_identical(self, memo):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = compile_chain(alpha, adversarial_assignment((2, 3)))
+        cold = run_queries(chain, queries_for(5))
+        assert memo.stats()["entries"] == len(cold)
+        warm = run_queries(chain, queries_for(5))
+        assert warm == cold
+        for lhs, rhs in zip(warm, cold):
+            assert type(lhs) is type(rhs)
+        assert memo.stats()["hits"] >= len(cold)
+
+    def test_float_hits_are_bit_exact(self, memo):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = compile_chain(alpha, adversarial_assignment((2, 3)))
+        cold = run_queries(chain, queries_for(5), backend="float")
+        warm = run_queries(chain, queries_for(5), backend="float")
+        assert warm == cold
+
+    def test_backends_never_share_entries(self, memo):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = compile_chain(alpha, adversarial_assignment((2, 3)))
+        task = leader_election(5)
+        exact = run_queries(chain, [Query.limit(task)])[0]
+        floaty = run_queries(chain, [Query.limit(task)], backend="float")[0]
+        assert isinstance(exact, Fraction)
+        assert isinstance(floaty, float)
+
+    def test_group_queries_skip_memoized_items(self, memo):
+        items = []
+        for shape in [(2, 3), (1, 2, 2), (5,)]:
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            chain = compile_chain(alpha, adversarial_assignment(shape))
+            items.append((chain, queries_for(5)))
+        cold = run_group_queries(items)
+        # Memoize only the first item fully, then re-ask everything: the
+        # group pass must answer the rest and splice hits back in order.
+        warm = run_group_queries(items)
+        assert warm == cold
+        partial = run_group_queries(items[:1] + [items[2]])
+        assert partial == [cold[0], cold[2]]
+
+    def test_memo_survives_process_restart(self, tmp_path):
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = compile_chain(alpha, adversarial_assignment((2, 3)))
+        configure_query_memo(tmp_path / "memo")
+        cold = run_queries(chain, queries_for(5))
+        configure_query_memo(None)
+        # A "new process": a fresh instance over the same directory.
+        fresh = configure_query_memo(tmp_path / "memo")
+        assert len(fresh) == len(cold)
+        warm = run_queries(chain, queries_for(5))
+        configure_query_memo(None)
+        assert warm == cold
+
+    def test_no_memo_means_no_overhead_path(self):
+        assert query_memo() is None
+        alpha = RandomnessConfiguration.from_group_sizes((2, 3))
+        chain = compile_chain(alpha, adversarial_assignment((2, 3)))
+        assert run_queries(chain, [Query.limit(leader_election(5))])
+
+
+class TestWarmSweepIdentity:
+    def test_warm_rerun_is_byte_identical_minus_timing(self, tmp_path):
+        sweep = SweepSpec.for_total_size(
+            4, models=("blackboard", "clique"), tasks=("leader", "weak-sb")
+        )
+        warehouse = tmp_path / "warehouse"
+        run_sweep(sweep, run_dir=tmp_path / "cold", warehouse=warehouse)
+        clear_memo()  # drop compiled chains: warm must win via the memo
+        outcome = run_sweep(
+            sweep, run_dir=tmp_path / "warm", warehouse=warehouse
+        )
+        # Every exact cell came from the memo, no chain was compiled.
+        assert sum(g["memo_hits"] for g in outcome.group_stats) == (
+            outcome.total
+        )
+        assert all(g["chains"] == 0 for g in outcome.group_stats)
+
+        def lines(path):
+            return [
+                {k: v for k, v in json.loads(line).items() if k != "elapsed"}
+                for line in path.read_text().splitlines()
+            ]
+
+        assert lines(tmp_path / "cold" / "records.jsonl") == lines(
+            tmp_path / "warm" / "records.jsonl"
+        )

@@ -1,0 +1,120 @@
+"""Vectorized table expressions: filter, project, group-aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.results import Table, col
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "model": np.asarray(
+                ["clique", "blackboard", "clique", "clique"], dtype=np.str_
+            ),
+            "gcd": np.asarray([1, 2, 2, 3], dtype=np.int64),
+            "limit": np.asarray([1.0, 0.0, 1.0, 0.5]),
+            "solvable": np.asarray([True, False, True, False]),
+        }
+    )
+
+
+class TestPredicates:
+    def test_string_equality(self, table):
+        assert len(table.filter(col("model") == "clique")) == 3
+
+    def test_numeric_comparisons(self, table):
+        assert len(table.filter(col("gcd") >= 2)) == 3
+        assert len(table.filter(col("limit") < 1.0)) == 2
+
+    def test_boolean_truthiness(self, table):
+        assert len(table.filter(col("solvable"))) == 2
+
+    def test_conjunction_disjunction_negation(self, table):
+        both = table.filter((col("model") == "clique") & (col("gcd") > 1))
+        assert len(both) == 2
+        either = table.filter((col("gcd") == 1) | (col("gcd") == 3))
+        assert len(either) == 2
+        inverted = table.filter(~(col("model") == "clique"))
+        assert inverted.column("model").tolist() == ["blackboard"]
+
+    def test_isin(self, table):
+        assert len(table.filter(col("gcd").isin([1, 3]))) == 2
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError, match="no column"):
+            table.filter(col("nope") == 1)
+
+
+class TestVerbs:
+    def test_project_and_head(self, table):
+        small = table.project(["model", "gcd"]).head(2)
+        assert sorted(small.columns) == ["gcd", "model"]
+        assert len(small) == 2
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by(["gcd", "model"])
+        assert ordered.column("gcd").tolist() == [1, 2, 2, 3]
+        assert ordered.column("model").tolist()[1:3] == [
+            "blackboard", "clique",
+        ]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table({"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_to_rows_unboxes_scalars(self, table):
+        row = table.head(1).to_rows()[0]
+        assert type(row["gcd"]) is int
+        assert type(row["model"]) is str
+        assert type(row["solvable"]) is bool
+
+
+class TestGroupBy:
+    def test_count_and_mean(self, table):
+        grouped = table.group_by(
+            ["model"], {"n": ("count",), "mean_limit": ("mean", "limit")}
+        )
+        rows = {row["model"]: row for row in grouped.to_rows()}
+        assert rows["clique"]["n"] == 3
+        assert rows["clique"]["mean_limit"] == pytest.approx(2.5 / 3)
+        assert rows["blackboard"]["n"] == 1
+
+    def test_min_max_sum(self, table):
+        grouped = table.group_by(
+            ["model"],
+            {
+                "lo": ("min", "limit"),
+                "hi": ("max", "limit"),
+                "total": ("sum", "gcd"),
+            },
+        )
+        rows = {row["model"]: row for row in grouped.to_rows()}
+        assert rows["clique"]["lo"] == 0.5
+        assert rows["clique"]["hi"] == 1.0
+        assert rows["clique"]["total"] == 6
+
+    def test_any_all(self, table):
+        grouped = table.group_by(
+            ["model"],
+            {"some": ("any", "solvable"), "every": ("all", "solvable")},
+        )
+        rows = {row["model"]: row for row in grouped.to_rows()}
+        assert rows["clique"]["some"] and not rows["clique"]["every"]
+        assert not rows["blackboard"]["some"]
+
+    def test_multi_key_groups_are_sorted(self, table):
+        grouped = table.group_by(["model", "gcd"], {"n": ("count",)})
+        keys = list(
+            zip(
+                grouped.column("model").tolist(),
+                grouped.column("gcd").tolist(),
+            )
+        )
+        assert keys == sorted(keys)
+        assert sum(grouped.column("n").tolist()) == len(table)
+
+    def test_unknown_aggregate_rejected(self, table):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            table.group_by(["model"], {"x": ("median", "limit")})

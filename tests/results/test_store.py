@@ -1,0 +1,234 @@
+"""Columnar store: segments, watermarked ingestion, compaction."""
+
+import json
+
+import pytest
+
+from repro.results import ResultsStore, flatten_record, unflatten_row
+from repro.runner import SweepSpec, run_sweep
+
+
+@pytest.fixture
+def sweep():
+    return SweepSpec(
+        shapes=((2, 3), (1, 2, 2), (5,)),
+        models=("blackboard", "clique"),
+        tasks=("leader", "k-leader:2"),
+    )
+
+
+@pytest.fixture
+def run_dir(tmp_path, sweep):
+    path = tmp_path / "run"
+    run_sweep(sweep, run_dir=path, warehouse=False)
+    return path
+
+
+SCHEMA = {"name": "str", "count": "int", "score": "float", "ok": "bool"}
+
+ROWS = [
+    {"name": "alpha", "count": 3, "score": 0.5, "ok": True},
+    {"name": "beta", "count": -1, "score": 2.25, "ok": False},
+    {"name": "alpha", "count": 0, "score": 0.0, "ok": True},
+]
+
+
+class TestSegments:
+    def test_append_rows_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        store.append_rows("things", ROWS, SCHEMA, name="things-1")
+        table = store.table("things")
+        assert len(table) == 3
+        assert table.to_rows() == ROWS
+
+    def test_typed_column_pages(self, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        store.append_rows("things", ROWS, SCHEMA, name="things-1")
+        table = store.table("things")
+        assert table.column("count").dtype.kind == "i"
+        assert table.column("score").dtype.kind == "f"
+        assert table.column("ok").dtype.kind == "b"
+        assert table.column("name").dtype.kind == "U"
+
+    def test_write_segment_is_idempotent_by_name(self, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        assert store.append_rows("t", ROWS, SCHEMA, name="seg") is not None
+        assert store.append_rows("t", ROWS[:1], SCHEMA, name="seg") is None
+        assert len(store.table("t")) == 3
+
+    def test_segments_without_manifest_are_invisible(self, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        store.append_rows("t", ROWS, SCHEMA, name="seg")
+        # A crash between page write and manifest commit leaves a bare
+        # npz; readers must not see a phantom segment.
+        (store.segment_dir / "ghost.npz").write_bytes(b"not a segment")
+        assert [info.name for info in store.segments("t")] == ["seg"]
+
+
+class TestIngestion:
+    def test_ingest_flattens_every_record(self, run_dir, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        added = store.ingest_run_directory(run_dir)
+        records = [
+            json.loads(line)
+            for line in (run_dir / "records.jsonl").read_text().splitlines()
+        ]
+        assert added == len(records)
+        rebuilt = [unflatten_row(row) for row in
+                   store.table("records").to_rows()]
+        assert rebuilt == records
+
+    def test_ingest_is_incremental_and_idempotent(self, run_dir, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        assert store.ingest_run_directory(run_dir) > 0
+        # Nothing new: the watermark already covers the file.
+        assert store.ingest_run_directory(run_dir) == 0
+        baseline = store.total_rows("records")
+        # Append two more records; only they ingest.
+        lines = (run_dir / "records.jsonl").read_text().splitlines()
+        with (run_dir / "records.jsonl").open("a") as handle:
+            for line in lines[:2]:
+                handle.write(line + "\n")
+        assert store.ingest_run_directory(run_dir) == 2
+        assert store.total_rows("records") == baseline + 2
+
+    def test_ingest_resumes_after_kill(self, run_dir, tmp_path):
+        # A killed writer leaves a torn trailing line; ingestion stops
+        # at the last complete record and picks the rest up once the
+        # line is completed -- no duplicates, no lost rows.
+        store = ResultsStore(tmp_path / "wh")
+        records_path = run_dir / "records.jsonl"
+        whole = records_path.read_text()
+        lines = whole.splitlines(keepends=True)
+        torn = "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2]
+        records_path.write_text(torn)
+        assert store.ingest_run_directory(run_dir) == len(lines) - 1
+        # The job re-runs on resume and re-appends its record whole.
+        records_path.write_text("".join(lines[:-1]) + lines[-1])
+        assert store.ingest_run_directory(run_dir) == 1
+        rebuilt = [unflatten_row(row) for row in
+                   store.table("records").to_rows()]
+        assert rebuilt == [json.loads(line) for line in lines]
+
+    def test_run_directory_records_match_jsonl_scan(self, run_dir, tmp_path):
+        from repro.runner import RunDirectory
+
+        store = ResultsStore(tmp_path / "wh")
+        directory = RunDirectory(run_dir)
+        assert store.run_directory_records(directory) is None  # not covered
+        store.ingest_run_directory(directory)
+        assert (
+            store.run_directory_records(directory)
+            == directory.load_records()
+        )
+
+    def test_uncovered_tail_forces_jsonl_fallback(self, run_dir, tmp_path):
+        from repro.runner import RunDirectory
+
+        store = ResultsStore(tmp_path / "wh")
+        directory = RunDirectory(run_dir)
+        store.ingest_run_directory(directory)
+        with directory.records_path.open("a") as handle:
+            handle.write('{"k": 1}\n')
+        assert store.run_directory_records(directory) is None
+
+    def test_shrunken_log_forces_jsonl_fallback(self, run_dir, tmp_path):
+        # An out-of-band truncation (the documented way to simulate an
+        # interruption) must re-run the lost jobs: the JSONL stays the
+        # source of truth, stale column pages are never served over it.
+        from repro.runner import RunDirectory
+
+        store = ResultsStore(tmp_path / "wh")
+        directory = RunDirectory(run_dir)
+        store.ingest_run_directory(directory)
+        lines = directory.records_path.read_text().splitlines(keepends=True)
+        directory.records_path.write_text("".join(lines[:3]))
+        assert store.run_directory_records(directory) is None
+
+
+class TestFlattening:
+    def test_non_canonical_record_round_trips_via_extra(self):
+        weird = {"key": "custom", "anything": [1, {"deep": None}]}
+        row = flatten_record(weird)
+        assert row["extra"]
+        assert row["key"] == "custom"
+        assert unflatten_row(row) == weird
+
+    def test_non_dict_record_round_trips(self):
+        row = flatten_record([1, 2, 3])
+        assert unflatten_row(row) == [1, 2, 3]
+
+    def test_sample_records_round_trip(self):
+        record = {
+            "key": "k", "index": 4,
+            "spec": {
+                "sizes": [2, 3], "model": "clique", "ports": "adversarial",
+                "task": "leader", "kind": "sample", "t": 4,
+                "samples": 100, "replicate": 1,
+            },
+            "seed": 99, "gcd": 1,
+            "value": {"estimate": 0.25, "successes": 25, "samples": 100},
+            "elapsed": 0.125,
+        }
+        row = flatten_record(record)
+        assert not row["extra"]
+        assert unflatten_row(row) == record
+
+
+class TestCompaction:
+    def _filled(self, tmp_path):
+        store = ResultsStore(tmp_path / "wh")
+        for i in range(3):
+            store.append_rows(
+                "t", [dict(row, count=i) for row in ROWS], SCHEMA,
+                name=f"part-{i}",
+            )
+        return store
+
+    def test_compact_merges_and_preserves_rows(self, tmp_path):
+        store = self._filled(tmp_path)
+        before = store.table("t").to_rows()
+        summary = store.compact()
+        assert summary["merged"] == 1
+        assert len(store.segments("t")) == 1
+        assert store.table("t").to_rows() == before
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = self._filled(tmp_path)
+        store.compact()
+        before = store.table("t").to_rows()
+        assert store.compact()["merged"] == 0
+        assert store.table("t").to_rows() == before
+
+    def test_crash_between_merge_and_delete_never_duplicates(self, tmp_path):
+        store = self._filled(tmp_path)
+        rows = store.table("t").to_rows()
+        members = [info.name for info in store.segments("t")]
+        # Simulate the crash: write the merged segment (manifest lists
+        # what it replaces) but leave the members on disk.
+        store.write_segment(
+            "t--merged-crash", "t", rows, SCHEMA, replaces=members
+        )
+        assert store.table("t").to_rows() == rows  # members skipped
+        # The re-run cleans the members up and converges.
+        store.compact()
+        assert store.table("t").to_rows() == rows
+        assert [info.name for info in store.segments("t")] == [
+            "t--merged-crash"
+        ]
+
+    def test_ingest_after_compaction_continues_watermark(
+        self, run_dir, tmp_path
+    ):
+        store = ResultsStore(tmp_path / "wh")
+        store.ingest_run_directory(run_dir)
+        lines = (run_dir / "records.jsonl").read_text().splitlines()
+        total = len(lines)
+        with (run_dir / "records.jsonl").open("a") as handle:
+            handle.write(lines[0] + "\n")
+        store.ingest_run_directory(run_dir)
+        store.compact()
+        with (run_dir / "records.jsonl").open("a") as handle:
+            handle.write(lines[1] + "\n")
+        assert store.ingest_run_directory(run_dir) == 1
+        assert store.total_rows("records") == total + 2

@@ -1,0 +1,181 @@
+"""Sweep <-> warehouse integration: memo-warm reruns, columnar resume,
+state-budget bin packing, and group forensics."""
+
+import json
+
+import pytest
+
+from repro.chain import MAX_GROUP_STATES, clear_memo, compile_chain
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+from repro.results import ResultsStore
+from repro.runner import ProcessPoolEngine, SweepSpec, run_sweep
+from repro.runner.sweep import _family_state_weight, _group_job_payloads
+
+
+@pytest.fixture
+def sweep():
+    return SweepSpec(
+        shapes=((2, 3), (1, 2, 2), (5,), (1, 4)),
+        models=("blackboard", "clique"),
+        tasks=("leader", "k-leader:2"),
+    )
+
+
+def stripped(path):
+    return [
+        {k: v for k, v in json.loads(line).items() if k != "elapsed"}
+        for line in path.read_text().splitlines()
+    ]
+
+
+class TestWarehouseWiring:
+    def test_run_dir_gets_a_default_warehouse(self, tmp_path, sweep):
+        outcome = run_sweep(sweep, run_dir=tmp_path / "run")
+        store = ResultsStore(tmp_path / "run" / "warehouse")
+        assert store.total_rows("records") == outcome.total
+        assert store.total_rows("groups") == len(outcome.group_stats) > 0
+
+    def test_warehouse_false_opts_out(self, tmp_path, sweep):
+        run_sweep(sweep, run_dir=tmp_path / "run", warehouse=False)
+        assert not (tmp_path / "run" / "warehouse").exists()
+
+    def test_resume_reads_column_pages(self, tmp_path, sweep):
+        first = run_sweep(sweep, run_dir=tmp_path / "run")
+        resumed = run_sweep(sweep, run_dir=tmp_path / "run")
+        assert resumed.executed == 0
+        assert resumed.resumed == first.total
+        assert resumed.result().rows == first.result().rows
+
+    def test_shared_warehouse_makes_overlapping_sweeps_warm(
+        self, tmp_path, sweep
+    ):
+        warehouse = tmp_path / "shared"
+        run_sweep(sweep, run_dir=tmp_path / "a", warehouse=warehouse)
+        clear_memo()
+        # A *different* sweep whose cells overlap: same shapes/tasks,
+        # different axis packaging -- every cell hits the shared memo.
+        overlap = SweepSpec(
+            shapes=sweep.shapes[:2],
+            models=("clique",),
+            tasks=sweep.tasks,
+        )
+        outcome = run_sweep(
+            overlap, run_dir=tmp_path / "b", warehouse=warehouse
+        )
+        assert sum(g["memo_hits"] for g in outcome.group_stats) == (
+            outcome.total
+        )
+
+    def test_warm_records_match_cold_without_pool(self, tmp_path, sweep):
+        warehouse = tmp_path / "shared"
+        run_sweep(sweep, run_dir=tmp_path / "cold", warehouse=warehouse)
+        clear_memo()
+        run_sweep(sweep, run_dir=tmp_path / "warm", warehouse=warehouse)
+        assert stripped(tmp_path / "cold" / "records.jsonl") == stripped(
+            tmp_path / "warm" / "records.jsonl"
+        )
+
+    def test_pooled_sweep_matches_serial_with_warehouse(
+        self, tmp_path, sweep
+    ):
+        run_sweep(sweep, run_dir=tmp_path / "serial")
+        pooled = run_sweep(
+            sweep,
+            engine=ProcessPoolEngine(workers=2),
+            run_dir=tmp_path / "pooled",
+        )
+        assert stripped(tmp_path / "serial" / "records.jsonl") == sorted(
+            stripped(tmp_path / "pooled" / "records.jsonl"),
+            key=lambda r: r["index"],
+        )
+        assert pooled.executed == pooled.total
+
+
+class TestGroupForensics:
+    def test_group_stats_cover_every_job(self, tmp_path, sweep):
+        outcome = run_sweep(sweep, run_dir=tmp_path / "run")
+        assert sum(g["jobs"] for g in outcome.group_stats) == outcome.total
+        for stats in outcome.group_stats:
+            assert stats["evolution"] in ("dense", "scatter", "memo")
+            assert stats["states"] >= 0
+            assert 0.0 <= stats["density"] <= 1.0
+
+    def test_group_stats_stay_out_of_job_records(self, tmp_path, sweep):
+        run_sweep(sweep, run_dir=tmp_path / "run")
+        for record in stripped(tmp_path / "run" / "records.jsonl"):
+            assert set(record) == {
+                "key", "index", "spec", "seed", "gcd", "value",
+            }
+
+
+class TestStateBudgetPacking:
+    def _payloads(self, sweep):
+        jobs = sweep.expand()
+        payloads = [
+            {"spec": spec.to_dict(), "master_seed": 0, "index": i}
+            for i, spec in enumerate(jobs)
+        ]
+        return jobs, payloads
+
+    def test_bins_are_contiguous_index_ranges(self, sweep):
+        jobs, payloads = self._payloads(sweep)
+        groups = _group_job_payloads(
+            jobs, payloads, ProcessPoolEngine(workers=2)
+        )
+        assert groups is not None
+        flattened = [
+            payload["index"] for group in groups for payload in group["jobs"]
+        ]
+        assert flattened == list(range(len(jobs)))
+
+    def test_bins_respect_the_state_budget(self, sweep):
+        jobs, payloads = self._payloads(sweep)
+        groups = _group_job_payloads(
+            jobs, payloads, ProcessPoolEngine(workers=2)
+        )
+        for group in groups:
+            families = {}
+            for payload in group["jobs"]:
+                spec = jobs[payload["index"]]
+                families.setdefault(
+                    (spec.sizes, spec.model, spec.ports, spec.replicate),
+                    _family_state_weight(spec),
+                )
+            total = sum(families.values())
+            # Either the bin fits the budget or it is a single family
+            # too big to split.
+            assert total <= MAX_GROUP_STATES or len(families) == 1
+
+    def test_weight_uses_compiled_states_when_available(self):
+        shape = (2, 3)
+        spec = SweepSpec(shapes=(shape,), models=("clique",)).expand()[0]
+        estimated = _family_state_weight(spec)
+        chain = compile_chain(
+            RandomnessConfiguration.from_group_sizes(shape),
+            adversarial_assignment(shape),
+        )
+        assert _family_state_weight(spec) == chain.num_states
+        assert estimated >= chain.num_states  # Bell bound from above
+
+    def test_heavy_families_split_across_bins(self):
+        # 2 x n=7 families next to many n=2 families: job-count binning
+        # used to hand one worker both heavy chains; weight binning
+        # separates them.
+        sweep = SweepSpec(
+            shapes=((1, 6), (2, 5), (2,), (1, 1)),
+            models=("clique",),
+            tasks=("leader", "k-leader:2", "weak-sb"),
+        )
+        jobs, payloads = self._payloads(sweep)
+        groups = _group_job_payloads(
+            jobs, payloads, ProcessPoolEngine(workers=2)
+        )
+        heavy_bins = []
+        for position, group in enumerate(groups):
+            shapes = {
+                tuple(jobs[p["index"]].sizes) for p in group["jobs"]
+            }
+            if shapes & {(1, 6), (2, 5)}:
+                heavy_bins.append(position)
+        assert len(heavy_bins) >= 2  # the two heavy families split

@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.algorithms",
     "repro.analysis",
     "repro.runner",
+    "repro.results",
     "repro.viz",
 ]
 
