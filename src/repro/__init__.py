@@ -26,6 +26,8 @@ algorithms in synchronous anonymous systems, end to end:
   streams, and resumable JSONL run directories;
 * :mod:`repro.results` -- the columnar results warehouse and cross-run
   query memo serving reports and repeated sweeps (see ``STORE.md``);
+* :mod:`repro.obs` -- span tracing and metrics across the chain/runner/
+  warehouse stack, persisted and queryable (see ``OBS.md``);
 * :mod:`repro.viz` -- ASCII/DOT rendering of the paper's figures.
 
 Quickstart::

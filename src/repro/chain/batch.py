@@ -35,6 +35,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs import OBS, trace
 from .backends import (
     absorption_exact,
     absorption_float_matrix,
@@ -454,7 +455,23 @@ def run_queries(
     if misses:
         subset = [queries[i] for i in misses]
         if _BATCHING:
-            answers = QueryPlan(chain, subset).execute(backend=backend)
+            plan = QueryPlan(chain, subset)
+            if OBS.enabled:
+                OBS.metrics.inc("chain.batch.plans")
+                OBS.metrics.inc("chain.batch.queries", len(subset))
+                OBS.metrics.observe("chain.batch.plan_size", len(subset))
+                OBS.metrics.observe(
+                    "chain.batch.states", chain.num_states
+                )
+                OBS.metrics.inc(f"chain.batch.evolution.{plan.evolution}")
+                with trace(
+                    "chain.batch.execute",
+                    queries=len(subset),
+                    states=chain.num_states,
+                ):
+                    answers = plan.execute(backend=backend)
+            else:
+                answers = plan.execute(backend=backend)
         else:
             answers = [
                 _scalar_answer(chain, query, backend) for query in subset

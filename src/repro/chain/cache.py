@@ -23,6 +23,7 @@ import pathlib
 import pickle
 import tempfile
 
+from ..obs import OBS
 from ..results.log import AppendLog
 from .engine import ChainKey, CompiledChain
 
@@ -222,6 +223,8 @@ class ChainDiskCache:
             total -= victim.size
             removed.append(victim)
         if removed:
+            if OBS.enabled:
+                OBS.metrics.inc("chain.cache.evictions", len(removed))
             # Fold-and-prune drops the removed entries' counts (the
             # fold skips digests whose chain files are gone).
             self.compact_stats()
@@ -243,14 +246,20 @@ class ChainDiskCache:
             with path.open("rb") as handle:
                 chain = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            if OBS.enabled:
+                OBS.metrics.inc("chain.cache.load.miss")
             return None
         if not isinstance(chain, CompiledChain) or chain.key != key:
+            if OBS.enabled:
+                OBS.metrics.inc("chain.cache.load.miss")
             return None
         try:
             os.utime(path)  # refresh LRU recency; best-effort
         except OSError:
             pass
         self._record_load(path.name.removesuffix(".chain.pkl"))
+        if OBS.enabled:
+            OBS.metrics.inc("chain.cache.load.hit")
         return chain
 
     def store(self, chain: CompiledChain) -> "pathlib.Path | None":
@@ -280,8 +289,34 @@ class ChainDiskCache:
             if isinstance(exc, OSError):
                 return None
             raise
+        if OBS.enabled:
+            OBS.metrics.inc("chain.cache.stores")
         self.evict()
         return path
+
+    def publish_gauges(self, registry=None) -> dict[str, int]:
+        """Publish the sidecar load counts as metric gauges.
+
+        Gauges are ``chain.cache.loads.<digest prefix>`` (first 12 hex
+        chars, matching the ``repro chains list`` display) plus a
+        ``chain.cache.entries`` entry count.  One gauge per *cached
+        entry* -- never-loaded chains publish 0 -- backed by the same
+        exact append-log counts :meth:`load_stats` serves, so ``repro
+        metrics show --chains`` and ``repro chains list`` agree
+        row-for-row.  Called
+        explicitly (not guarded by ``OBS.enabled``) -- publishing is the
+        caller's opt-in.  Returns the published ``{digest: count}`` map.
+        """
+        if registry is None:
+            registry = OBS.metrics
+        stats = self.load_stats()
+        published = {}
+        for entry in self.entries():
+            published[entry.digest] = stats.get(entry.digest, 0)
+        for digest, count in sorted(published.items()):
+            registry.gauge(f"chain.cache.loads.{digest[:12]}", count)
+        registry.gauge("chain.cache.entries", len(published))
+        return published
 
     def __len__(self) -> int:
         return len(list(self.root.glob("*.chain.pkl")))

@@ -29,6 +29,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from ..obs import OBS, trace
 from ..randomness.configuration import RandomnessConfiguration
 from .backends import (
     absorption_exact,
@@ -662,9 +663,15 @@ def compile_chain(
         # One-shot chains (exhaustive port enumerations) skip BOTH the
         # memo and the disk cache: each is queried once and never again,
         # so persisting them would only flood the cache directory.
+        if OBS.enabled:
+            OBS.metrics.inc("chain.compile.unmemoized")
+            with trace("chain.compile", n=alpha.n, memo=False):
+                return _compile(key, alpha)
         return _compile(key, alpha)
     hit = _MEMO.get(key)
     if hit is not None:
+        if OBS.enabled:
+            OBS.metrics.inc("chain.compile.hit.memo")
         return hit
     from .shm import shared_chain
 
@@ -673,6 +680,8 @@ def compile_chain(
         # Shared memory beats the disk cache: attaching is a zero-copy
         # mapping of arrays another process already built, so pool
         # workers skip the per-process pickle load entirely.
+        if OBS.enabled:
+            OBS.metrics.inc("chain.compile.hit.shm")
         _MEMO[key] = attached
         return attached
     from .cache import disk_cache
@@ -681,9 +690,17 @@ def compile_chain(
     if store is not None:
         cached = store.load(key)
         if cached is not None:
+            if OBS.enabled:
+                OBS.metrics.inc("chain.compile.hit.disk")
             _MEMO[key] = cached
             return cached
-    chain = _compile(key, alpha)
+    if OBS.enabled:
+        OBS.metrics.inc("chain.compile.miss")
+        with trace("chain.compile", n=alpha.n):
+            chain = _compile(key, alpha)
+        OBS.metrics.observe("chain.compile.states", chain.num_states)
+    else:
+        chain = _compile(key, alpha)
     _MEMO[key] = chain
     if store is not None:
         store.store(chain)

@@ -49,6 +49,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs import OBS, trace
 from .backends import (
     absorption_exact,
     evolution_strategy,
@@ -391,6 +392,12 @@ class MultiQueryPlan:
                 position[id(chain)] = len(chains)
                 chains.append(chain)
         group = _cached_group(chains)
+        if OBS.enabled:
+            OBS.metrics.inc("chain.multi.groups")
+            OBS.metrics.inc(f"chain.multi.evolution.{group.evolution}")
+            OBS.metrics.observe("chain.multi.group_states",
+                                group.num_states)
+            OBS.metrics.observe("chain.multi.group_chains", len(chains))
         # Per-chain row registries: mask -> row, one numbering per chain
         # (rows are per-chain because the group result is (Q, N)).
         mass_rows: list[dict] = [{} for _ in chains]
@@ -536,12 +543,20 @@ def run_group_queries(
     for index, (chain, queries) in enumerate(items):
         answers, tokens, misses = memoized_answers(chain, queries, backend)
         if not misses:
+            if OBS.enabled:
+                OBS.metrics.inc("chain.multi.items_memoized")
             results[index] = answers
             continue
         pending.append((chain, [queries[i] for i in misses]))
         scatter.append((index, misses, tokens, answers))
+    if OBS.enabled:
+        OBS.metrics.inc("chain.multi.items", len(items))
     if pending:
-        computed = MultiQueryPlan(pending).execute(backend=backend)
+        if OBS.enabled:
+            with trace("chain.multi.execute", items=len(pending)):
+                computed = MultiQueryPlan(pending).execute(backend=backend)
+        else:
+            computed = MultiQueryPlan(pending).execute(backend=backend)
         for (index, misses, tokens, answers), values in zip(
             scatter, computed
         ):

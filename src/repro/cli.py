@@ -13,6 +13,8 @@ run             execute one runner job and print its JSON record
 sweep           expand and execute a sweep (parallel, resumable)
 chains          list/inspect/prune a chain disk cache directory
 results         query/export/stats/compact/ingest a results warehouse
+metrics         show/export collected telemetry (see OBS.md)
+trace           prefix: run any command traced and print its span tree
 
 Chain queries default to the batched query layer (``repro.chain.batch``:
 one shared pass answers a whole set of (task, horizon) questions);
@@ -72,6 +74,18 @@ python -m repro results export runs/demo --format csv -o records.csv
 python -m repro results compact runs/demo
 
 See ``STORE.md`` for the on-disk layout and the memo key scheme.
+
+Observability
+-------------
+``repro trace <command ...>`` runs any command with span tracing on and
+prints a span tree (calls, total, self time) when it finishes;
+``--trace`` is the flag spelling of the same thing.  ``--profile-out
+FILE`` on ``sweep``/``phase-diagram``/``report`` writes the full JSON
+profile (spans, metrics, aggregates; validate it with ``python -m
+repro.obs.schema FILE``).  ``repro metrics show`` prints the collected
+counters/gauges/histograms; sweeps with a warehouse persist the same
+rows into a ``telemetry`` table served by ``repro results query
+--table telemetry``.  See ``OBS.md`` for the instrumentation map.
 """
 
 from __future__ import annotations
@@ -199,6 +213,19 @@ def _warehouse_from(args):
     if getattr(args, "no_warehouse", False):
         return False
     return getattr(args, "warehouse", None)
+
+
+def _add_profile_arg(p) -> None:
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a JSON telemetry profile (spans, metrics, aggregates) "
+            "here when the command finishes; implies tracing.  Validate "
+            "with `python -m repro.obs.schema FILE`"
+        ),
+    )
 
 
 def _add_group_arg(p) -> None:
@@ -692,6 +719,68 @@ def cmd_results(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Show or export collected telemetry (counters, gauges, spans).
+
+    ``--chains DIR`` first publishes that chain cache's exact sidecar
+    load counts as gauges (the same counts ``repro chains list``
+    displays, so the two commands always agree); ``--warehouse DIR``
+    folds in the rows sweeps persisted to the warehouse's ``telemetry``
+    table.
+    """
+    import json
+    import pathlib
+
+    from .obs import OBS, telemetry_rows
+
+    if args.chains:
+        from .chain import ChainDiskCache
+
+        root = pathlib.Path(args.chains)
+        # Accept a run directory transparently, like `repro chains`.
+        if (root / "chains").is_dir():
+            root = root / "chains"
+        if not root.is_dir():
+            raise SystemExit(f"metrics: no chain cache at {args.chains}")
+        ChainDiskCache(root).publish_gauges(OBS.metrics)
+    rows = telemetry_rows()
+    if args.warehouse:
+        store = _results_store(args.warehouse)
+        if "telemetry" in store.tables():
+            for row in store.table("telemetry").to_rows():
+                rows.append(
+                    {
+                        "kind": str(row["kind"]),
+                        "name": str(row["name"]),
+                        "value": float(row["value"]),
+                        "count": int(row["count"]),
+                    }
+                )
+            rows.sort(key=lambda r: (r["kind"], r["name"]))
+    if args.action == "export":
+        document = json.dumps(rows, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"wrote {len(rows)} telemetry rows to {args.output}")
+        else:
+            print(document)
+        return 0
+    if not rows:
+        print("no telemetry collected (tracing off and nothing persisted)")
+        return 0
+    print(
+        format_table(
+            ("kind", "name", "value", "count"),
+            [
+                (r["kind"], r["name"], f"{r['value']:.6g}", r["count"])
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
 def cmd_mermaid(args) -> int:
     """Print the consistency chain's refinement lattice as mermaid."""
     from .viz import chain_to_mermaid
@@ -711,8 +800,7 @@ def cmd_report(args) -> int:
     if getattr(args, "warehouse", None) and not args.no_warehouse:
         # Land the pass/fail history in the warehouse so `repro results
         # query --table experiments` serves it across report runs.
-        import time
-
+        from .obs import clock
         from .results import ResultsStore
         from .results.store import EXPERIMENT_COLUMNS
 
@@ -725,7 +813,11 @@ def cmd_report(args) -> int:
                     "title": result.title,
                     "passed": result.passed,
                     "rows": len(result.rows),
-                    "stamp": time.time(),
+                    # When this row was appended (epoch seconds) -- an
+                    # audit field, never an input to any computation;
+                    # read through repro.obs.clock so tests can freeze
+                    # it.
+                    "stamp": clock.now(),
                 }
                 for result in results
             ],
@@ -768,6 +860,7 @@ def cmd_run(args) -> int:
     import json
 
     from .runner import RunSpec, execute_run
+    from .runner.worker import chain_context_payload
 
     try:
         spec = RunSpec(
@@ -783,8 +876,23 @@ def cmd_run(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"run: {exc}")
     record = execute_run(
-        {"spec": spec.to_dict(), "master_seed": args.master_seed, "index": 0}
+        {
+            "spec": spec.to_dict(),
+            "master_seed": args.master_seed,
+            "index": 0,
+            # Carry the parent's chain context (including the tracing
+            # flag) exactly as sweep payloads do, so `repro trace run`
+            # stays traced through the worker's context application.
+            **chain_context_payload(),
+        }
     )
+    # Telemetry rides next to the record fields; the printed record's
+    # bytes stay identical with tracing on or off.
+    telemetry = record.pop("_telemetry", None)
+    if telemetry is not None:
+        from .obs import merge_telemetry
+
+        merge_telemetry(telemetry)
     print(json.dumps(record, indent=2, sort_keys=True))
     return 0
 
@@ -894,6 +1002,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_warehouse_args(p)
+    _add_profile_arg(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -982,6 +1091,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_warehouse_args(p)
+    _add_profile_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -1041,7 +1151,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--table",
         default="records",
-        help="table to read (records | groups | experiments; default records)",
+        help=(
+            "table to read (records | groups | experiments | telemetry; "
+            "default records)"
+        ),
     )
     p.add_argument(
         "--where",
@@ -1091,12 +1204,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_warehouse_args(p)
+    _add_profile_arg(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "metrics", help="show or export collected telemetry"
+    )
+    p.add_argument("action", choices=("show", "export"))
+    p.add_argument(
+        "--chains",
+        default=None,
+        metavar="DIR",
+        help=(
+            "publish this chain cache's load-count gauges first "
+            "(cache directory or a run directory containing chains/)"
+        ),
+    )
+    p.add_argument(
+        "--warehouse",
+        default=None,
+        metavar="DIR",
+        help=(
+            "fold in this warehouse's persisted telemetry table "
+            "(warehouse directory or a run directory containing "
+            "warehouse/)"
+        ),
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="export: write JSON here instead of stdout",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `repro trace <command ...>` and a bare `--trace` anywhere are
+    # handled before argparse so every subcommand gets them for free.
+    traced = False
+    if argv and argv[0] == "trace":
+        argv = argv[1:]
+        traced = True
+        if not argv:
+            print("usage: repro trace <command> [args ...]", file=sys.stderr)
+            return 2
+    if "--trace" in argv:
+        argv = [token for token in argv if token != "--trace"]
+        traced = True
     parser = build_parser()
     args = parser.parse_args(argv)
     if hasattr(args, "batch"):
@@ -1111,7 +1267,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Same deal: process-wide here, forwarded to pool workers by
         # the sweep/experiment payloads.
         configure_grouping(args.group_chains)
-    return args.func(args)
+    profile_out = getattr(args, "profile_out", None)
+    if traced or profile_out:
+        from .obs import configure_tracing
+
+        configure_tracing(True)
+    from .obs import OBS, trace
+
+    if OBS.enabled:
+        with trace(f"repro.{args.command}"):
+            status = args.func(args)
+    else:
+        status = args.func(args)
+    if profile_out:
+        import json
+
+        from .obs import build_profile
+
+        document = build_profile(command=args.command, argv=tuple(argv))
+        with open(profile_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile to {profile_out}")
+    if traced:
+        from .obs import render_span_tree
+
+        print()
+        print(render_span_tree())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,57 @@
+"""Freezable wall clock for persisted timestamp fields.
+
+Every *wall-clock* stamp the package persists -- the ``stamp`` column of
+the warehouse's ``experiments`` and ``telemetry`` tables -- is read
+through :func:`now` instead of calling :func:`time.time` at the call
+site.  The indirection exists for tests and golden outputs:
+:func:`freeze` pins the clock to a fixed value so stamped rows are
+deterministic, and :func:`unfreeze` (or the :func:`frozen` context
+manager) restores the real clock.
+
+A ``stamp`` is always seconds since the Unix epoch as a float.  It means
+"when was this row appended" -- an audit/retention field for humans and
+cross-run bookkeeping, never an input to any computation: record bytes,
+aggregates, and query answers are stamp-independent by construction.
+Durations, by contrast, come from ``time.perf_counter`` via the span
+tracer (:mod:`repro.obs.trace`) and are never frozen.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator
+
+_FROZEN: "float | None" = None
+
+
+def now() -> float:
+    """Seconds since the epoch, honouring a frozen test clock."""
+    return time.time() if _FROZEN is None else _FROZEN
+
+
+def freeze(value: float) -> None:
+    """Pin :func:`now` to ``value`` until :func:`unfreeze` is called."""
+    global _FROZEN
+    _FROZEN = float(value)
+
+
+def unfreeze() -> None:
+    """Restore the real wall clock."""
+    global _FROZEN
+    _FROZEN = None
+
+
+@contextlib.contextmanager
+def frozen(value: float) -> Iterator[None]:
+    """Freeze the clock for the duration of a ``with`` block."""
+    global _FROZEN
+    previous = _FROZEN
+    freeze(value)
+    try:
+        yield
+    finally:
+        _FROZEN = previous
+
+
+__all__ = ["freeze", "frozen", "now", "unfreeze"]

@@ -34,10 +34,12 @@ before any evolution pass.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pathlib
 from fractions import Fraction
 
+from ..obs import OBS
 from .log import AppendLog
 
 #: Sentinel distinguishing "no entry" from a stored ``None`` value.
@@ -177,8 +179,12 @@ class QueryMemo:
         raw = self._entries.get(token)
         if raw is None:
             self._misses += 1
+            if OBS.enabled:
+                OBS.metrics.inc("results.memo.miss")
             return MISS
         self._hits += 1
+        if OBS.enabled:
+            OBS.metrics.inc("results.memo.hit")
         try:
             return decode_value(raw)
         except (KeyError, ValueError, TypeError):
@@ -193,6 +199,9 @@ class QueryMemo:
         except TypeError:
             return
         self._entries[token] = encoded
+        if OBS.enabled:
+            OBS.metrics.inc("results.memo.records")
+            OBS.metrics.inc("results.memo.bytes", len(json.dumps(encoded)))
         if self._log.append({"k": token, "v": encoded}):
             # Keep the refresh fast path honest: our own append must
             # not read as "someone else grew the log" next job.

@@ -38,6 +38,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from ..obs import OBS
 from .query import Table
 
 #: Column kinds a schema may declare.
@@ -89,6 +90,21 @@ EXPERIMENT_COLUMNS: dict[str, str] = {
     "passed": "bool",
     "rows": "int",
     "stamp": "float",
+}
+
+#: Fixed schema of the ``telemetry`` table (persisted sweep telemetry:
+#: counters, gauges, histogram totals, and span aggregates -- see
+#: ``repro.obs.telemetry_rows``).  ``stamp`` is wall-clock append time
+#: via :func:`repro.obs.clock.now`; ``value``/``count`` carry the
+#: kind-specific magnitude (counter total, gauge level, histogram sum,
+#: span seconds) and occurrence count.
+TELEMETRY_COLUMNS: dict[str, str] = {
+    "stamp": "float",
+    "master_seed": "int",
+    "kind": "str",
+    "name": "str",
+    "value": "float",
+    "count": "int",
 }
 
 _DEFAULTS = {"int": 0, "float": float("nan"), "bool": False, "str": ""}
@@ -411,6 +427,9 @@ class ResultsStore:
         _atomic_write_text(
             manifest_path, json.dumps(info.to_manifest(), indent=2)
         )
+        if OBS.enabled:
+            OBS.metrics.inc("results.store.segments")
+            OBS.metrics.inc("results.store.rows", len(rows))
         return info
 
     def read_segment(self, info: SegmentInfo) -> dict[str, np.ndarray]:
@@ -513,6 +532,8 @@ class ResultsStore:
         self.write_segment(
             name, table, rows, schema, source=source, start=start, end=end
         )
+        if OBS.enabled:
+            OBS.metrics.inc("results.store.rows_ingested", len(rows))
         return len(rows)
 
     def run_directory_records(self, run_dir) -> "list[dict] | None":
@@ -678,6 +699,8 @@ class ResultsStore:
                     if member.name != name:
                         self.delete_segment(member.name)
                         removed += 1
+        if OBS.enabled and merged:
+            OBS.metrics.inc("results.store.compactions", merged)
         return {"merged": merged, "removed": removed}
 
     # ------------------------------------------------------------------
@@ -719,6 +742,7 @@ __all__ = [
     "GROUP_COLUMNS",
     "KINDS",
     "RECORD_COLUMNS",
+    "TELEMETRY_COLUMNS",
     "ResultsStore",
     "SegmentInfo",
     "flatten_record",

@@ -20,6 +20,7 @@ import math
 import pathlib
 from dataclasses import dataclass, field
 
+from ..obs import OBS, merge_telemetry, trace
 from .engines import ExecutionEngine, SerialEngine
 from .persistence import RunDirectory
 from .spec import SweepSpec, derive_seed, make_ports
@@ -121,7 +122,9 @@ def _group_job_payloads(jobs, payloads, engine):
         current_weight += weight
     if current:
         groups.append(current)
-    context_keys = ("chain_cache", "batch", "group_chains", "results_memo")
+    context_keys = (
+        "chain_cache", "batch", "group_chains", "results_memo", "obs",
+    )
     return [
         {
             "jobs": group,
@@ -413,21 +416,34 @@ def run_sweep(
     group_stats: list[dict] = []
     try:
         if dispatch and getattr(engine, "supports_shared_chains", False):
-            shm_store = _publish_shared_chains(jobs, dispatch, directory)
-        for result in engine.map(worker_fn, dispatch):
-            if grouped is not None and "group" in result:
-                group_stats.append(
-                    {**result["group"], "master_seed": sweep.master_seed}
+            with trace("sweep.publish"):
+                shm_store = _publish_shared_chains(jobs, dispatch, directory)
+        with trace("sweep.execute", jobs=len(dispatch)):
+            for result in engine.map(worker_fn, dispatch):
+                # Workers attach their drained telemetry *next to* the
+                # record payload; fold it into this process before
+                # anything is persisted, so record bytes are identical
+                # with tracing on or off.  (Serial engines drain and
+                # merge back in-process: a no-op for the totals.)
+                telemetry = result.pop(
+                    "telemetry" if grouped is not None else "_telemetry",
+                    None,
                 )
-            for record in (
-                (result,) if grouped is None else result["records"]
-            ):
-                if directory is not None:
-                    directory.append(record)
-                fresh.append(record)
-                executed += 1
-                if progress is not None:
-                    progress(record)
+                if telemetry is not None:
+                    merge_telemetry(telemetry)
+                if grouped is not None and "group" in result:
+                    group_stats.append(
+                        {**result["group"], "master_seed": sweep.master_seed}
+                    )
+                for record in (
+                    (result,) if grouped is None else result["records"]
+                ):
+                    if directory is not None:
+                        directory.append(record)
+                    fresh.append(record)
+                    executed += 1
+                    if progress is not None:
+                        progress(record)
     finally:
         if shm_store is not None:
             # Unlinking is safe while workers still hold mappings; only
@@ -455,12 +471,32 @@ def run_sweep(
             # (watermarked -- only the new JSONL bytes are read) and the
             # grouped-dispatch diagnostics.
             try:
-                if directory is not None:
-                    store.ingest_run_directory(directory)
-                if group_stats:
-                    from ..results.store import GROUP_COLUMNS
+                with trace("sweep.ingest"):
+                    if directory is not None:
+                        store.ingest_run_directory(directory)
+                    if group_stats:
+                        from ..results.store import GROUP_COLUMNS
 
-                    store.append_rows("groups", group_stats, GROUP_COLUMNS)
+                        store.append_rows(
+                            "groups", group_stats, GROUP_COLUMNS
+                        )
+                if OBS.enabled:
+                    # Land the folded sweep telemetry as queryable rows
+                    # (``repro results query --table telemetry``).  The
+                    # snapshot is taken *after* the ingest above so the
+                    # store's own counters are included.
+                    from ..obs import clock, telemetry_rows
+                    from ..results.store import TELEMETRY_COLUMNS
+
+                    rows = telemetry_rows()
+                    stamp = clock.now()
+                    for row in rows:
+                        row["stamp"] = stamp
+                        row["master_seed"] = sweep.master_seed
+                    if rows:
+                        store.append_rows(
+                            "telemetry", rows, TELEMETRY_COLUMNS
+                        )
             except OSError:
                 pass  # the warehouse is derived state; never fail a sweep
     records = sorted(prior + fresh, key=lambda r: r["index"])

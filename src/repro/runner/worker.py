@@ -14,7 +14,6 @@ module-level imports in either direction would be circular.
 
 from __future__ import annotations
 
-import time
 from fractions import Fraction
 
 from ..chain import (
@@ -30,6 +29,13 @@ from ..chain import (
 )
 from ..core.probability import solving_probability_sampled
 from ..core.tasks import SymmetryBreakingTask
+from ..obs import (
+    OBS,
+    configure_tracing,
+    drain_telemetry,
+    trace,
+    tracing_enabled,
+)
 from ..randomness.configuration import RandomnessConfiguration
 from .spec import RunSpec, derive_seed, make_ports, make_task
 
@@ -58,7 +64,11 @@ def chain_context_payload() -> dict:
     """
     from ..chain import batching_enabled, grouping_enabled
 
-    return {"batch": batching_enabled(), "group_chains": grouping_enabled()}
+    return {
+        "batch": batching_enabled(),
+        "group_chains": grouping_enabled(),
+        "obs": tracing_enabled(),
+    }
 
 
 #: Structural chain digests by deterministic job family: the digest is
@@ -120,6 +130,7 @@ def _apply_chain_context(payload: dict) -> None:
     configure_batching(payload.get("batch", True))
     configure_grouping(payload.get("group_chains", True))
     configure_query_memo(payload.get("results_memo"))
+    configure_tracing(payload.get("obs", False))
 
 
 def _exact_value(limit: Fraction) -> dict:
@@ -158,37 +169,46 @@ def execute_run(payload: dict) -> dict:
     spec = RunSpec.from_dict(payload["spec"])
     master_seed = int(payload.get("master_seed", 0))
     seed = derive_seed(master_seed, spec.job_key)
-    started = time.perf_counter()
-    alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
-    task = make_task(spec.task, alpha.n)
-    # Random ports and Monte-Carlo sampling get *disjoint* streams split
-    # off the job seed; sharing one seed would correlate the sampled
-    # realizations with the randomly drawn port assignment.
-    ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
     value: dict
-    if spec.kind == "exact":
-        limit = _memoized_exact_limit(spec, alpha, ports)
-        if limit is None:
-            limit = exact_limit_value(compile_chain(alpha, ports), task)
-        value = _exact_value(limit)
-    else:  # sample
-        estimate = solving_probability_sampled(
-            alpha,
-            task,
-            spec.t,
-            ports,
-            samples=spec.samples,
-            seed=derive_seed(seed, "samples"),
-        )
-        value = {
-            "estimate": estimate,
-            "successes": round(estimate * spec.samples),
-            "samples": spec.samples,
-        }
-    return _job_record(
-        payload, spec, seed, alpha, value,
-        time.perf_counter() - started,
-    )
+    with trace("runner.job", key=spec.job_key, kind=spec.kind) as timer:
+        alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+        task = make_task(spec.task, alpha.n)
+        # Random ports and Monte-Carlo sampling get *disjoint* streams
+        # split off the job seed; sharing one seed would correlate the
+        # sampled realizations with the randomly drawn port assignment.
+        ports = make_ports(spec.ports, spec.sizes,
+                           derive_seed(seed, "ports"))
+        if spec.kind == "exact":
+            limit = _memoized_exact_limit(spec, alpha, ports)
+            if limit is None:
+                with trace("job.compile"):
+                    chain = compile_chain(alpha, ports)
+                with trace("job.evolve"):
+                    limit = exact_limit_value(chain, task)
+            value = _exact_value(limit)
+        else:  # sample
+            with trace("job.sample", samples=spec.samples):
+                estimate = solving_probability_sampled(
+                    alpha,
+                    task,
+                    spec.t,
+                    ports,
+                    samples=spec.samples,
+                    seed=derive_seed(seed, "samples"),
+                )
+            value = {
+                "estimate": estimate,
+                "successes": round(estimate * spec.samples),
+                "samples": spec.samples,
+            }
+    record = _job_record(payload, spec, seed, alpha, value, timer.duration)
+    if OBS.enabled:
+        OBS.metrics.inc("runner.jobs")
+        # Telemetry rides *next to* the record fields under a key the
+        # sweep orchestrator pops before persistence -- record bytes
+        # stay identical with tracing on or off.
+        record["_telemetry"] = drain_telemetry()
+    return record
 
 
 def execute_run_group(payload: dict) -> dict:
@@ -217,47 +237,52 @@ def execute_run_group(payload: dict) -> dict:
     from ..chain import evolution_strategy, transition_density
 
     _apply_chain_context(payload)
-    started = time.perf_counter()
-    prepared = []
-    items: dict[int, tuple[CompiledChain, list]] = {}
-    order: list[int] = []
-    memo_hits = 0
-    for job in payload["jobs"]:
-        spec = RunSpec.from_dict(job["spec"])
-        master_seed = int(job.get("master_seed", 0))
-        seed = derive_seed(master_seed, spec.job_key)
-        alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
-        task = make_task(spec.task, alpha.n)
-        ports = make_ports(spec.ports, spec.sizes, derive_seed(seed, "ports"))
-        limit = _memoized_exact_limit(spec, alpha, ports)
-        if limit is not None:
-            memo_hits += 1
-            prepared.append((job, spec, seed, alpha, None, limit))
-            continue
-        chain = compile_chain(alpha, ports)
-        entry = items.get(id(chain))
-        if entry is None:
-            entry = items[id(chain)] = (chain, [])
-            order.append(id(chain))
-        queries = entry[1]
-        prepared.append((job, spec, seed, alpha, (id(chain), len(queries)),
-                         None))
-        queries.append(Query.limit(task))
-    answers = dict(
-        zip(order, run_group_queries([items[cid] for cid in order]))
-    )
-    elapsed_total = time.perf_counter() - started
+    with trace("runner.group", jobs=len(payload["jobs"])) as timer:
+        prepared = []
+        items: dict[int, tuple[CompiledChain, list]] = {}
+        order: list[int] = []
+        memo_hits = 0
+        with trace("group.prepare"):
+            for job in payload["jobs"]:
+                spec = RunSpec.from_dict(job["spec"])
+                master_seed = int(job.get("master_seed", 0))
+                seed = derive_seed(master_seed, spec.job_key)
+                alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
+                task = make_task(spec.task, alpha.n)
+                ports = make_ports(spec.ports, spec.sizes,
+                                   derive_seed(seed, "ports"))
+                limit = _memoized_exact_limit(spec, alpha, ports)
+                if limit is not None:
+                    memo_hits += 1
+                    prepared.append((job, spec, seed, alpha, None, limit))
+                    continue
+                chain = compile_chain(alpha, ports)
+                entry = items.get(id(chain))
+                if entry is None:
+                    entry = items[id(chain)] = (chain, [])
+                    order.append(id(chain))
+                queries = entry[1]
+                prepared.append(
+                    (job, spec, seed, alpha, (id(chain), len(queries)), None)
+                )
+                queries.append(Query.limit(task))
+        with trace("group.evolve"):
+            answers = dict(
+                zip(order, run_group_queries([items[cid] for cid in order]))
+            )
+    elapsed_total = timer.duration
     elapsed = elapsed_total / max(1, len(prepared))
-    records = [
-        _job_record(
-            job, spec, seed, alpha,
-            _exact_value(
-                limit if handle is None else answers[handle[0]][handle[1]]
-            ),
-            elapsed,
-        )
-        for job, spec, seed, alpha, handle, limit in prepared
-    ]
+    with trace("group.serialize"):
+        records = [
+            _job_record(
+                job, spec, seed, alpha,
+                _exact_value(
+                    limit if handle is None else answers[handle[0]][handle[1]]
+                ),
+                elapsed,
+            )
+            for job, spec, seed, alpha, handle, limit in prepared
+        ]
     chains = [items[cid][0] for cid in order]
     states = sum(chain.num_states for chain in chains)
     transitions = sum(chain.num_transitions for chain in chains)
@@ -273,7 +298,12 @@ def execute_run_group(payload: dict) -> dict:
         "memo_hits": memo_hits,
         "elapsed": elapsed_total,
     }
-    return {"records": records, "group": group}
+    result = {"records": records, "group": group}
+    if OBS.enabled:
+        OBS.metrics.inc("runner.groups")
+        OBS.metrics.inc("runner.jobs", len(prepared))
+        result["telemetry"] = drain_telemetry()
+    return result
 
 
 def execute_experiment(payload: dict) -> dict:
@@ -289,12 +319,14 @@ def execute_experiment(payload: dict) -> dict:
 
     _apply_chain_context(payload)
     index = int(payload["index"])
-    started = time.perf_counter()
-    result = ALL_EXPERIMENTS[index]()
+    with trace("runner.experiment", index=index) as timer:
+        result = ALL_EXPERIMENTS[index]()
+    # Experiment records carry live result objects, not JSON; telemetry
+    # is not attached here (see OBS.md, "limitations").
     return {
         "index": index,
         "result": result,
-        "elapsed": time.perf_counter() - started,
+        "elapsed": timer.duration,
     }
 
 

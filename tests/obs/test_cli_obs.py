@@ -1,0 +1,158 @@
+"""CLI observability round-trips: trace, metrics, profiles, stamps."""
+
+import json
+
+from repro.chain import clear_memo
+from repro.cli import main
+from repro.obs import clock
+from repro.obs.schema import validate_profile
+from repro.results import ResultsStore
+
+
+def _table_rows(text):
+    """Rows of a ``format_table`` print-out, split on whitespace."""
+    lines = [
+        line for line in text.splitlines()
+        if line.strip() and set(line) - {"-", " "}
+    ]
+    return [line.split() for line in lines[1:]]  # drop the header
+
+
+class TestTraceCommand:
+    def test_trace_prefix_prints_span_tree(self, capsys):
+        assert main(["trace", "run", "2,3", "--model", "clique"]) == 0
+        out = capsys.readouterr().out
+        record_line, _, tree = out.partition("\n\n")
+        record = json.loads(record_line)
+        # Telemetry rides the return path, never the record itself.
+        assert "_telemetry" not in record
+        assert "telemetry" not in record
+        assert "repro.run" in tree
+        assert "runner.job" in tree
+        assert tree.splitlines()[0].split() == [
+            "span", "calls", "total", "self",
+        ]
+
+    def test_trace_flag_works_anywhere(self, capsys):
+        assert main(["run", "2,3", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.run" in out
+        assert "job.compile" in out or "job.evolve" in out
+
+    def test_bare_trace_is_a_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: repro trace" in err
+
+    def test_untraced_run_prints_no_tree(self, capsys):
+        assert main(["run", "2,3"]) == 0
+        out = capsys.readouterr().out
+        record = json.loads(out)
+        assert "_telemetry" not in record
+        assert "repro.run" not in out
+
+
+class TestMetricsCommand:
+    def test_show_without_telemetry_says_so(self, capsys):
+        assert main(["metrics", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "no telemetry collected" in out
+
+    def test_chain_gauges_agree_with_chains_list(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        # A warm process-wide compile memo would serve every chain
+        # without ever writing the run directory's disk cache.
+        clear_memo()
+        assert main(["sweep", "--n", "4", "--run-dir", str(run)]) == 0
+        capsys.readouterr()
+
+        assert main(["chains", "list", str(run)]) == 0
+        listing = capsys.readouterr().out
+        # digest | bytes | loads | date | time; the last line is the
+        # "<N> chains, <bytes> bytes" summary.
+        listed = {
+            parts[0]: int(parts[2])
+            for parts in _table_rows(listing)[:-1]
+        }
+        assert listed  # the sweep cached at least one chain
+
+        assert main(["metrics", "show", "--chains", str(run)]) == 0
+        shown = capsys.readouterr().out
+        gauged = {}
+        for parts in _table_rows(shown):
+            if parts[0] == "gauge" and parts[1].startswith(
+                "chain.cache.loads."
+            ):
+                digest = parts[1].removeprefix("chain.cache.loads.")
+                gauged[digest] = int(float(parts[2]))
+        assert gauged == listed
+
+    def test_export_writes_json_rows(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        clear_memo()
+        assert main(["sweep", "--n", "4", "--run-dir", str(run)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "metrics.json"
+        assert main(
+            ["metrics", "export", "--chains", str(run),
+             "-o", str(out_path)]
+        ) == 0
+        rows = json.loads(out_path.read_text())
+        assert all(
+            set(row) == {"kind", "name", "value", "count"} for row in rows
+        )
+        assert any(row["name"] == "chain.cache.entries" for row in rows)
+
+
+class TestProfileOut:
+    def test_sweep_profile_validates_and_telemetry_lands(
+        self, tmp_path, capsys
+    ):
+        run = tmp_path / "run"
+        profile_path = tmp_path / "profile.json"
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(run),
+             "--profile-out", str(profile_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote profile to {profile_path}" in out
+
+        document = json.loads(profile_path.read_text())
+        assert validate_profile(document) == []
+        assert document["meta"]["command"] == "sweep"
+        assert "repro.sweep" in document["aggregates"]
+        assert document["metrics"]["counters"]["runner.jobs"] == 10
+
+        store = ResultsStore(run / "warehouse")
+        assert "telemetry" in store.tables()
+        rows = store.table("telemetry").to_rows()
+        assert {row["kind"] for row in rows} >= {"counter", "span"}
+
+        # And the table is reachable through the ordinary query CLI.
+        assert main(
+            ["results", "query", str(run), "--table", "telemetry",
+             "--where", "kind=counter"]
+        ) == 0
+        queried = capsys.readouterr().out
+        assert "runner.jobs" in queried
+
+    def test_untraced_sweep_persists_no_telemetry(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        assert main(["sweep", "--n", "4", "--run-dir", str(run)]) == 0
+        capsys.readouterr()
+        store = ResultsStore(run / "warehouse")
+        assert "telemetry" not in store.tables()
+
+
+class TestFrozenStamps:
+    def test_frozen_clock_pins_telemetry_stamps(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        with clock.frozen(1234.5):
+            assert main(
+                ["trace", "sweep", "--n", "4", "--run-dir", str(run)]
+            ) == 0
+        capsys.readouterr()
+        rows = ResultsStore(run / "warehouse").table("telemetry").to_rows()
+        assert rows
+        assert {row["stamp"] for row in rows} == {1234.5}
+        assert {row["master_seed"] for row in rows} == {0}

@@ -1,0 +1,39 @@
+"""The freezable wall clock behind every persisted ``stamp`` field."""
+
+import time
+
+from repro.obs import clock
+
+
+class TestClock:
+    def test_now_tracks_the_real_clock(self):
+        before = time.time()
+        value = clock.now()
+        after = time.time()
+        assert before <= value <= after
+
+    def test_freeze_pins_and_unfreeze_restores(self):
+        clock.freeze(123.5)
+        try:
+            assert clock.now() == 123.5
+            assert clock.now() == 123.5  # stable, not advancing
+        finally:
+            clock.unfreeze()
+        assert abs(clock.now() - time.time()) < 5.0
+
+    def test_frozen_context_manager_restores_previous_state(self):
+        with clock.frozen(10.0):
+            assert clock.now() == 10.0
+            with clock.frozen(20.0):
+                assert clock.now() == 20.0
+            # Nested exit restores the *outer* freeze, not the real clock.
+            assert clock.now() == 10.0
+        assert abs(clock.now() - time.time()) < 5.0
+
+    def test_frozen_restores_on_exception(self):
+        try:
+            with clock.frozen(7.0):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert abs(clock.now() - time.time()) < 5.0

@@ -1,0 +1,98 @@
+"""The metrics registry: bins, merge laws, and atomic drains."""
+
+from repro.obs import MetricsRegistry, bin_edges, bin_index
+from repro.obs.metrics import MIN_EXP, NBINS
+
+
+class TestHistogramBins:
+    def test_bin_edges_are_pinned(self):
+        edges = bin_edges()
+        # 64 buckets need 63 finite boundaries; the first bucket is
+        # everything below 2^-30 (including zero and negatives), the
+        # last is open above 2^32.
+        assert len(edges) == NBINS - 1
+        assert edges[0] == 2.0 ** MIN_EXP == 2.0 ** -30
+        assert edges[-1] == 2.0 ** (MIN_EXP + NBINS - 2) == 2.0 ** 32
+        for lo, hi in zip(edges, edges[1:]):
+            assert hi == lo * 2.0
+
+    def test_bin_index_boundaries(self):
+        assert bin_index(0.0) == 0
+        assert bin_index(-5.0) == 0
+        assert bin_index(2.0 ** -31) == 0  # below the first edge
+        assert bin_index(2.0 ** -30) == 1  # exactly on it
+        assert bin_index(1.0) == bin_index(1.5) == 31
+        assert bin_index(2.0) == 32
+        assert bin_index(2.0 ** 40) == NBINS - 1  # clamps into the top
+
+    def test_observe_fills_the_right_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1.0)
+        registry.observe("lat", 1.9)
+        registry.observe("lat", 4.0)
+        hist = registry.histogram("lat")
+        assert hist["count"] == 3
+        assert hist["sum"] == 6.9
+        assert hist["min"] == 1.0
+        assert hist["max"] == 4.0
+        assert hist["bins"] == {str(bin_index(1.0)): 2,
+                                str(bin_index(4.0)): 1}
+
+
+class TestMergeLaws:
+    def test_counters_sum_gauges_max_histograms_fold(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("jobs", 3)
+        b.inc("jobs", 4)
+        a.gauge("entries", 10)
+        b.gauge("entries", 7)
+        a.observe("lat", 1.0)
+        b.observe("lat", 8.0)
+        a.merge(b.snapshot())
+        assert a.counter("jobs") == 7
+        assert a.gauge_value("entries") == 10  # max, order-independent
+        hist = a.histogram("lat")
+        assert hist["count"] == 2
+        assert hist["sum"] == 9.0
+        assert (hist["min"], hist["max"]) == (1.0, 8.0)
+
+    def test_merge_is_order_independent(self):
+        snaps = []
+        for seed in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.inc("n", seed)
+            registry.gauge("g", seed * 10)
+            registry.observe("h", float(seed))
+            snaps.append(registry.snapshot())
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_drain_snapshots_and_resets_atomically(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs", 2)
+        registry.gauge("g", 5)
+        registry.observe("h", 1.5)
+        before = registry.snapshot()
+        drained = registry.drain()
+        assert drained == before
+        empty = registry.snapshot()
+        assert empty["counters"] == {}
+        assert empty["gauges"] == {}
+        assert empty["histograms"] == {}
+        # Drain-then-merge-back is a no-op for the totals: the serial
+        # engine relies on this when worker code drains in-process.
+        registry.merge(drained)
+        assert registry.snapshot() == before
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        snap["histograms"]["h"]["bins"]["99"] = 123
+        assert "99" not in registry.histogram("h")["bins"]

@@ -1,0 +1,161 @@
+"""The span tracer: nesting, threads, the ring, and the disabled no-op."""
+
+import threading
+
+from repro.obs import OBS, Span, configure_tracing, trace
+from repro.obs.trace import TRACER
+
+
+class TestDisabledMode:
+    def test_disabled_trace_records_no_spans(self):
+        with trace("outer"):
+            with trace("inner"):
+                pass
+        assert TRACER.finished() == []
+
+    def test_disabled_trace_still_measures_duration(self):
+        # Worker `elapsed` fields are timer.duration: the measurement
+        # must exist (and be sane) whether tracing is on or off.
+        with trace("timed") as timer:
+            pass
+        assert timer.duration is not None
+        assert timer.duration >= 0.0
+
+    def test_off_by_default(self):
+        assert OBS.enabled is False
+
+    def test_configure_returns_previous_state(self):
+        assert configure_tracing(True) is False
+        assert configure_tracing(False) is True
+
+
+class TestNesting:
+    def test_children_nest_under_open_parents(self):
+        configure_tracing(True)
+        with trace("parent", label="x"):
+            with trace("child"):
+                with trace("grandchild"):
+                    pass
+            with trace("sibling"):
+                pass
+        roots = TRACER.finished()
+        assert [span.name for span in roots] == ["parent"]
+        parent = roots[0]
+        assert parent.attrs == {"label": "x"}
+        assert [child.name for child in parent.children] == [
+            "child", "sibling",
+        ]
+        assert [g.name for g in parent.children[0].children] == [
+            "grandchild"
+        ]
+
+    def test_durations_cover_children(self):
+        configure_tracing(True)
+        with trace("parent"):
+            with trace("child"):
+                pass
+        parent = TRACER.finished()[0]
+        assert parent.duration >= parent.children[0].duration >= 0.0
+
+    def test_reentrant_decorator(self):
+        configure_tracing(True)
+
+        @trace("fib")
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        assert fib(4) == 3
+        roots = [s for s in TRACER.finished() if s.name == "fib"]
+        assert len(roots) == 1  # one root; recursion nests below it
+
+        def count(span):
+            return 1 + sum(count(child) for child in span.children)
+
+        assert count(roots[0]) == 9  # fib(4) makes 9 calls total
+
+    def test_finished_sees_completed_children_of_open_spans(self):
+        # A mid-command profile (e.g. --profile-out written inside the
+        # CLI root span) must see the phases that already completed.
+        configure_tracing(True)
+        with trace("root"):
+            with trace("done-phase"):
+                pass
+            visible = TRACER.finished()
+            assert [span.name for span in visible] == ["done-phase"]
+
+
+class TestRing:
+    def test_drain_empties_the_ring(self):
+        configure_tracing(True)
+        with trace("a"):
+            pass
+        drained = TRACER.drain()
+        assert [span.name for span in drained] == ["a"]
+        assert TRACER.finished() == []
+
+    def test_ring_capacity_bounds_memory(self):
+        configure_tracing(True)
+        for i in range(1100):
+            with trace("s"):
+                pass
+        assert len(TRACER.finished()) == 1024
+
+    def test_adopt_under_open_span(self):
+        configure_tracing(True)
+        foreign = Span("worker-span")
+        with trace("sweep"):
+            TRACER.adopt([foreign])
+        root = TRACER.finished()[0]
+        assert root.name == "sweep"
+        assert foreign in root.children
+
+    def test_adopt_without_open_span_goes_to_ring(self):
+        configure_tracing(True)
+        foreign = Span("worker-span")
+        TRACER.adopt([foreign])
+        assert foreign in TRACER.finished()
+
+
+class TestThreads:
+    def test_threads_keep_separate_stacks(self):
+        configure_tracing(True)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def work(tag):
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    with trace(f"outer-{tag}"):
+                        with trace(f"inner-{tag}"):
+                            pass
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        roots = TRACER.finished()
+        assert len(roots) == 200
+        for root in roots:
+            tag = root.name.removeprefix("outer-")
+            # No cross-thread adoption: each root's child is its own
+            # thread's inner span.
+            assert [c.name for c in root.children] == [f"inner-{tag}"]
+
+    def test_span_round_trips_through_dicts(self):
+        configure_tracing(True)
+        with trace("root", n=3):
+            with trace("leaf"):
+                pass
+        span = TRACER.finished()[0]
+        clone = Span.from_dict(span.to_dict())
+        assert clone.name == span.name
+        assert clone.attrs == span.attrs
+        assert clone.duration == span.duration
+        assert [c.name for c in clone.children] == ["leaf"]
