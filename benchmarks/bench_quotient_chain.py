@@ -1,0 +1,240 @@
+"""Symmetry-quotient compilation vs the full Bell-number chain (ISSUE 7).
+
+Exact chain compilation enumerates every reachable consistency
+partition, and for the fully symmetric configurations (``n`` i.i.d.
+singleton groups) that reachable set is the Bell number of ``n`` -- the
+wall that caps exact sweeps at small ``n``.  The quotient backend
+(:mod:`repro.chain.quotient`) folds states into orbits of the
+configuration's automorphism group during the BFS, so only orbit
+representatives are ever expanded: at ``n = 7`` the 877 reachable
+partitions collapse to 15 integer partitions.
+
+This benchmark runs the symmetric exact workload -- compile from scratch
+plus the record-path queries (limit, expected time, series) for the
+leader and 2-leader tasks at ``n = 6, 7`` -- both ways and asserts
+
+* the quotient path beats the full path end to end by at least the
+  acceptance floor (3x; ~10x in practice),
+* the ``n = 7`` state count shrinks by at least 5x, and
+* quotient exact results are byte-identical to the full chain across
+  the whole n <= 5 registry (blackboard and both deterministic port
+  kinds, with and without back ports).
+
+A machine-readable report is written to ``BENCH_quotient.json``
+(override with ``BENCH_QUOTIENT_JSON``) so CI can archive the perf
+trajectory.
+
+Runs standalone (``python benchmarks/bench_quotient_chain.py``) or under
+pytest-benchmark (``pytest benchmarks/ -o python_files='bench_*.py'
+-o python_functions='bench_*'``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.chain import Query, compile_chain, run_queries
+from repro.core import k_leader_election, leader_election
+from repro.randomness import RandomnessConfiguration, enumerate_size_shapes
+from repro.runner import spec as runner_spec
+
+#: The symmetric exact workload: the Bell-number worst case.
+TOTALS = (6, 7)
+T_MAX = 8
+#: Acceptance floors from the ISSUE; CI smoke runs on noisy shared
+#: runners relax the speedup via QUOTIENT_BENCH_MIN_SPEEDUP (exact
+#: byte-identity and the state-count reduction are asserted regardless).
+REQUIRED_SPEEDUP = float(os.environ.get("QUOTIENT_BENCH_MIN_SPEEDUP", "3.0"))
+REQUIRED_REDUCTION = float(
+    os.environ.get("QUOTIENT_BENCH_MIN_REDUCTION", "5.0")
+)
+REPORT_PATH = os.environ.get("BENCH_QUOTIENT_JSON", "BENCH_quotient.json")
+
+
+def symmetric_workload(quotient: bool) -> list:
+    """Compile the (1,)*n chains from scratch and answer the record-path
+    queries -- the exact end-to-end cost a sweep job pays per cell."""
+    results = []
+    for n in TOTALS:
+        alpha = RandomnessConfiguration.from_group_sizes((1,) * n)
+        chain = compile_chain(alpha, use_memo=False, quotient=quotient)
+        for task in (leader_election(n), k_leader_election(n, 2)):
+            results.append(
+                run_queries(
+                    chain,
+                    [
+                        Query.limit(task),
+                        Query.expected_time(task),
+                        Query.series(task, T_MAX),
+                    ],
+                )
+            )
+    return results
+
+
+def _best_of(fn, rounds: int = 3) -> tuple[float, list]:
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _registry_byte_identity() -> int:
+    """Quotient == full on every registry chain at n <= 5; returns the
+    number of configurations checked."""
+    checked = 0
+    for n in range(1, 6):
+        tasks = [runner_spec.make_task("leader", n)]
+        if n >= 2:
+            tasks.append(runner_spec.make_task("k-leader:2", n))
+        for shape in enumerate_size_shapes(n):
+            alpha = RandomnessConfiguration.from_group_sizes(shape)
+            configurations = [(None, False)]
+            if n >= 2:
+                for kind in ("adversarial", "round-robin"):
+                    ports = runner_spec.make_ports(kind, shape, 0)
+                    configurations.append((ports, False))
+                    configurations.append((ports, True))
+            for ports, back in configurations:
+                full = compile_chain(
+                    alpha, ports, include_back_ports=back,
+                    use_memo=False, quotient=False,
+                )
+                quot = compile_chain(
+                    alpha, ports, include_back_ports=back,
+                    use_memo=False, quotient=True,
+                )
+                assert sum(quot.orbit_sizes) == full.num_states
+                for task in tasks:
+                    queries = [
+                        Query.limit(task),
+                        Query.expected_time(task),
+                        Query.series(task, 6),
+                    ]
+                    want = run_queries(full, queries)
+                    got = run_queries(quot, queries)
+                    assert got == want, (shape, ports, back, task)
+                    assert type(got[0]) is type(want[0])
+                checked += 1
+    return checked
+
+
+def measure() -> dict:
+    """Timings plus the reduction and byte-identity verdicts."""
+    # Warm the generator cache (part of both paths' steady state).
+    symmetric_workload(quotient=True)
+    full_seconds, full_results = _best_of(
+        lambda: symmetric_workload(quotient=False)
+    )
+    quot_seconds, quot_results = _best_of(
+        lambda: symmetric_workload(quotient=True)
+    )
+    assert quot_results == full_results, (
+        "quotient exact results must be byte-identical to the full chain"
+    )
+    counts = {}
+    for n in TOTALS:
+        alpha = RandomnessConfiguration.from_group_sizes((1,) * n)
+        full = compile_chain(alpha, use_memo=False, quotient=False)
+        quot = compile_chain(alpha, use_memo=False, quotient=True)
+        counts[n] = {
+            "full_states": full.num_states,
+            "quotient_states": quot.num_states,
+            "reduction": full.num_states / quot.num_states,
+            "group_order": quot.group_order,
+        }
+    return {
+        "totals": list(TOTALS),
+        "registry_configurations_byte_identical": _registry_byte_identity(),
+        "full_seconds": full_seconds,
+        "quotient_seconds": quot_seconds,
+        "speedup": full_seconds / quot_seconds,
+        "states": counts,
+        "reduction_at_7": counts[7]["reduction"],
+    }
+
+
+def _write_report(report: dict) -> None:
+    try:
+        with open(REPORT_PATH, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    except OSError:
+        pass  # read-only checkout: the printed report still stands
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_quotient_full_baseline(benchmark):
+    """Full Bell-number compilation + record queries at n = 6, 7."""
+    symmetric_workload(quotient=False)
+    results = benchmark(lambda: symmetric_workload(quotient=False))
+    assert len(results) == 2 * len(TOTALS)
+
+
+def bench_quotient_orbit_path(benchmark):
+    """The same workload through the quotient backend."""
+    symmetric_workload(quotient=True)
+    results = benchmark(lambda: symmetric_workload(quotient=True))
+    assert len(results) == 2 * len(TOTALS)
+
+
+def bench_quotient_speedup_verdict(benchmark):
+    """Acceptance: >= 3x end-to-end, >= 5x states at n = 7, exactness."""
+    report = benchmark(measure)
+    benchmark.extra_info["speedup"] = round(report["speedup"], 3)
+    benchmark.extra_info["reduction_at_7"] = round(
+        report["reduction_at_7"], 3
+    )
+    benchmark.extra_info["registry_configurations"] = report[
+        "registry_configurations_byte_identical"
+    ]
+    _write_report(report)
+    assert report["speedup"] >= REQUIRED_SPEEDUP, report
+    assert report["reduction_at_7"] >= REQUIRED_REDUCTION, report
+
+
+def main() -> int:
+    report = measure()
+    _write_report(report)
+    print(
+        f"symmetric exact workload: shapes (1,)*n for n in "
+        f"{report['totals']} (compile + limit/expected/series x 2 tasks)"
+    )
+    for n in TOTALS:
+        states = report["states"][n]
+        print(
+            f"  n={n}: {states['full_states']} states -> "
+            f"{states['quotient_states']} orbits "
+            f"({states['reduction']:.2f}x, group order "
+            f"{states['group_order']})"
+        )
+    print(
+        f"  full chain    : {report['full_seconds'] * 1e3:8.2f} ms\n"
+        f"  quotient chain: {report['quotient_seconds'] * 1e3:8.2f} ms "
+        f"({report['speedup']:.1f}x)"
+    )
+    print(
+        f"byte-identical on {report['registry_configurations_byte_identical']}"
+        f" registry configurations (n <= 5)"
+    )
+    ok = (
+        report["speedup"] >= REQUIRED_SPEEDUP
+        and report["reduction_at_7"] >= REQUIRED_REDUCTION
+    )
+    print(
+        f">= {REQUIRED_SPEEDUP:.0f}x speedup and >= "
+        f"{REQUIRED_REDUCTION:.0f}x states at n=7 required: "
+        f"{'PASS' if ok else 'FAIL'}"
+    )
+    print(f"report written to {REPORT_PATH}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,13 +66,29 @@ from .multi import (
     MultiQueryPlan,
     configure_grouping,
     grouping_enabled,
+    plan_chunks,
     run_group_queries,
+)
+from .quotient import (
+    QUOTIENT_MODES,
+    QuotientChain,
+    automorphism_count,
+    automorphism_generators,
+    configure_quotient,
+    effective_chain_key,
+    is_chain_automorphism,
+    is_quotient_key,
+    quotient_key,
+    quotient_mode,
+    resolve_quotient,
 )
 from .shm import (
     SharedChainStore,
     attach_chain,
     configure_shared_chains,
+    configure_shared_groups,
     shared_chain,
+    shared_group,
 )
 from .interning import (
     LabelVector,
@@ -98,12 +114,16 @@ __all__ = [
     "MAX_NODES",
     "MultiQueryPlan",
     "QUANTITIES",
+    "QUOTIENT_MODES",
     "Query",
     "QueryBatch",
     "QueryPlan",
+    "QuotientChain",
     "SharedChainStore",
     "StateTable",
     "attach_chain",
+    "automorphism_count",
+    "automorphism_generators",
     "back_port_tables",
     "batching_enabled",
     "block_count",
@@ -116,20 +136,30 @@ __all__ = [
     "configure_batching",
     "configure_disk_cache",
     "configure_grouping",
+    "configure_quotient",
     "configure_shared_chains",
+    "configure_shared_groups",
     "disk_cache",
+    "effective_chain_key",
     "evolution_strategy",
     "grouping_enabled",
+    "is_chain_automorphism",
+    "is_quotient_key",
     "labels_from_blocks",
     "memo_size",
     "memoized_chain",
     "neighbour_tables",
+    "plan_chunks",
+    "quotient_key",
+    "quotient_mode",
     "refine_labels",
+    "resolve_quotient",
     "run_group_queries",
     "run_queries",
     "run_query_batch",
     "set_distribution_cache_cap",
     "shared_chain",
+    "shared_group",
     "transition_density",
     "validate_backend",
 ]

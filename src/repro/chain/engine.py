@@ -635,12 +635,31 @@ def memoized_chain(key: ChainKey) -> "CompiledChain | None":
     return _MEMO.get(key)
 
 
+def _build_chain(key: ChainKey, alpha: RandomnessConfiguration) -> CompiledChain:
+    """Compile ``key`` -- full or quotient, as the key's tag says."""
+    from . import quotient as quotient_backend
+
+    if not quotient_backend.is_quotient_key(key):
+        return _compile(key, alpha)
+    chain = quotient_backend.compile_quotient(key, alpha)
+    if OBS.enabled:
+        OBS.metrics.inc("chain.compile.quotient")
+        OBS.metrics.observe("chain.quotient.orbits", chain.num_states)
+        OBS.metrics.observe("chain.quotient.full_states", chain.full_states)
+        OBS.metrics.observe(
+            "chain.quotient.reduction",
+            chain.full_states // chain.num_states,
+        )
+    return chain
+
+
 def compile_chain(
     alpha: RandomnessConfiguration,
     ports=None,
     *,
     include_back_ports: bool = False,
     use_memo: bool = True,
+    quotient=None,
 ) -> CompiledChain:
     """The compiled chain of ``(alpha, ports)``, memoized process-wide.
 
@@ -649,6 +668,15 @@ def compile_chain(
     :class:`~repro.models.graph.GraphTopology` selects message passing.
     With a disk cache configured (:func:`repro.chain.cache.configure_disk_cache`)
     compilations persist across worker processes and runs.
+
+    ``quotient`` selects the symmetry-quotient backend
+    (:mod:`repro.chain.quotient`): ``True``/``"on"`` folds states into
+    automorphism orbits, ``False``/``"off"`` compiles the full chain,
+    ``"auto"`` folds exactly when a nontrivial automorphism exists, and
+    ``None`` (the default) defers to the process-wide mode set by
+    :func:`~repro.chain.quotient.configure_quotient`.  Quotient
+    compilations carry a tagged key, so the memo, disk cache, and
+    shared-memory store keep the two backends separate automatically.
     """
     if alpha.n > MAX_NODES:
         raise ValueError(
@@ -658,7 +686,11 @@ def compile_chain(
         raise ValueError("port assignment size does not match alpha")
     if ports is None and include_back_ports:
         raise ValueError("back ports are meaningless on a blackboard")
+    from . import quotient as quotient_backend
+
     key = chain_key(alpha, ports, include_back_ports=include_back_ports)
+    if quotient_backend.resolve_quotient(key, quotient):
+        key = quotient_backend.quotient_key(key)
     if not use_memo:
         # One-shot chains (exhaustive port enumerations) skip BOTH the
         # memo and the disk cache: each is queried once and never again,
@@ -666,8 +698,8 @@ def compile_chain(
         if OBS.enabled:
             OBS.metrics.inc("chain.compile.unmemoized")
             with trace("chain.compile", n=alpha.n, memo=False):
-                return _compile(key, alpha)
-        return _compile(key, alpha)
+                return _build_chain(key, alpha)
+        return _build_chain(key, alpha)
     hit = _MEMO.get(key)
     if hit is not None:
         if OBS.enabled:
@@ -697,10 +729,10 @@ def compile_chain(
     if OBS.enabled:
         OBS.metrics.inc("chain.compile.miss")
         with trace("chain.compile", n=alpha.n):
-            chain = _compile(key, alpha)
+            chain = _build_chain(key, alpha)
         OBS.metrics.observe("chain.compile.states", chain.num_states)
     else:
-        chain = _compile(key, alpha)
+        chain = _build_chain(key, alpha)
     _MEMO[key] = chain
     if store is not None:
         store.store(chain)

@@ -12,7 +12,7 @@ experiments     run reproduction experiments (all or by id)
 run             execute one runner job and print its JSON record
 sweep           expand and execute a sweep (parallel, resumable)
 chains          list/inspect/prune a chain disk cache directory
-results         query/export/stats/compact/ingest a results warehouse
+results         query/export/stats/compact/ingest/vacuum a results warehouse
 metrics         show/export collected telemetry (see OBS.md)
 trace           prefix: run any command traced and print its span tree
 
@@ -23,7 +23,11 @@ per-query passes with byte-identical exact results.  Sweep-wide queries
 additionally default to the block-diagonal multi-chain group engine
 (``repro.chain.multi``: one stacked pass answers a whole shape axis);
 ``--no-group-chains`` falls back to per-chain passes, again with
-byte-identical exact results.
+byte-identical exact results.  Chains themselves compile **quotiented**
+by the configuration's automorphism group when it has one
+(``repro.chain.quotient``: orbit states instead of raw partitions);
+``--no-quotient`` forces full chains and ``--quotient`` insists, with
+byte-identical exact start-state results either way.
 
 Examples
 --------
@@ -239,6 +243,21 @@ def _add_group_arg(p) -> None:
             "the float backend, shared per-chain planning under exact "
             "-- --no-group-chains falls back to per-chain passes with "
             "byte-identical exact results)"
+        ),
+    )
+
+
+def _add_quotient_arg(p) -> None:
+    p.add_argument(
+        "--quotient",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "compile chains modulo the configuration's automorphism "
+            "group (orbit states; default: auto -- quotient whenever "
+            "the group is nontrivial.  --no-quotient forces full "
+            "chains; exact start-state results are byte-identical "
+            "either way)"
         ),
     )
 
@@ -654,6 +673,16 @@ def cmd_results(args) -> int:
             print(f"ingested {added} new records from {run_dir}")
         return 0
     store = _results_store(args.directory)
+    if args.action == "vacuum":
+        if not args.run_dirs:
+            raise SystemExit("results vacuum: need at least one run dir")
+        removed = 0
+        for run_dir in args.run_dirs:
+            status = store.vacuum_run_directory(run_dir)
+            removed += status == "removed"
+            print(f"{run_dir}: {status}")
+        print(f"vacuumed {removed}/{len(args.run_dirs)} run directories")
+        return 0 if removed == len(args.run_dirs) else 1
     if args.action == "stats":
         stats = store.stats()
         rows = [
@@ -977,12 +1006,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     _add_backend_arg(p)
     _add_batch_arg(p)
+    _add_quotient_arg(p)
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("series", help="exact Pr[S(t)] series")
     add_common(p)
     _add_backend_arg(p)
     _add_batch_arg(p)
+    _add_quotient_arg(p)
     p.add_argument("--t-max", type=int, default=8)
     p.set_defaults(func=cmd_series)
 
@@ -990,6 +1021,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     _add_backend_arg(p)
     _add_batch_arg(p)
+    _add_quotient_arg(p)
     p.set_defaults(func=cmd_expected_time)
 
     p = sub.add_parser("phase-diagram", help="sweep all shapes of n")
@@ -1001,6 +1033,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_quotient_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_phase_diagram)
@@ -1019,6 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_quotient_arg(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser(
@@ -1047,6 +1081,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=2000)
     p.add_argument("--replicate", type=int, default=0)
     p.add_argument("--master-seed", type=int, default=0)
+    _add_quotient_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -1090,6 +1125,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_quotient_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_sweep)
@@ -1134,10 +1170,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "results",
-        help="query/export/stats/compact/ingest a results warehouse",
+        help="query/export/stats/compact/ingest/vacuum a results warehouse",
     )
     p.add_argument(
-        "action", choices=("query", "export", "stats", "compact", "ingest")
+        "action",
+        choices=("query", "export", "stats", "compact", "ingest", "vacuum"),
     )
     p.add_argument(
         "directory",
@@ -1146,7 +1183,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "run_dirs",
         nargs="*",
-        help="ingest: run directories whose records.jsonl to ingest",
+        help=(
+            "ingest: run directories whose records.jsonl to ingest; "
+            "vacuum: run directories to delete once fully ingested"
+        ),
     )
     p.add_argument(
         "--table",
@@ -1203,6 +1243,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p)
     _add_batch_arg(p)
     _add_group_arg(p)
+    _add_quotient_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_report)
@@ -1267,6 +1308,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Same deal: process-wide here, forwarded to pool workers by
         # the sweep/experiment payloads.
         configure_grouping(args.group_chains)
+    if hasattr(args, "quotient"):
+        from .chain import configure_quotient
+
+        # Tri-state: the flag absent means "auto" (quotient whenever
+        # the configuration's automorphism group is nontrivial); the
+        # sweep payloads forward the resolved mode into pool workers.
+        configure_quotient(
+            "auto" if args.quotient is None
+            else "on" if args.quotient else "off"
+        )
     profile_out = getattr(args, "profile_out", None)
     if traced or profile_out:
         from .obs import configure_tracing

@@ -31,6 +31,7 @@ import json
 import math
 import os
 import pathlib
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -584,6 +585,49 @@ class ResultsStore:
                 }
                 records.append(unflatten_row(row))
         return records
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def vacuum_run_directory(self, run_dir) -> str:
+        """Delete a run directory the warehouse has fully ingested.
+
+        Retention companion to :meth:`ingest_run_directory`: once every
+        byte of a run directory's ``records.jsonl`` is below the records
+        watermark, the directory is derived state the warehouse can
+        serve by itself (:meth:`run_directory_records`), and the disk
+        can be reclaimed.
+
+        Deliberately stricter than :meth:`run_directory_records`: a torn
+        trailing line is *not* tolerated here, because deleting the
+        directory would destroy the only copy of those bytes.  Returns
+        one of:
+
+        * ``"removed"`` -- directory fully covered, deleted;
+        * ``"missing"`` -- no readable ``records.jsonl`` (nothing to
+          certify, directory left alone);
+        * ``"not-covered"`` -- bytes beyond the watermark (or below it:
+          an out-of-band edit), directory left alone;
+        * ``"contains-warehouse"`` -- refused: this store's root lives
+          inside the directory.
+        """
+        path = getattr(run_dir, "path", None)
+        directory = pathlib.Path(path if path is not None else run_dir)
+        directory = directory.resolve()
+        root = self.root.resolve()
+        if root == directory or directory in root.parents:
+            return "contains-warehouse"
+        records = directory / "records.jsonl"
+        try:
+            size = records.stat().st_size
+        except OSError:
+            return "missing"
+        if self.watermark(source_id(records)) != size:
+            return "not-covered"
+        shutil.rmtree(directory)
+        if OBS.enabled:
+            OBS.metrics.inc("results.store.vacuum")
+        return "removed"
 
     # ------------------------------------------------------------------
     # Reading

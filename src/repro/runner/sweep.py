@@ -45,24 +45,38 @@ _BELL = (1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975)
 def _family_state_weight(spec) -> int:
     """Estimated compiled-state count of one job family's chain.
 
-    An already-compiled chain (process memo) reports its true
-    ``num_states``; otherwise the Bell number of ``n`` -- the number of
-    partitions of the node set, an upper bound on reachable consistency
-    states -- stands in, capped at the group budget so one huge family
-    cannot zero out everyone else's bin space.  Random-port families
-    draw a fresh chain per job, so they always use the estimate.
+    An already-compiled chain (process memo, under the key the active
+    quotient mode would compile to) reports its true ``num_states``;
+    otherwise the Bell number of ``n`` -- the number of partitions of
+    the node set, an upper bound on reachable consistency states --
+    stands in, divided by the automorphism group's order when the
+    quotient backend will fold this family (orbit counts are bounded
+    below by ``Bell(n) / |G|``), and capped at the group budget so one
+    huge family cannot zero out everyone else's bin space.  Random-port
+    families draw a fresh chain per job, so they always use the
+    estimate.
     """
-    from ..chain import MAX_GROUP_STATES, chain_key, memoized_chain
+    from ..chain import (
+        MAX_GROUP_STATES,
+        automorphism_count,
+        effective_chain_key,
+        is_quotient_key,
+        memoized_chain,
+    )
     from ..randomness.configuration import RandomnessConfiguration
 
+    key = None
     if spec.ports != "random":
         alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
         ports = make_ports(spec.ports, spec.sizes, 0)
-        chain = memoized_chain(chain_key(alpha, ports))
+        key = effective_chain_key(alpha, ports)
+        chain = memoized_chain(key)
         if chain is not None:
             return chain.num_states
     n = spec.n
     estimate = _BELL[n] if n < len(_BELL) else _BELL[-1]
+    if key is not None and is_quotient_key(key):
+        estimate = max(1, math.ceil(estimate / automorphism_count(key)))
     return min(estimate, MAX_GROUP_STATES)
 
 
@@ -123,7 +137,8 @@ def _group_job_payloads(jobs, payloads, engine):
     if current:
         groups.append(current)
     context_keys = (
-        "chain_cache", "batch", "group_chains", "results_memo", "obs",
+        "chain_cache", "batch", "group_chains", "quotient",
+        "results_memo", "obs",
     )
     return [
         {
@@ -157,12 +172,22 @@ def _publish_shared_chains(jobs, payloads, directory):
     :class:`~repro.chain.shm.SharedChainStore` (the caller closes it
     once the engine has drained) or ``None`` when there is nothing to
     share or shared memory is unavailable on this platform.
+
+    Chains are keyed by their *effective* key -- structural key plus
+    the quotient tag the active quotient mode resolves to -- so workers
+    compiling under the same mode attach exactly what was published.
+    On top of the chains themselves, each grouped payload whose member
+    chains all published warm also gets its predicted
+    :class:`~repro.chain.multi.ChainGroup` stacks published as prebuilt
+    index arrays (:func:`~repro.chain.multi.plan_chunks` is the shared
+    chunking rule), so workers running grouped float passes attach
+    finished groups instead of rebuilding them.
     """
     from ..chain import (
-        chain_key,
         compile_chain,
         configure_disk_cache,
         disk_cache,
+        effective_chain_key,
         memoized_chain,
     )
     from ..chain.shm import SharedChainStore
@@ -187,10 +212,11 @@ def _publish_shared_chains(jobs, payloads, directory):
     store = SharedChainStore()
     try:
         chains = []
+        warm_chains: dict[tuple, object] = {}
         for spec in shareable:
             alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
             ports = make_ports(spec.ports, spec.sizes, 0)
-            key = chain_key(alpha, ports)
+            key = effective_chain_key(alpha, ports)
             chain = memoized_chain(key)
             if chain is None and directory is not None:
                 warm = disk_cache()
@@ -200,9 +226,11 @@ def _publish_shared_chains(jobs, payloads, directory):
                     continue  # cold + disk-cached sweep: workers share it
                 chain = compile_chain(alpha, ports)
             chains.append(chain)
+            warm_chains[(spec.sizes, spec.ports)] = chain
         # One segment for the whole sweep: workers attach it once and
         # read every chain at a byte offset.
         store.publish_group(chains)
+        _publish_shared_groups(store, jobs, payloads, warm_chains)
     except OSError:
         # No (or full) /dev/shm: fall back to the disk-cache-only path.
         store.close()
@@ -211,9 +239,48 @@ def _publish_shared_chains(jobs, payloads, directory):
         store.close()
         return None
     manifest = store.manifest
+    group_manifest = store.group_manifest
     for payload in payloads:
         payload["chain_shm"] = manifest
+        if group_manifest:
+            payload["chain_shm_groups"] = group_manifest
     return store
+
+
+def _publish_shared_groups(store, jobs, payloads, warm_chains) -> None:
+    """Publish each grouped payload's predicted ChainGroup stacks.
+
+    A worker's grouped pass stacks the payload's *distinct* chains in
+    job order, chunked by :func:`~repro.chain.multi.plan_chunks`; with
+    every member chain published warm, the parent predicts those chunks
+    exactly and publishes each multi-chain chunk's built index arrays.
+    Payloads containing any cold (or non-deterministic) chain are
+    skipped -- the worker would stack a different chain list, and the
+    attach-side digest validation would reject the arrays anyway.
+    """
+    from ..chain import ChainGroup, plan_chunks
+
+    for payload in payloads:
+        members = payload.get("jobs")
+        if not members or len(members) < 2:
+            continue
+        distinct: list = []
+        seen_ids: set[int] = set()
+        predictable = True
+        for job in members:
+            spec = jobs[job["index"]]
+            chain = warm_chains.get((spec.sizes, spec.ports))
+            if spec.ports == "random" or chain is None:
+                predictable = False
+                break
+            if id(chain) not in seen_ids:
+                seen_ids.add(id(chain))
+                distinct.append(chain)
+        if not predictable:
+            continue
+        for chunk in plan_chunks(distinct):
+            if len(chunk) >= 2:
+                store.publish_group_arrays(ChainGroup(chunk))
 
 
 @dataclass

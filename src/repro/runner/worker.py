@@ -57,16 +57,18 @@ def chain_context_payload() -> dict:
     """The parent-side chain-context fields every pool payload carries.
 
     One choke point for the fields :func:`_apply_chain_context` mirrors
-    in the worker (currently the batching and chain-grouping toggles;
-    ``chain_cache`` / ``chain_shm`` are sweep-specific and attached by
+    in the worker (currently the batching and chain-grouping toggles and
+    the quotient-compilation mode; ``chain_cache`` / ``chain_shm`` /
+    ``chain_shm_groups`` are sweep-specific and attached by
     ``run_sweep``).  A payload producer that merges this dict can never
     silently reset a worker to defaults the parent has overridden.
     """
-    from ..chain import batching_enabled, grouping_enabled
+    from ..chain import batching_enabled, grouping_enabled, quotient_mode
 
     return {
         "batch": batching_enabled(),
         "group_chains": grouping_enabled(),
+        "quotient": quotient_mode(),
         "obs": tracing_enabled(),
     }
 
@@ -81,14 +83,16 @@ _FAMILY_DIGESTS: dict[tuple, str] = {}
 def _memoized_exact_limit(spec: RunSpec, alpha, ports) -> "Fraction | None":
     """The job's exact limit straight from the cross-run memo, or ``None``.
 
-    The memo key needs only the chain's *structural* key -- computable
-    from ``(alpha, ports)`` without compiling -- so a warm cell skips
-    chain compilation entirely, not just the evolution pass.  The token
-    is the very one :func:`repro.chain.run_queries` records under
-    (``compile_chain`` keys the chain by the same structural key), so
-    worker-level hits and query-level recording always agree.
+    The memo key needs only the chain's *effective* key -- the
+    structural key plus the quotient tag the configured quotient mode
+    would compile under, computable from ``(alpha, ports)`` without
+    compiling -- so a warm cell skips chain compilation entirely, not
+    just the evolution pass.  The token is the very one
+    :func:`repro.chain.run_queries` records under (``compile_chain``
+    keys the chain by the same effective key), so worker-level hits and
+    query-level recording always agree.
     """
-    from ..chain import chain_key
+    from ..chain import effective_chain_key, quotient_mode
     from ..chain.cache import key_digest
     from ..results.memo import MISS, query_memo, query_token
 
@@ -96,12 +100,14 @@ def _memoized_exact_limit(spec: RunSpec, alpha, ports) -> "Fraction | None":
     if memo is None:
         return None
     if spec.ports == "random":
-        digest = key_digest(chain_key(alpha, ports))
+        digest = key_digest(effective_chain_key(alpha, ports))
     else:
-        family = (spec.sizes, spec.ports)
+        # Pool workers outlive sweeps: the quotient mode is part of the
+        # family key so a mode flip never serves a stale digest.
+        family = (spec.sizes, spec.ports, quotient_mode())
         digest = _FAMILY_DIGESTS.get(family)
         if digest is None:
-            digest = key_digest(chain_key(alpha, ports))
+            digest = key_digest(effective_chain_key(alpha, ports))
             _FAMILY_DIGESTS[family] = digest
     task = make_task(spec.task, alpha.n)
     token = query_token(digest, "limit", task, None, "exact")
@@ -123,12 +129,15 @@ def _apply_chain_context(payload: dict) -> None:
     (reused pool or in-process serial) worker installed, so one sweep's
     context never bleeds into the next job's compilations.
     """
+    from ..chain import configure_quotient, configure_shared_groups
     from ..results.memo import configure_query_memo
 
     configure_disk_cache(payload.get("chain_cache"))
     configure_shared_chains(payload.get("chain_shm"))
+    configure_shared_groups(payload.get("chain_shm_groups"))
     configure_batching(payload.get("batch", True))
     configure_grouping(payload.get("group_chains", True))
+    configure_quotient(payload.get("quotient", "off"))
     configure_query_memo(payload.get("results_memo"))
     configure_tracing(payload.get("obs", False))
 

@@ -176,3 +176,30 @@ class TestCompactAndIngest:
             ["results", "query", str(run_dir), "--where", "sizes=2,2"]
         ) == 0
         assert "2,2" in capsys.readouterr().out
+
+
+class TestVacuum:
+    def test_vacuum_removes_ingested_run_dirs(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        assert main(["sweep", "--shapes", "2,2", "--run-dir", str(run)]) == 0
+        warehouse = tmp_path / "wh"
+        assert main(["results", "ingest", str(warehouse), str(run)]) == 0
+        capsys.readouterr()
+        assert main(["results", "vacuum", str(warehouse), str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "vacuumed 1/1" in out
+        assert not run.exists()
+
+    def test_vacuum_refuses_its_own_warehouse_home(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        assert main(["sweep", "--shapes", "2,2", "--run-dir", str(run)]) == 0
+        capsys.readouterr()
+        # The default warehouse lives inside the run directory; vacuuming
+        # the run dir through it must refuse and exit nonzero.
+        assert main(["results", "vacuum", str(run), str(run)]) == 1
+        assert "contains-warehouse" in capsys.readouterr().out
+        assert run.exists()
+
+    def test_vacuum_needs_run_dirs(self, run_dir):
+        with pytest.raises(SystemExit, match="need at least one"):
+            main(["results", "vacuum", str(run_dir)])

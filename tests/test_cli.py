@@ -135,6 +135,28 @@ class TestCommands:
         with pytest.raises(ValueError):
             main(["mermaid", "1,1,1,1", "--max-states", "2"])
 
+    def test_quotient_flag_leaves_answers_unchanged(self, capsys):
+        assert main(["solve", "1,1,1", "--no-quotient"]) == 0
+        full = capsys.readouterr().out
+        assert main(["solve", "1,1,1", "--quotient"]) == 0
+        assert capsys.readouterr().out == full
+        assert main(["series", "2,3", "--t-max", "4", "--no-quotient"]) == 0
+        series_full = capsys.readouterr().out
+        assert main(["series", "2,3", "--t-max", "4", "--quotient"]) == 0
+        assert capsys.readouterr().out == series_full
+
+    def test_quotient_flag_sets_the_process_mode(self, capsys):
+        from repro.chain import quotient_mode
+
+        assert main(["solve", "1,1", "--quotient"]) == 0
+        assert quotient_mode() == "on"
+        assert main(["solve", "1,1", "--no-quotient"]) == 0
+        assert quotient_mode() == "off"
+        # Flag absent on a quotient-aware command: auto.
+        assert main(["solve", "1,1"]) == 0
+        assert quotient_mode() == "auto"
+        capsys.readouterr()
+
     def test_report(self, tmp_path, capsys):
         # Running all experiments is slow-ish; limit via direct call is
         # covered elsewhere -- here just verify the wiring end to end.
