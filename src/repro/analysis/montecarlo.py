@@ -2,33 +2,50 @@
 
 The exact engines cover every configuration the paper discusses; this
 module exists for the regime beyond them (large ``n`` or ``t`` where the
-partition chain's state space would blow up).  It wraps the sampling
-estimator with Wilson score intervals and an adaptive loop that samples
-until the interval is narrow enough, and provides an agreement check
-against the exact value used by the test suite to validate the sampler.
+partition chain's state space would blow up).  It wraps the vectorized
+substream sampler (:mod:`repro.sampling`) with Wilson score intervals
+and an adaptive loop that samples until the interval is narrow enough,
+and provides an agreement check against the exact value used by the test
+suite to validate the sampler.
+
+All estimators here consume the kernel's counter-based substreams, so
+their integer success counts are pure functions of ``(seed, cell)``:
+independent of batching, engines, worker counts -- and mergeable with
+memoized cells from previous runs.  The interval statistics themselves
+(``wilson_interval`` and the inverse-normal quantile) live in
+:mod:`repro.sampling.stats`; they are re-exported here for their
+historical import path.
 """
 
 from __future__ import annotations
 
-import math
-import random
+import os
 from dataclasses import dataclass
 
-from ..core.probability import solving_probability_sampled
 from ..core.tasks import SymmetryBreakingTask
 from ..models.ports import PortAssignment
 from ..randomness.configuration import RandomnessConfiguration
+from ..sampling import MCEstimate, sample_cell
+from ..sampling.stats import normal_quantile as _normal_quantile
+from ..sampling.stats import wilson_interval
 
 
 @dataclass(frozen=True)
 class Estimate:
-    """A binomial estimate with its Wilson confidence interval."""
+    """A binomial estimate with its Wilson confidence interval.
+
+    ``successes`` carries the integer count the estimate was formed
+    from (appended with a default so positional construction predating
+    the field keeps working); estimators always populate it, so callers
+    never re-derive the count from the float.
+    """
 
     probability: float
     low: float
     high: float
     samples: int
     confidence: float
+    successes: "int | None" = None
 
     def width(self) -> float:
         return self.high - self.low
@@ -37,61 +54,15 @@ class Estimate:
         return self.low <= value <= self.high
 
 
-def wilson_interval(
-    successes: int, samples: int, confidence: float = 0.95
-) -> tuple[float, float]:
-    """The Wilson score interval for a binomial proportion.
-
-    Preferred over the normal approximation because solving probabilities
-    sit near 0 or 1 for most configurations (the zero-one law pushes them
-    to the boundary), where the naive interval misbehaves.
-    """
-    if samples < 1:
-        raise ValueError("need at least one sample")
-    if not 0 < confidence < 1:
-        raise ValueError("confidence must be in (0, 1)")
-    z = _normal_quantile(0.5 + confidence / 2)
-    phat = successes / samples
-    denom = 1 + z * z / samples
-    centre = (phat + z * z / (2 * samples)) / denom
-    margin = (
-        z
-        * math.sqrt(
-            phat * (1 - phat) / samples + z * z / (4 * samples * samples)
-        )
-        / denom
+def _as_estimate(mc: MCEstimate, confidence: float) -> Estimate:
+    low, high = mc.interval(confidence)
+    return Estimate(
+        mc.probability, low, high, mc.samples, confidence, mc.successes
     )
-    return (max(0.0, centre - margin), min(1.0, centre + margin))
 
 
-def _normal_quantile(p: float) -> float:
-    """Inverse standard-normal CDF (Acklam's rational approximation)."""
-    if not 0 < p < 1:
-        raise ValueError("p must be in (0, 1)")
-    # Coefficients for the central and tail regions.
-    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
-         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
-    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
-         6.680131188771972e01, -1.328068155288572e01)
-    c = (-7.784894002430293e-03, -3.223964580411365e-01,
-         -2.400758277161838e00, -2.549732539343734e00,
-         4.374664141464968e00, 2.938163982698783e00)
-    d = (7.784695709041462e-03, 3.224671290700398e-01,
-         2.445134137142996e00, 3.754408661907416e00)
-    p_low = 0.02425
-    if p < p_low:
-        q = math.sqrt(-2 * math.log(p))
-        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
-                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
-    if p > 1 - p_low:
-        q = math.sqrt(-2 * math.log(1 - p))
-        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
-                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
-    q = p - 0.5
-    r = q * q
-    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
-            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
-                            + b[4]) * r + 1)
+def _stream_seed(seed: "int | None") -> int:
+    return int.from_bytes(os.urandom(8), "big") >> 1 if seed is None else seed
 
 
 def estimate_solving_probability(
@@ -103,14 +74,14 @@ def estimate_solving_probability(
     samples: int = 2000,
     confidence: float = 0.95,
     seed: int | None = 0,
+    method: str = "auto",
 ) -> Estimate:
     """One-shot Monte-Carlo estimate with a Wilson interval."""
-    phat = solving_probability_sampled(
-        alpha, task, t, ports, samples=samples, seed=seed
+    mc = sample_cell(
+        alpha, task, t, ports,
+        stream_seed=_stream_seed(seed), samples=samples, method=method,
     )
-    successes = round(phat * samples)
-    low, high = wilson_interval(successes, samples, confidence)
-    return Estimate(phat, low, high, samples, confidence)
+    return _as_estimate(mc, confidence)
 
 
 def adaptive_estimate(
@@ -124,34 +95,29 @@ def adaptive_estimate(
     batch: int = 500,
     max_samples: int = 20000,
     seed: int | None = 0,
+    method: str = "auto",
 ) -> Estimate:
-    """Sample in batches until the Wilson interval is narrow enough."""
+    """Sample in batches until the Wilson interval is narrow enough.
+
+    Each batch extends the *same* substream, so stopping after ``m``
+    samples yields exactly the ``m``-sample one-shot estimate --
+    adaptivity decides when to stop, never what is measured.
+    """
     if target_width <= 0:
         raise ValueError("target_width must be positive")
-    rng = random.Random(seed)
-    from ..core.probability import model_for
-    from ..core.solvability import realization_solves
+    from ..sampling import adaptive_cell_estimate
 
-    model = model_for(alpha, ports)
-    successes = 0
-    samples = 0
-    while samples < max_samples:
-        for _ in range(batch):
-            source_bits = [
-                tuple(rng.getrandbits(1) for _ in range(t))
-                for _ in range(alpha.k)
-            ]
-            realization = tuple(
-                source_bits[alpha.source_of(i)] for i in range(alpha.n)
-            )
-            if realization_solves(model, realization, task):
-                successes += 1
-        samples += batch
-        low, high = wilson_interval(successes, samples, confidence)
-        if high - low <= target_width:
-            break
-    low, high = wilson_interval(successes, samples, confidence)
-    return Estimate(successes / samples, low, high, samples, confidence)
+    mc = adaptive_cell_estimate(
+        alpha, task, t, ports,
+        stream_seed=_stream_seed(seed),
+        target_width=target_width,
+        confidence=confidence,
+        initial=batch,
+        increment=batch,
+        max_samples=max_samples,
+        method=method,
+    )
+    return _as_estimate(mc, confidence)
 
 
 def parallel_estimate(
@@ -168,31 +134,35 @@ def parallel_estimate(
 ) -> Estimate:
     """Monte-Carlo estimate with batches fanned out over a runner engine.
 
-    The sample budget splits into ``batches`` batches; each batch gets a
-    private seed derived from ``(seed, batch index)`` via the runner's
-    stream-splitting scheme, so the summed estimate is identical for a
-    serial engine and a process pool of any width.  With ``engine=None``
-    the batches run in-process (useful for testing the decomposition).
+    The sample budget splits into ``batches`` contiguous ranges of one
+    shared substream; each worker evaluates its range as a pure function
+    of ``(seed, range)``, so the summed count is identical for a serial
+    engine, a process pool of any width, *and any batch count* -- the
+    decomposition is an implementation detail, not part of the estimate's
+    identity.  With ``engine=None`` the batches run in-process.
     """
     if samples < 1:
         raise ValueError("need samples >= 1")
     if not 1 <= batches <= samples:
         raise ValueError("need 1 <= batches <= samples")
     from ..runner.engines import SerialEngine
-    from ..runner.spec import derive_seed
     from ..runner.worker import chain_context_payload, execute_sample_batch
 
     engine = engine or SerialEngine()
     base, extra = divmod(samples, batches)
     context = chain_context_payload()
+    bounds = [0]
+    for index in range(batches):
+        bounds.append(bounds[-1] + base + (1 if index < extra else 0))
     payloads = [
         {
             "alpha": alpha,
             "task": task,
             "ports": ports,
             "t": t,
-            "samples": base + (1 if index < extra else 0),
-            "seed": derive_seed(seed, f"mc-batch={index}"),
+            "start": bounds[index],
+            "stop": bounds[index + 1],
+            "seed": seed,
             **context,
         }
         for index in range(batches)
@@ -201,8 +171,7 @@ def parallel_estimate(
         record["successes"]
         for record in engine.map(execute_sample_batch, payloads)
     )
-    low, high = wilson_interval(successes, samples, confidence)
-    return Estimate(successes / samples, low, high, samples, confidence)
+    return _as_estimate(MCEstimate(successes, samples), confidence)
 
 
 __all__ = [

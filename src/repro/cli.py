@@ -10,6 +10,7 @@ protocol        run an actual election protocol and report the outcome
 figures         render the paper's Figures 1-3 as text
 experiments     run reproduction experiments (all or by id)
 run             execute one runner job and print its JSON record
+estimate        Monte-Carlo Pr[S(t)] estimate (mergeable memoized substreams)
 sweep           expand and execute a sweep (parallel, resumable)
 chains          list/inspect/prune a chain disk cache directory
 results         query/export/stats/compact/ingest/vacuum a results warehouse
@@ -68,7 +69,12 @@ Sweeps with a ``--run-dir`` feed a columnar results warehouse
 ``--warehouse``): completed records ingest incrementally into typed
 numpy column pages, and the warehouse's cross-run query memo lets any
 later sweep -- same run dir or not -- skip every (chain, task, horizon,
-quantity) cell it has already answered, byte-identically.  ``repro
+quantity) cell it has already answered, byte-identically.  Monte-Carlo
+cells participate too: sampled sweeps and ``repro estimate`` memoize
+integer success counts per fixed substream block, so warm reruns serve
+whole cells from the memo and a larger sample budget computes only the
+increment, merged with the stored blocks into one combined estimate
+(``RUNNER.md``, "Monte-Carlo substreams and the merge law").  ``repro
 results`` serves the stored tables:
 
 python -m repro results stats runs/demo
@@ -904,17 +910,24 @@ def cmd_run(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"run: {exc}")
-    record = execute_run(
-        {
-            "spec": spec.to_dict(),
-            "master_seed": args.master_seed,
-            "index": 0,
-            # Carry the parent's chain context (including the tracing
-            # flag) exactly as sweep payloads do, so `repro trace run`
-            # stays traced through the worker's context application.
-            **chain_context_payload(),
-        }
-    )
+    payload = {
+        "spec": spec.to_dict(),
+        "master_seed": args.master_seed,
+        "index": 0,
+        # Carry the parent's chain context (including the tracing
+        # flag) exactly as sweep payloads do, so `repro trace run`
+        # stays traced through the worker's context application.
+        **chain_context_payload(),
+    }
+    warehouse = _warehouse_from(args)
+    if warehouse:
+        # Same memo/merge semantics as sweeps: exact cells are served
+        # whole, sampled cells reuse memoized substream blocks and a
+        # larger --samples budget computes only the increment.
+        from .results.store import ResultsStore
+
+        payload["results_memo"] = str(ResultsStore(warehouse).memo_dir)
+    record = execute_run(payload)
     # Telemetry rides next to the record fields; the printed record's
     # bytes stay identical with tracing on or off.
     telemetry = record.pop("_telemetry", None)
@@ -923,6 +936,80 @@ def cmd_run(args) -> int:
 
         merge_telemetry(telemetry)
     print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    """Monte-Carlo estimate of ``Pr[S(t)]`` over memoized substreams.
+
+    One-shot with ``--samples``, adaptive with ``--target-width`` (spend
+    increments until the Wilson interval is narrow enough).  With
+    ``--warehouse``, full substream blocks are served from and recorded
+    to the cross-run memo, so repeated estimates of one cell -- at any
+    mix of budgets -- never recompute a block: a warm 10k-sample cell
+    asked for 20k samples computes exactly the second 10k.
+    """
+    import json
+
+    from .analysis.montecarlo import (
+        adaptive_estimate,
+        estimate_solving_probability,
+    )
+    from .results.memo import configure_query_memo
+
+    alpha = RandomnessConfiguration.from_group_sizes(args.sizes)
+    task = _make_task(args.task, alpha.n)
+    ports = None
+    if args.model == "clique":
+        ports = _make_ports(args.ports, args.sizes, args.seed)
+    warehouse = _warehouse_from(args)
+    if warehouse:
+        from .results.store import ResultsStore
+
+        configure_query_memo(str(ResultsStore(warehouse).memo_dir))
+    try:
+        if args.target_width is not None:
+            estimate = adaptive_estimate(
+                alpha,
+                task,
+                args.t,
+                ports,
+                target_width=args.target_width,
+                confidence=args.confidence,
+                batch=args.increment,
+                max_samples=args.max_samples,
+                seed=args.seed,
+                method=args.method,
+            )
+        else:
+            estimate = estimate_solving_probability(
+                alpha,
+                task,
+                args.t,
+                ports,
+                samples=args.samples,
+                confidence=args.confidence,
+                seed=args.seed,
+                method=args.method,
+            )
+    finally:
+        if warehouse:
+            configure_query_memo(None)
+    print(
+        json.dumps(
+            {
+                "estimate": estimate.probability,
+                "interval": [estimate.low, estimate.high],
+                "confidence": estimate.confidence,
+                "successes": estimate.successes,
+                "samples": estimate.samples,
+                "t": args.t,
+                "method": args.method,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
     return 0
 
 
@@ -1082,7 +1169,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicate", type=int, default=0)
     p.add_argument("--master-seed", type=int, default=0)
     _add_quotient_arg(p)
+    _add_warehouse_args(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "estimate",
+        help="Monte-Carlo Pr[S(t)] estimate (mergeable memoized substreams)",
+    )
+    add_common(p)
+    p.add_argument("--t", type=int, default=4, help="horizon")
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=2000,
+        help="one-shot sample budget (superseded by --target-width)",
+    )
+    p.add_argument(
+        "--target-width",
+        type=float,
+        default=None,
+        help=(
+            "adaptive mode: extend the substream until the Wilson "
+            "interval is at most this wide (or --max-samples is hit)"
+        ),
+    )
+    p.add_argument("--confidence", type=float, default=0.95)
+    p.add_argument(
+        "--increment",
+        type=int,
+        default=1000,
+        help="adaptive top-up size (one memoizable block by default)",
+    )
+    p.add_argument("--max-samples", type=int, default=64000)
+    p.add_argument(
+        "--method",
+        choices=("auto", "bits", "chain", "scalar"),
+        default="auto",
+        help=(
+            "batch solver: bit-level knowledge partitions (auto/bits), "
+            "compiled-chain trajectories (chain), or the per-trajectory "
+            "oracle loop (scalar)"
+        ),
+    )
+    _add_warehouse_args(p)
+    p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser(
         "sweep", help="expand and execute a sweep (parallel, resumable)"

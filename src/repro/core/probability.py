@@ -17,7 +17,7 @@ The test suite cross-validates all three.
 
 from __future__ import annotations
 
-import random
+import os
 from fractions import Fraction
 from typing import Callable, Iterator
 
@@ -142,24 +142,29 @@ def solving_probability_sampled(
     *,
     samples: int = 2000,
     seed: int | None = 0,
+    method: str = "auto",
 ) -> float:
-    """Monte-Carlo estimate of ``Pr[S(t) | alpha]``."""
+    """Monte-Carlo estimate of ``Pr[S(t) | alpha]``.
+
+    Routed through the vectorized substream kernel
+    (:mod:`repro.sampling`): the estimate is the first ``samples``
+    trials of the counter-based stream keyed by ``seed``, so it is a
+    pure function of its arguments, independent of execution order, and
+    extends bit-exactly under a larger budget.  ``seed=None`` draws a
+    fresh stream.  ``method`` selects the batch solver (``"bits"``
+    knowledge-partition passes, ``"chain"`` compiled-chain trajectories,
+    ``"scalar"`` the legacy per-trajectory oracle loop).
+    """
     if samples < 1:
         raise ValueError("need samples >= 1")
-    rng = random.Random(seed)
-    model = model_for(alpha, ports)
-    hits = 0
-    for _ in range(samples):
-        source_bits = [
-            tuple(rng.getrandbits(1) for _ in range(t))
-            for _ in range(alpha.k)
-        ]
-        realization = tuple(
-            source_bits[alpha.source_of(i)] for i in range(alpha.n)
-        )
-        if realization_solves(model, realization, task):
-            hits += 1
-    return hits / samples
+    from ..sampling import sample_cell
+
+    if seed is None:
+        seed = int.from_bytes(os.urandom(8), "big") >> 1
+    return sample_cell(
+        alpha, task, t, ports, stream_seed=seed, samples=samples,
+        method=method,
+    ).probability
 
 
 def eventually_solvable(

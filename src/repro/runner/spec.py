@@ -192,6 +192,27 @@ class RunSpec:
         parts.append(f"rep={self.replicate}")
         return ";".join(parts)
 
+    @property
+    def stream_key(self) -> str:
+        """Sampling-substream identity (``kind='sample'`` jobs).
+
+        Deliberately *narrower* than :attr:`job_key`: it names only the
+        axes that select a cell's randomness -- the configuration, the
+        model, the port kind, and the replicate.  Excluding ``samples``
+        lets a larger budget extend the same substream (the memo's merge
+        law); excluding ``task`` and ``t`` gives cells that differ only
+        along those axes common random numbers, so paired comparisons
+        across them are low-variance.
+        """
+        return ";".join(
+            [
+                "sizes=" + ",".join(str(s) for s in self.sizes),
+                f"model={self.model}",
+                f"ports={self.ports}",
+                f"rep={self.replicate}",
+            ]
+        )
+
     def to_dict(self) -> dict:
         """JSON-safe dictionary form (inverse of :meth:`from_dict`)."""
         return {

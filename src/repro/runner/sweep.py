@@ -396,7 +396,13 @@ def run_sweep(
     instead of re-parsing JSONL when the warehouse fully covers the run
     directory, and every worker consults the warehouse's cross-run
     query memo before computing a cell -- a sweep whose cells another
-    run already answered re-executes nothing but record writes.  It
+    run already answered re-executes nothing but record writes.  This
+    covers sampling sweeps too: Monte-Carlo cells memoize integer
+    success counts per substream block (see RUNNER.md, "Monte-Carlo
+    substreams and the merge law"), so a warm rerun serves whole cells
+    from the memo and a rerun at a *larger* budget computes only the
+    increment, merging it with the memoized blocks into one combined
+    estimate.  It
     defaults to ``<run_dir>/warehouse`` when a run directory is given
     (pass ``False`` to opt out); point several sweeps at one shared
     warehouse to deduplicate work across them.

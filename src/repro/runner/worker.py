@@ -27,7 +27,6 @@ from ..chain import (
     run_group_queries,
     run_queries,
 )
-from ..core.probability import solving_probability_sampled
 from ..core.tasks import SymmetryBreakingTask
 from ..obs import (
     OBS,
@@ -37,6 +36,7 @@ from ..obs import (
     tracing_enabled,
 )
 from ..randomness.configuration import RandomnessConfiguration
+from ..sampling import sample_cell, sample_range
 from .spec import RunSpec, derive_seed, make_ports, make_task
 
 
@@ -196,19 +196,30 @@ def execute_run(payload: dict) -> dict:
                     limit = exact_limit_value(chain, task)
             value = _exact_value(limit)
         else:  # sample
+            # The substream is keyed by the spec's *stream key* -- the
+            # cell axes minus samples/task/t -- so a rerun at a larger
+            # budget extends (and memo-merges with) this run's blocks,
+            # and cells differing only in task or horizon share trials
+            # (common random numbers).  Random ports draw from the same
+            # stream-stable root for the same reason: the cell identity
+            # must not change when only the budget does.
+            stream = derive_seed(master_seed, "mc\x1f" + spec.stream_key)
+            if spec.ports == "random":
+                ports = make_ports(spec.ports, spec.sizes,
+                                   derive_seed(stream, "ports"))
             with trace("job.sample", samples=spec.samples):
-                estimate = solving_probability_sampled(
+                estimate = sample_cell(
                     alpha,
                     task,
                     spec.t,
                     ports,
+                    stream_seed=stream,
                     samples=spec.samples,
-                    seed=derive_seed(seed, "samples"),
                 )
             value = {
-                "estimate": estimate,
-                "successes": round(estimate * spec.samples),
-                "samples": spec.samples,
+                "estimate": estimate.probability,
+                "successes": estimate.successes,
+                "samples": estimate.samples,
             }
     record = _job_record(payload, spec, seed, alpha, value, timer.duration)
     if OBS.enabled:
@@ -340,25 +351,30 @@ def execute_experiment(payload: dict) -> dict:
 
 
 def execute_sample_batch(payload: dict) -> dict:
-    """Monte-Carlo-sample one batch for the parallel estimator.
+    """Monte-Carlo-sample one substream range for the parallel estimator.
 
     ``payload`` carries pickled ``alpha``/``task``/``ports`` objects plus
-    ``t``, ``samples``, and the batch's pre-derived ``seed``; the record
-    reports the batch's success count so batches can be summed exactly.
+    ``t``, the stream ``seed``, and the batch's half-open sample range
+    ``[start, stop)``.  Integer success counts over disjoint ranges of
+    one stream sum exactly to the whole-range count (the kernel's merge
+    law), so any partition of the budget across any engine reassembles
+    the same estimate.
     """
     _apply_chain_context(payload)
-    samples = int(payload["samples"])
-    estimate = solving_probability_sampled(
+    start = int(payload["start"])
+    stop = int(payload["stop"])
+    estimate = sample_range(
         payload["alpha"],
         payload["task"],
         int(payload["t"]),
         payload.get("ports"),
-        samples=samples,
-        seed=int(payload["seed"]),
+        stream_seed=int(payload["seed"]),
+        start=start,
+        stop=stop,
     )
     return {
-        "successes": round(estimate * samples),
-        "samples": samples,
+        "successes": estimate.successes,
+        "samples": estimate.samples,
     }
 
 

@@ -1,0 +1,73 @@
+"""Binomial interval statistics for the Monte-Carlo tier.
+
+Canonical home of the Wilson score interval (and the inverse-normal
+quantile it needs).  Historically these lived in
+:mod:`repro.analysis.montecarlo`; they moved down here so the sampling
+engine and the adaptive budget allocator -- compute-tier modules -- can
+score confidence widths without importing the analysis tier.  The
+analysis module re-exports them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def wilson_interval(
+    successes: int, samples: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """The Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because solving probabilities
+    sit near 0 or 1 for most configurations (the zero-one law pushes them
+    to the boundary), where the naive interval misbehaves.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    z = normal_quantile(0.5 + confidence / 2)
+    phat = successes / samples
+    denom = 1 + z * z / samples
+    centre = (phat + z * z / (2 * samples)) / denom
+    margin = (
+        z
+        * math.sqrt(
+            phat * (1 - phat) / samples + z * z / (4 * samples * samples)
+        )
+        / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e00, -2.549732539343734e00,
+         4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e00, 3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+__all__ = ["normal_quantile", "wilson_interval"]

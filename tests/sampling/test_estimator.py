@@ -1,0 +1,141 @@
+"""Merge law and memoized MC cells: estimates that are pure functions of
+``(seed, cell, range)`` -- independent of partitioning and memo state."""
+
+import pytest
+
+from repro.core import leader_election
+from repro.models import adversarial_assignment
+from repro.randomness import RandomnessConfiguration
+from repro.results.memo import configure_query_memo, query_memo
+from repro.sampling import (
+    BLOCK_SAMPLES,
+    MCEstimate,
+    block_token,
+    cell_digest,
+    sample_cell,
+    sample_range,
+)
+
+
+@pytest.fixture
+def cell():
+    alpha = RandomnessConfiguration.from_group_sizes((1, 2))
+    return alpha, leader_election(3), 3
+
+
+@pytest.fixture
+def memo_dir(tmp_path):
+    configure_query_memo(tmp_path / "memo")
+    yield tmp_path / "memo"
+    configure_query_memo(None)
+
+
+class TestMCEstimate:
+    def test_merge_is_integer_addition(self):
+        merged = MCEstimate(3, 10).merge(MCEstimate(4, 5))
+        assert (merged.successes, merged.samples) == (7, 15)
+        assert merged.probability == pytest.approx(7 / 15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCEstimate(5, 4)
+        with pytest.raises(ValueError):
+            MCEstimate(-1, 4)
+        with pytest.raises(ValueError):
+            MCEstimate(0, 0).probability
+
+    def test_interval_is_wilson(self):
+        from repro.sampling.stats import wilson_interval
+
+        assert MCEstimate(40, 100).interval() == wilson_interval(40, 100)
+
+
+class TestMergeLaw:
+    def test_any_split_reassembles_the_cell(self, cell):
+        alpha, task, t = cell
+        whole = sample_cell(alpha, task, t, stream_seed=5, samples=4321)
+        # An odd split straddling block boundaries: [0, 1700) + [1700, 4321).
+        left = sample_range(
+            alpha, task, t, stream_seed=5, start=0, stop=1700
+        )
+        right = sample_range(
+            alpha, task, t, stream_seed=5, start=1700, stop=4321
+        )
+        assert left.merge(right) == whole
+
+    def test_budget_extension_is_a_prefix(self, cell):
+        alpha, task, t = cell
+        small = sample_cell(alpha, task, t, stream_seed=5, samples=2000)
+        large = sample_cell(alpha, task, t, stream_seed=5, samples=5000)
+        tail = sample_range(
+            alpha, task, t, stream_seed=5, start=2000, stop=5000
+        )
+        assert small.merge(tail) == large
+
+    def test_seed_and_method_change_the_stream(self, cell):
+        alpha, task, t = cell
+        a = sample_cell(alpha, task, t, stream_seed=0, samples=3000)
+        b = sample_cell(alpha, task, t, stream_seed=1, samples=3000)
+        assert a != b
+        scalar = sample_cell(
+            alpha, task, t, stream_seed=0, samples=3000, method="scalar"
+        )
+        assert scalar == a  # same words, same verdicts: the oracle contract
+
+    def test_range_validation(self, cell):
+        alpha, task, t = cell
+        with pytest.raises(ValueError):
+            sample_range(alpha, task, t, stream_seed=0, start=5, stop=5)
+        with pytest.raises(ValueError):
+            sample_cell(alpha, task, t, stream_seed=0, samples=0)
+
+
+class TestMemoizedCells:
+    def test_tokens_separate_cells(self, cell):
+        alpha, task, t = cell
+        digest = cell_digest(alpha)
+        token = block_token(digest, task, t, "bits", 7, 0)
+        assert token == block_token(digest, task, t, "bits", 7, 0)
+        distinct = {
+            block_token(digest, task, t, "bits", 7, 1),
+            block_token(digest, task, t, "bits", 8, 0),
+            block_token(digest, task, t, "scalar", 7, 0),
+            block_token(digest, task, t + 1, "bits", 7, 0),
+        }
+        assert token not in distinct and len(distinct) == 4
+
+    def test_warm_cell_serves_full_blocks(self, cell, memo_dir):
+        alpha, task, t = cell
+        cold = sample_cell(alpha, task, t, stream_seed=9, samples=3000)
+        memo = query_memo()
+        before = memo.stats()["hits"]
+        warm = sample_cell(alpha, task, t, stream_seed=9, samples=3000)
+        assert warm == cold
+        assert memo.stats()["hits"] == before + 3  # three full blocks
+
+    def test_memoized_plus_fresh_equals_one_big_estimate(self, cell, memo_dir):
+        alpha, task, t = cell
+        sample_cell(alpha, task, t, stream_seed=9, samples=10000)
+        grown = sample_cell(alpha, task, t, stream_seed=9, samples=20000)
+        fresh = sample_cell(
+            alpha, task, t, stream_seed=9, samples=20000, use_memo=False
+        )
+        assert grown == fresh
+
+    def test_partial_blocks_never_stored(self, cell, memo_dir):
+        alpha, task, t = cell
+        sample_cell(alpha, task, t, stream_seed=2, samples=BLOCK_SAMPLES // 2)
+        assert query_memo().stats()["entries"] == 0
+        sample_cell(alpha, task, t, stream_seed=2, samples=BLOCK_SAMPLES + 1)
+        assert query_memo().stats()["entries"] == 1  # only the full block
+
+    def test_memo_state_never_changes_the_estimate(self, cell, memo_dir):
+        alpha, task, t = cell
+        ports = adversarial_assignment((1, 2))
+        with_memo = sample_cell(
+            alpha, task, t, ports, stream_seed=4, samples=2500
+        )
+        without = sample_cell(
+            alpha, task, t, ports, stream_seed=4, samples=2500, use_memo=False
+        )
+        assert with_memo == without

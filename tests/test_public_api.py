@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.runner",
     "repro.results",
+    "repro.sampling",
     "repro.obs",
     "repro.viz",
 ]
