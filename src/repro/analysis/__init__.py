@@ -164,6 +164,14 @@ def iter_all_experiments(engine=None):
                 payload["chain_shm"] = manifest
     try:
         for record in engine.map(execute_experiment, payloads):
+            # Fold the worker's traced spans/counters into this process
+            # before handing the live result on (the sweep orchestrator
+            # treatment, closing the experiment-path telemetry gap).
+            telemetry = record.pop("telemetry", None)
+            if telemetry is not None:
+                from ..obs import merge_telemetry
+
+                merge_telemetry(telemetry)
             yield record["result"]
     finally:
         if store is not None:

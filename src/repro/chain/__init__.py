@@ -65,6 +65,7 @@ from .multi import (
     ChainGroup,
     MultiQueryPlan,
     configure_grouping,
+    group_state_budget,
     grouping_enabled,
     plan_chunks,
     run_group_queries,
@@ -149,6 +150,7 @@ __all__ = [
     "memo_size",
     "memoized_chain",
     "neighbour_tables",
+    "group_state_budget",
     "plan_chunks",
     "quotient_key",
     "quotient_mode",

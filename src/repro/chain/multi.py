@@ -82,6 +82,21 @@ GROUP_CACHE_SIZE = 16
 _GROUP_CACHE: "dict[tuple[int, ...], ChainGroup]" = {}
 
 
+def group_state_budget() -> int:
+    """The stacked-state budget in force for group chunking.
+
+    :data:`MAX_GROUP_STATES` by default; under ``--policy measured`` a
+    fitted ``group.budget`` cost model may *narrow* it (never widen --
+    the static budget stays the hard working-set cap).  Chunk budgets
+    only re-partition the same stacked passes, so the budget moves
+    wall-clock and memory, never results.
+    """
+    from ..obs.policy import POLICY
+
+    measured = POLICY.group_state_budget(MAX_GROUP_STATES)
+    return MAX_GROUP_STATES if measured is None else measured
+
+
 def plan_chunks(chains: Sequence) -> "list[list]":
     """Greedy partition of an ordered chain list under the state budget.
 
@@ -90,15 +105,19 @@ def plan_chunks(chains: Sequence) -> "list[list]":
     and the sweep's publisher to predict those chunks and publish each
     one's :class:`ChainGroup` arrays ahead of time.  Repeated chains
     (the memo makes equal configurations the same object) count against
-    the budget once per chunk, mirroring the stacking dedup.
+    the budget once per chunk, mirroring the stacking dedup.  The
+    budget comes from :func:`group_state_budget`, so parent and pool
+    workers agree on the partition as long as the policy is forwarded
+    (the runner ships it in every chain-context payload).
     """
+    budget = group_state_budget()
     chunks: list[list] = []
     current: list = []
     seen: set[int] = set()
     states = 0
     for chain in chains:
         size = 0 if id(chain) in seen else chain.num_states
-        if current and states + size > MAX_GROUP_STATES:
+        if current and states + size > budget:
             chunks.append(current)
             current, seen, states = [], set(), chain.num_states
         else:
@@ -655,6 +674,7 @@ __all__ = [
     "MAX_GROUP_STATES",
     "MultiQueryPlan",
     "configure_grouping",
+    "group_state_budget",
     "grouping_enabled",
     "plan_chunks",
     "run_group_queries",

@@ -12,9 +12,10 @@ experiments     run reproduction experiments (all or by id)
 run             execute one runner job and print its JSON record
 estimate        Monte-Carlo Pr[S(t)] estimate (mergeable memoized substreams)
 sweep           expand and execute a sweep (parallel, resumable)
-chains          list/inspect/prune a chain disk cache directory
+chains          list/inspect/prune a chain disk cache; calibrate cost models
 results         query/export/stats/compact/ingest/vacuum a results warehouse
-metrics         show/export collected telemetry (see OBS.md)
+metrics         show/export collected telemetry; cross-run history (OBS.md)
+obs             cross-run analytics: diff two sweeps, per-tier attribution
 trace           prefix: run any command traced and print its span tree
 
 Chain queries default to the batched query layer (``repro.chain.batch``:
@@ -93,9 +94,16 @@ prints a span tree (calls, total, self time) when it finishes;
 FILE`` on ``sweep``/``phase-diagram``/``report`` writes the full JSON
 profile (spans, metrics, aggregates; validate it with ``python -m
 repro.obs.schema FILE``).  ``repro metrics show`` prints the collected
-counters/gauges/histograms; sweeps with a warehouse persist the same
-rows into a ``telemetry`` table served by ``repro results query
---table telemetry``.  See ``OBS.md`` for the instrumentation map.
+counters/gauges/histograms (histograms with p50/p90/p99 summaries);
+sweeps with a warehouse persist the same rows into a ``telemetry``
+table served by ``repro results query --table telemetry``.  Across
+runs, ``repro metrics history`` trends those rows, ``repro obs
+diff``/``tiers`` compare sweeps and attribute wall-clock, ``repro
+chains calibrate`` fits cost models from the measured ``groups``
+forensics, and ``--policy measured`` lets the planner select execution
+strategies from those models (results byte-identical under every
+policy).  See ``OBS.md`` for the instrumentation map and "From
+telemetry to decisions".
 """
 
 from __future__ import annotations
@@ -266,6 +274,61 @@ def _add_quotient_arg(p) -> None:
             "either way)"
         ),
     )
+
+
+def _add_policy_arg(p) -> None:
+    p.add_argument(
+        "--policy",
+        choices=("static", "measured"),
+        default=None,
+        help=(
+            "execution-strategy policy: static heuristics (default) or "
+            "cost models fitted by `repro chains calibrate` and loaded "
+            "from the warehouse.  A measured policy only re-ranks "
+            "strategies (dense-vs-scatter, group chunk budgets) -- "
+            "results are byte-identical under either policy; missing "
+            "models fall back to the static heuristics deterministically"
+        ),
+    )
+
+
+def _configure_policy_from(args) -> None:
+    """Install the ``--policy`` choice (and its models) process-wide.
+
+    ``measured`` loads the latest fitted models from the warehouse the
+    command is already pointed at (``--warehouse``, or the run
+    directory's warehouse).  A measured policy without a reachable
+    ``models`` table is installed empty -- every decision then falls
+    back to the static heuristics, deterministically -- with a note on
+    stderr so the opt-in isn't silently inert.
+    """
+    import pathlib
+
+    from .obs import configure_policy
+
+    mode = getattr(args, "policy", None) or "static"
+    models = {}
+    if mode == "measured":
+        source = _warehouse_from(args) or None
+        if not source and getattr(args, "run_dir", None):
+            source = str(pathlib.Path(args.run_dir) / "warehouse")
+        if source:
+            root = pathlib.Path(source)
+            if (root / "warehouse").is_dir():
+                root = root / "warehouse"
+            if (root / "segments").is_dir():
+                from .obs.calibrate import load_cost_models
+                from .results import ResultsStore
+
+                models = load_cost_models(ResultsStore(root))
+        if not models:
+            print(
+                "policy: measured requested but no fitted models found "
+                "(run `repro chains calibrate` on a traced sweep's "
+                "warehouse); static heuristics in effect",
+                file=sys.stderr,
+            )
+    configure_policy(mode, models)
 
 
 # ----------------------------------------------------------------------
@@ -475,13 +538,15 @@ def cmd_graphs(args) -> int:
 
 
 def cmd_chains(args) -> int:
-    """List, inspect, or prune a chain disk cache directory."""
+    """List, inspect, prune a chain disk cache -- or calibrate models."""
     import datetime
     import pathlib
     import pickle
 
     from .chain import ChainDiskCache
 
+    if args.action == "calibrate":
+        return _cmd_chains_calibrate(args)
     root = pathlib.Path(args.directory)
     # Accept a run directory transparently: sweeps persist their chains
     # under <run_dir>/chains.
@@ -544,6 +609,48 @@ def cmd_chains(args) -> int:
     )
     print(format_table(headers, rows))
     print(f"{len(entries)} chains, {cache.total_bytes()} bytes in {root}")
+    return 0
+
+
+def _cmd_chains_calibrate(args) -> int:
+    """Fit cost models from the warehouse's measured group forensics.
+
+    ``repro chains calibrate DIR``: reads the ``groups`` table, fits
+    the per-strategy timing models and the group-budget scalar
+    (:mod:`repro.obs.calibrate`), persists anything new to the
+    content-addressed ``models`` table, and prints the fitted models.
+    Re-running over unchanged history appends nothing.
+    """
+    from .obs.calibrate import MIN_FIT_ROWS, calibrate_store
+
+    store = _results_store(args.directory)
+    models, appended = calibrate_store(store)
+    if not models:
+        print(
+            "no cost models fitted: need a groups table with at least "
+            f"{MIN_FIT_ROWS} measured rows per evolution strategy "
+            "(run grouped sweeps against this warehouse first)"
+        )
+        return 1
+    print(
+        format_table(
+            ("target", "rows", "residual", "coefficients", "digest"),
+            [
+                (
+                    model.target,
+                    model.rows,
+                    f"{model.residual:.4f}",
+                    " ".join(f"{c:.4g}" for c in model.coef),
+                    model.digest()[:12],
+                )
+                for model in models
+            ],
+        )
+    )
+    print(
+        f"{len(models)} models fitted, {appended} new row(s) persisted "
+        "to the models table"
+    )
     return 0
 
 
@@ -761,13 +868,45 @@ def cmd_metrics(args) -> int:
     load counts as gauges (the same counts ``repro chains list``
     displays, so the two commands always agree); ``--warehouse DIR``
     folds in the rows sweeps persisted to the warehouse's ``telemetry``
-    table.
+    table.  The ``history`` action instead reads the warehouse's
+    telemetry rows *across* sweeps -- one line per (metric, stamp) --
+    for trend reading (see OBS.md, "From telemetry to decisions").
+    Histogram lines in ``show`` carry p50/p90/p99 estimates derived
+    from the 64-bucket log2 bins.
     """
     import json
     import pathlib
 
-    from .obs import OBS, telemetry_rows
+    from .obs import OBS, histogram_percentiles, telemetry_rows
 
+    if args.action == "history":
+        from .obs.analyze import metrics_history
+
+        if not args.warehouse:
+            raise SystemExit("metrics history: needs --warehouse DIR")
+        rows = metrics_history(
+            _results_store(args.warehouse),
+            kind=args.kind,
+            name=args.name,
+            master_seed=args.master_seed,
+        )
+        if not rows:
+            print("no persisted telemetry matches (run traced sweeps "
+                  "with a warehouse first)")
+            return 0
+        print(
+            format_table(
+                ("name", "kind", "stamp", "master_seed", "value", "count"),
+                [
+                    (
+                        r["name"], r["kind"], f"{r['stamp']:.6f}",
+                        r["master_seed"], f"{r['value']:.6g}", r["count"],
+                    )
+                    for r in rows
+                ],
+            )
+        )
+        return 0
     if args.chains:
         from .chain import ChainDiskCache
 
@@ -804,11 +943,82 @@ def cmd_metrics(args) -> int:
     if not rows:
         print("no telemetry collected (tracing off and nothing persisted)")
         return 0
+
+    def detail(row) -> str:
+        # Percentile summaries for live histograms: the registry still
+        # holds the buckets (persisted rows carry totals only -- see
+        # OBS.md on the merge-law caveat).
+        if row["kind"] != "hist":
+            return ""
+        hist = OBS.metrics.histogram(row["name"])
+        if hist is None:
+            return ""
+        pct = histogram_percentiles(hist)
+        if not pct:
+            return ""
+        return " ".join(
+            f"{key}={pct[key]:.3g}" for key in ("p50", "p90", "p99")
+        )
+
     print(
         format_table(
-            ("kind", "name", "value", "count"),
+            ("kind", "name", "value", "count", "detail"),
             [
-                (r["kind"], r["name"], f"{r['value']:.6g}", r["count"])
+                (
+                    r["kind"], r["name"], f"{r['value']:.6g}",
+                    r["count"], detail(r),
+                )
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Cross-run telemetry analytics: diff two sweeps, attribute time.
+
+    ``repro obs diff DIR`` compares the two most recent traced sweeps
+    persisted in the warehouse tier by tier (pick explicit sweeps with
+    ``--a``/``--b`` stamps from ``repro metrics history``); ``repro obs
+    tiers DIR`` renders one sweep's wall-clock attribution by span
+    self-time.
+    """
+    from .obs.analyze import diff_sweeps, tier_attribution
+
+    store = _results_store(args.directory)
+    if args.action == "tiers":
+        rows = tier_attribution(store, stamp=args.stamp)
+        if not rows:
+            print("no span telemetry persisted (run a traced sweep "
+                  "with a warehouse first)")
+            return 0
+        print(
+            format_table(
+                ("tier", "self", "calls", "share"),
+                [
+                    (
+                        r["name"], f"{r['seconds'] * 1e3:.3f}ms",
+                        r["calls"], f"{r['share'] * 100:.1f}%",
+                    )
+                    for r in rows
+                ],
+            )
+        )
+        return 0
+    try:
+        rows = diff_sweeps(store, stamp_a=args.a, stamp_b=args.b)
+    except ValueError as exc:
+        raise SystemExit(f"obs diff: {exc}")
+    print(
+        format_table(
+            ("kind", "name", "a", "b", "delta", "ratio"),
+            [
+                (
+                    r["kind"], r["name"], f"{r['a']:.6g}",
+                    f"{r['b']:.6g}", f"{r['delta']:+.6g}",
+                    "-" if r["ratio"] is None else f"{r['ratio']:.3f}",
+                )
                 for r in rows
             ],
         )
@@ -1121,6 +1331,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_quotient_arg(p)
+    _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_phase_diagram)
@@ -1169,6 +1380,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicate", type=int, default=0)
     p.add_argument("--master-seed", type=int, default=0)
     _add_quotient_arg(p)
+    _add_policy_arg(p)
     _add_warehouse_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -1256,6 +1468,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_quotient_arg(p)
+    _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_sweep)
@@ -1278,12 +1491,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_mermaid)
 
     p = sub.add_parser(
-        "chains", help="list/inspect/prune a chain disk cache"
+        "chains",
+        help="list/inspect/prune a chain disk cache; calibrate cost models",
     )
-    p.add_argument("action", choices=("list", "inspect", "prune"))
+    p.add_argument(
+        "action", choices=("list", "inspect", "prune", "calibrate")
+    )
     p.add_argument(
         "directory",
-        help="cache directory (or a run directory containing chains/)",
+        help=(
+            "cache directory (or a run directory containing chains/); "
+            "for calibrate: a warehouse directory (or a run directory "
+            "containing warehouse/) whose groups table to fit from"
+        ),
     )
     p.add_argument(
         "--max-bytes", type=int, default=None,
@@ -1374,14 +1594,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(p)
     _add_group_arg(p)
     _add_quotient_arg(p)
+    _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
-        "metrics", help="show or export collected telemetry"
+        "obs",
+        help="cross-run telemetry analytics (diff sweeps, tier attribution)",
     )
-    p.add_argument("action", choices=("show", "export"))
+    p.add_argument("action", choices=("diff", "tiers"))
+    p.add_argument(
+        "directory",
+        help="warehouse directory (or a run directory containing warehouse/)",
+    )
+    p.add_argument(
+        "--a", type=float, default=None, metavar="STAMP",
+        help="diff: baseline sweep stamp (default: second-most-recent)",
+    )
+    p.add_argument(
+        "--b", type=float, default=None, metavar="STAMP",
+        help="diff: comparison sweep stamp (default: most recent)",
+    )
+    p.add_argument(
+        "--stamp", type=float, default=None,
+        help="tiers: sweep stamp to attribute (default: most recent)",
+    )
+    p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "metrics", help="show/export collected telemetry; cross-run history"
+    )
+    p.add_argument("action", choices=("show", "export", "history"))
+    p.add_argument(
+        "--kind",
+        choices=("counter", "gauge", "hist", "span", "span.self"),
+        default=None,
+        help="history: only this telemetry kind",
+    )
+    p.add_argument(
+        "--name",
+        default=None,
+        help="history: only metric names containing this substring",
+    )
+    p.add_argument(
+        "--master-seed",
+        type=int,
+        default=None,
+        help="history: only sweeps run under this master seed",
+    )
     p.add_argument(
         "--chains",
         default=None,
@@ -1448,6 +1709,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             "auto" if args.quotient is None
             else "on" if args.quotient else "off"
         )
+    if hasattr(args, "policy"):
+        # Process-wide like the toggles above; the sweep/experiment
+        # payloads forward the resolved policy (mode + models) into
+        # pool workers so both sides plan identically.
+        _configure_policy_from(args)
     profile_out = getattr(args, "profile_out", None)
     if traced or profile_out:
         from .obs import configure_tracing

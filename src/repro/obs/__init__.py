@@ -8,6 +8,13 @@ low-overhead **span tracer** (:mod:`repro.obs.trace`), a mergeable
 (:mod:`repro.obs.profile`), a freezable **wall clock** for persisted
 stamps (:mod:`repro.obs.clock`), and the dependency-free schema
 validator for ``--profile-out`` documents (:mod:`repro.obs.schema`).
+On top of the collection substrate sits the read-back loop: cross-run
+analytics over persisted telemetry (:mod:`repro.obs.analyze`), cost-
+model fitting from measured group forensics
+(:mod:`repro.obs.calibrate`), and the opt-in
+:class:`~repro.obs.policy.CostModelPolicy` the chain/runner planners
+consult (:mod:`repro.obs.policy`) -- see OBS.md, "From telemetry to
+decisions".
 
 The contract with the hot paths
 -------------------------------
@@ -41,8 +48,22 @@ from __future__ import annotations
 import os
 
 from .clock import now
-from .metrics import MetricsRegistry, bin_edges, bin_index
+from .metrics import (
+    MetricsRegistry,
+    bin_edges,
+    bin_index,
+    histogram_percentiles,
+)
+from .policy import (
+    CostModel,
+    CostModelPolicy,
+    configure_policy,
+    configure_policy_payload,
+    policy_mode,
+    policy_payload,
+)
 from .profile import (
+    PROFILE_SCHEMA_VERSION,
     build_profile,
     drain_telemetry,
     merge_telemetry,
@@ -76,6 +97,16 @@ class Observability:
 
 #: The process-wide facade every instrumentation site reads.
 OBS = Observability(TRACER, MetricsRegistry())
+
+
+def _count_dropped_spans(count: int) -> None:
+    """Ring-eviction hook: a full span ring evicting ``count`` finished
+    roots increments ``obs.spans.dropped``, so ``repro metrics show``
+    flags truncated profiles instead of leaving them silent."""
+    OBS.metrics.inc("obs.spans.dropped", count)
+
+
+TRACER.on_evict = _count_dropped_spans
 
 
 def _reset_in_forked_child() -> None:
@@ -129,17 +160,25 @@ if os.environ.get("REPRO_TRACE", "0") not in ("", "0"):
 
 __all__ = [
     "OBS",
+    "CostModel",
+    "CostModelPolicy",
     "Observability",
     "Span",
     "Tracer",
     "MetricsRegistry",
+    "PROFILE_SCHEMA_VERSION",
     "bin_edges",
     "bin_index",
     "build_profile",
+    "configure_policy",
+    "configure_policy_payload",
     "configure_tracing",
     "drain_telemetry",
+    "histogram_percentiles",
     "merge_telemetry",
     "now",
+    "policy_mode",
+    "policy_payload",
     "render_span_tree",
     "reset_telemetry",
     "span_aggregates",

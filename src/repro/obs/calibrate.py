@@ -1,0 +1,256 @@
+"""Fit cost models from measured group forensics (``repro chains calibrate``).
+
+The warehouse ``groups`` table records, for every grouped evolution
+pass a sweep executed, the features that drove its planning (stacked
+``states``, ``transitions``, ``density``, the ``evolution`` strategy
+picked) and the measured outcome (``elapsed`` seconds).  This module
+turns that history into the :class:`~repro.obs.policy.CostModel` rows
+the measured policy predicts from:
+
+* ``evolve.dense`` / ``evolve.scatter`` -- per-strategy power laws,
+  ordinary least squares in log2 space (``log2(elapsed) ~ c0 +
+  c1*log2(states) + c2*log2(nnz)``) over the rows that strategy
+  actually ran.  Density is *not* a third regressor: ``log2(density) =
+  log2(nnz) - 2*log2(states)`` exactly, so it is already in the column
+  span and would only make the design matrix singular.
+* ``group.budget`` -- a fitted scalar: rows are bucketed by
+  ``floor(log2(states))``, per-bucket state throughput (states/second)
+  is compared, and the budget is the upper edge of the best measured
+  bucket.  It narrows the static ``MAX_GROUP_STATES`` cap, never
+  widens it.
+
+Fits are persisted to a versioned, content-addressed ``models`` table
+(:data:`repro.results.store.MODEL_COLUMNS`): each row carries the
+model's sha256 digest, so re-calibrating over unchanged history is a
+no-op, and the fitting-recipe ``version`` lets a newer policy ignore
+rows an older recipe produced.  The documented prediction tolerance is
+the fit's RMS log2 residual: held-out timings land within
+``2**residual`` of the prediction on average, and
+``tests/obs/test_calibrate.py`` holds a synthetic workload to factor-2.
+
+Deliberately *not* imported by the hot path: the policy consumes
+already-fitted models; only the CLI (and tests/benchmarks) call in
+here, so numpy's ``lstsq`` and the warehouse never load during
+planning.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from . import clock
+from .policy import MODEL_VERSION, CostModel
+
+#: Minimum observations before a target is fitted at all; below this a
+#: power law is numerology and the policy should stay on static
+#: heuristics (the deterministic-fallback contract).
+MIN_FIT_ROWS = 4
+
+#: Regressors of the per-strategy timing models, in coefficient order.
+TIMING_FEATURES = ("log2_states", "log2_nnz")
+
+
+def _timing_rows(rows, strategy: str):
+    """``(log2_states, log2_nnz, log2_elapsed)`` points for one strategy."""
+    points = []
+    for row in rows:
+        if str(row.get("evolution", "")) != strategy:
+            continue
+        states = int(row.get("states", 0))
+        nnz = int(row.get("transitions", 0))
+        elapsed = float(row.get("elapsed", 0.0))
+        if states <= 0 or nnz <= 0 or not elapsed > 0.0:
+            continue
+        points.append(
+            (math.log2(states), math.log2(nnz), math.log2(elapsed))
+        )
+    return points
+
+
+def fit_timing_model(rows, strategy: str) -> "CostModel | None":
+    """Least-squares ``evolve.<strategy>`` power law, or ``None``.
+
+    ``None`` when fewer than :data:`MIN_FIT_ROWS` usable observations
+    exist -- the caller simply fits fewer models and the policy falls
+    back to static heuristics for the missing target.
+    """
+    points = _timing_rows(rows, strategy)
+    if len(points) < MIN_FIT_ROWS:
+        return None
+    data = np.asarray(points, dtype=np.float64)
+    design = np.column_stack([np.ones(len(data)), data[:, 0], data[:, 1]])
+    response = data[:, 2]
+    coef, *_ = np.linalg.lstsq(design, response, rcond=None)
+    residual = float(
+        np.sqrt(np.mean((design @ coef - response) ** 2))
+    )
+    return CostModel(
+        target=f"evolve.{strategy}",
+        features=TIMING_FEATURES,
+        coef=tuple(float(c) for c in coef),
+        rows=len(points),
+        residual=residual,
+    )
+
+
+def fit_budget_model(rows, cap: int) -> "CostModel | None":
+    """Fitted ``group.budget`` scalar from measured throughput.
+
+    Buckets rows by ``floor(log2(states))``, compares mean state
+    throughput (states/second) across buckets with at least
+    :data:`MIN_FIT_ROWS` observations, and returns the upper state edge
+    of the best bucket (clamped to ``cap``).  Needs two qualifying
+    buckets -- with only one there is nothing to compare and the static
+    budget stands.
+    """
+    buckets: dict[int, list[float]] = {}
+    for row in rows:
+        states = int(row.get("states", 0))
+        elapsed = float(row.get("elapsed", 0.0))
+        if states <= 0 or not elapsed > 0.0:
+            continue
+        buckets.setdefault(int(math.log2(states)), []).append(
+            states / elapsed
+        )
+    qualified = {
+        bucket: values
+        for bucket, values in buckets.items()
+        if len(values) >= MIN_FIT_ROWS
+    }
+    if len(qualified) < 2:
+        return None
+    best = max(
+        sorted(qualified),
+        key=lambda bucket: float(np.mean(qualified[bucket])),
+    )
+    budget = min(int(cap), 2 ** (best + 1))
+    spread = float(np.std(np.log2(np.asarray(qualified[best]))))
+    return CostModel(
+        target="group.budget",
+        features=(),
+        coef=(float(budget),),
+        rows=sum(len(values) for values in qualified.values()),
+        residual=spread,
+    )
+
+
+def fit_cost_models(rows, cap: "int | None" = None) -> list:
+    """Every model the ``groups`` history supports, possibly empty.
+
+    ``rows`` are dicts shaped like the warehouse ``groups`` table
+    (:data:`repro.results.store.GROUP_COLUMNS`); ``cap`` bounds the
+    fitted group budget (defaults to
+    :data:`repro.chain.multi.MAX_GROUP_STATES`).
+    """
+    if cap is None:
+        from ..chain.multi import MAX_GROUP_STATES
+
+        cap = MAX_GROUP_STATES
+    rows = list(rows)
+    models = [
+        fit_timing_model(rows, "dense"),
+        fit_timing_model(rows, "scatter"),
+        fit_budget_model(rows, cap),
+    ]
+    return [model for model in models if model is not None]
+
+
+# ----------------------------------------------------------------------
+# Warehouse persistence (the ``models`` table)
+# ----------------------------------------------------------------------
+def model_row(model: CostModel, stamp: "float | None" = None) -> dict:
+    """One ``models``-table row for ``model`` (columns only)."""
+    return {
+        "stamp": clock.now() if stamp is None else float(stamp),
+        "digest": model.digest(),
+        "version": int(model.version),
+        "target": model.target,
+        "features": json.dumps(list(model.features)),
+        "coef": json.dumps([float(c) for c in model.coef]),
+        "rows": int(model.rows),
+        "residual": float(model.residual),
+    }
+
+
+def model_from_row(row: dict) -> CostModel:
+    """Inverse of :func:`model_row` (digest-stable)."""
+    return CostModel(
+        target=str(row["target"]),
+        features=tuple(json.loads(str(row["features"]) or "[]")),
+        coef=tuple(json.loads(str(row["coef"]))),
+        rows=int(row["rows"]),
+        residual=float(row["residual"]),
+        version=int(row["version"]),
+    )
+
+
+def load_cost_models(store) -> dict:
+    """Latest fitted model per target from ``store``'s ``models`` table.
+
+    Rows are scanned in segment append order, so for each target the
+    most recently persisted model wins; rows from a different fitting
+    recipe (``version != MODEL_VERSION``) are skipped.
+    """
+    if "models" not in store.tables():
+        return {}
+    table = store.table("models")
+    models: dict[str, CostModel] = {}
+    for row in table.to_rows():
+        if int(row.get("version", -1)) != MODEL_VERSION:
+            continue
+        try:
+            model = model_from_row(row)
+        except (KeyError, TypeError, ValueError):
+            continue
+        models[model.target] = model
+    return models
+
+
+def calibrate_store(store, cap: "int | None" = None) -> tuple:
+    """Fit from ``store``'s ``groups`` history and persist what changed.
+
+    Returns ``(models, appended)``: every model fitted this pass, and
+    how many of them were actually new -- a model whose content digest
+    already heads the table for its target is skipped, so repeated
+    calibration over unchanged history appends nothing.
+    """
+    if "groups" not in store.tables():
+        return [], 0
+    rows = store.table("groups").to_rows()
+    models = fit_cost_models(rows, cap)
+    if not models:
+        return [], 0
+    latest = {
+        target: model.digest()
+        for target, model in load_cost_models(store).items()
+    }
+    fresh = [
+        model for model in models
+        if latest.get(model.target) != model.digest()
+    ]
+    if fresh:
+        from ..results.store import MODEL_COLUMNS
+
+        stamp = clock.now()
+        store.append_rows(
+            "models",
+            [model_row(model, stamp) for model in fresh],
+            MODEL_COLUMNS,
+        )
+    return models, len(fresh)
+
+
+__all__ = [
+    "MIN_FIT_ROWS",
+    "TIMING_FEATURES",
+    "calibrate_store",
+    "fit_budget_model",
+    "fit_cost_models",
+    "fit_timing_model",
+    "load_cost_models",
+    "model_from_row",
+    "model_row",
+]

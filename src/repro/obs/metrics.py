@@ -59,6 +59,51 @@ def bin_edges() -> "list[float]":
     return [2.0 ** (MIN_EXP + i) for i in range(NBINS - 1)]
 
 
+#: Quantiles :func:`histogram_percentiles` reports, as ``p<N>`` keys.
+PERCENTILES = (0.5, 0.9, 0.99)
+
+
+def histogram_percentiles(hist: dict) -> "dict[str, float]":
+    """p50/p90/p99 estimates from a histogram's log2 buckets.
+
+    The 64 fixed buckets localize each observation to one octave, so a
+    quantile is recovered by walking the cumulative bucket counts and
+    reporting the geometric midpoint of the bucket the target rank
+    falls in -- exact to within the bucket's octave, which is the
+    resolution the histogram stores.  Estimates are clamped to the
+    recorded ``[min, max]`` (the open-ended outer buckets have no
+    midpoint of their own), so a single-valued histogram reports that
+    value for every percentile.  Empty histograms return ``{}``.
+    """
+    count = int(hist.get("count", 0))
+    bins = hist.get("bins") or {}
+    if count <= 0 or not bins:
+        return {}
+    low = float(hist.get("min", 0.0))
+    high = float(hist.get("max", 0.0))
+    buckets = sorted((int(key), int(n)) for key, n in bins.items())
+    result: dict[str, float] = {}
+    for quantile in PERCENTILES:
+        target = quantile * count
+        seen = 0
+        estimate = high
+        for bucket, n in buckets:
+            seen += n
+            if seen >= target:
+                if 1 <= bucket < NBINS - 1:
+                    # Bucket spans [2**(MIN_EXP+b-1), 2**(MIN_EXP+b));
+                    # its geometric midpoint is the half-octave point.
+                    estimate = 2.0 ** (MIN_EXP + bucket - 0.5)
+                elif bucket == 0:
+                    estimate = low
+                else:
+                    estimate = high
+                break
+        key = f"p{int(round(quantile * 100))}"
+        result[key] = max(low, min(high, estimate))
+    return result
+
+
 def _new_histogram() -> dict:
     return {
         "count": 0,
@@ -226,6 +271,8 @@ __all__ = [
     "MIN_EXP",
     "MetricsRegistry",
     "NBINS",
+    "PERCENTILES",
     "bin_edges",
     "bin_index",
+    "histogram_percentiles",
 ]

@@ -1,0 +1,292 @@
+"""Measured cost models and the execution-strategy policy they drive.
+
+The chain/runner tiers make three recurring planning decisions from
+hand-tuned constants: dense-vs-scatter distribution evolution
+(:func:`repro.chain.backends.evolution_strategy`), the stacked-state
+budget that chunks multi-chain groups
+(:func:`repro.chain.multi.plan_chunks`), and the sweep dispatcher's
+bin-packing budget (:func:`repro.runner.sweep._group_job_payloads`).
+This module closes the telemetry loop: a :class:`CostModel` is a tiny
+fitted predictor (least squares in log2 space over the warehouse's
+measured ``groups`` forensics -- see :mod:`repro.obs.calibrate`), and
+the process-wide :class:`CostModelPolicy` consults those models -- the
+borg-portfolio pattern of *selecting* a strategy from measured
+outcomes instead of a static threshold.
+
+The contract every consumer relies on:
+
+* **Opt-in.**  The default mode is ``"static"``; the policy then
+  renders no verdicts and every decision falls through to today's
+  static heuristics unchanged.  ``configure_policy("measured",
+  models)`` (the CLI's ``--policy measured``) turns it on.
+* **Deterministic fallback.**  A measured policy missing the models a
+  decision needs returns ``None`` and the caller's static heuristic
+  decides -- never an error, never a different answer shape.
+* **How fast, never what.**  Policy verdicts only pick between
+  execution strategies whose results are byte-identical by
+  construction (dense and scatter evolve the same distribution; chunk
+  budgets only re-partition the same stacked passes).  Hard resource
+  caps (``DENSE_STATE_LIMIT``, ``MAX_GROUP_STATES``) bound every
+  verdict and are never overridden.
+
+Like the rest of ``repro.obs``, nothing here imports from the rest of
+``repro`` at module level, so the chain tier can consult the policy
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+
+#: Recognized policy modes (the ``--policy`` flag).
+POLICY_MODES = ("static", "measured")
+
+#: Version stamp persisted with every fitted model; bump when the
+#: feature vector or the fitting recipe changes incompatibly, so a
+#: policy never predicts from rows an older recipe produced.
+MODEL_VERSION = 1
+
+#: Model targets the policy understands.  ``evolve.dense`` /
+#: ``evolve.scatter`` predict one grouped evolution pass's seconds from
+#: ``(states, nnz)``; ``group.budget`` is a fitted scalar -- the
+#: stacked-state budget whose measured throughput was best.
+KNOWN_TARGETS = ("evolve.dense", "evolve.scatter", "group.budget")
+
+#: Floor for any fitted group budget: chunking below this would shred
+#: groups into per-chain passes and throw away the stacking win.
+MIN_GROUP_BUDGET = 64
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One fitted predictor: a power law in log2 space.
+
+    ``log2(seconds) = coef[0] + sum_i coef[1 + i] * features_i`` where
+    the features are ``log2(states)`` and ``log2(nnz)`` (density is
+    determined by those two in log space: ``log2(density) = log2(nnz)
+    - 2 log2(states)``, so adding it would only make the design matrix
+    singular).  Scalar models (``features == ()``) carry their value in
+    ``coef[0]`` directly.
+    """
+
+    target: str
+    features: tuple[str, ...]
+    coef: tuple[float, ...]
+    #: Observations the fit consumed (0 marks a hand-built model).
+    rows: int = 0
+    #: RMS log2-space residual of the fit -- the documented prediction
+    #: tolerance: held-out timings land within ``2**residual`` of the
+    #: prediction on average (see ``tests/obs/test_calibrate.py``).
+    residual: float = 0.0
+    version: int = MODEL_VERSION
+
+    def predict_log2(self, values: "dict[str, float]") -> float:
+        """``log2(predicted seconds)`` at one feature point."""
+        total = self.coef[0]
+        for name, weight in zip(self.features, self.coef[1:]):
+            total += weight * values[name]
+        return total
+
+    def predict_seconds(self, states: int, nnz: int) -> float:
+        """Predicted seconds for one pass over ``states`` / ``nnz``."""
+        values = {
+            "log2_states": math.log2(max(1, states)),
+            "log2_nnz": math.log2(max(1, nnz)),
+        }
+        return 2.0 ** self.predict_log2(values)
+
+    # ------------------------------------------------------------------
+    # Serialization (payload forwarding and the warehouse models table)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form (the worker-payload wire format)."""
+        return {
+            "target": self.target,
+            "features": list(self.features),
+            "coef": [float(c) for c in self.coef],
+            "rows": int(self.rows),
+            "residual": float(self.residual),
+            "version": int(self.version),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            target=str(payload["target"]),
+            features=tuple(str(f) for f in payload.get("features", ())),
+            coef=tuple(float(c) for c in payload["coef"]),
+            rows=int(payload.get("rows", 0)),
+            residual=float(payload.get("residual", 0.0)),
+            version=int(payload.get("version", MODEL_VERSION)),
+        )
+
+    def digest(self) -> str:
+        """Content address: sha256 over the canonical JSON form.
+
+        Two calibration passes that fit identical models produce
+        identical digests, so the warehouse ``models`` table can skip
+        re-appending a model it already holds (idempotent calibrate).
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __post_init__(self):
+        if len(self.coef) != len(self.features) + 1:
+            raise ValueError(
+                f"model {self.target!r} needs {len(self.features) + 1} "
+                f"coefficients, got {len(self.coef)}"
+            )
+
+
+class CostModelPolicy:
+    """The process-wide strategy selector (see :data:`POLICY`).
+
+    Every verdict method returns ``None`` -- "no opinion, use the
+    static heuristic" -- unless the mode is ``"measured"`` AND the
+    models the decision needs are present and current
+    (:data:`MODEL_VERSION`).  Callers keep their hard caps and static
+    fallbacks, so a policy can only ever re-rank strategies with
+    identical results, never change an answer.
+    """
+
+    __slots__ = ("mode", "models")
+
+    def __init__(self, mode: str = "static",
+                 models: "dict[str, CostModel] | None" = None):
+        if mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown policy mode {mode!r}; expected one of "
+                f"{POLICY_MODES}"
+            )
+        self.mode = mode
+        self.models = dict(models or {})
+
+    def _model(self, target: str) -> "CostModel | None":
+        model = self.models.get(target)
+        if model is None or model.version != MODEL_VERSION:
+            return None
+        return model
+
+    def evolution_strategy(self, num_states: int,
+                           nnz: int) -> "str | None":
+        """``"dense"`` / ``"scatter"`` from predicted costs, or ``None``.
+
+        The caller (:func:`repro.chain.backends.evolution_strategy`)
+        applies the ``DENSE_STATE_LIMIT`` memory cap *before* asking,
+        so a verdict here only ever picks between two strategies that
+        both fit in memory and produce identical distributions.
+        """
+        if self.mode != "measured":
+            return None
+        dense = self._model("evolve.dense")
+        scatter = self._model("evolve.scatter")
+        if dense is None or scatter is None:
+            return None
+        if dense.predict_seconds(num_states, nnz) <= scatter.predict_seconds(
+            num_states, nnz
+        ):
+            return "dense"
+        return "scatter"
+
+    def group_state_budget(self, cap: int) -> "int | None":
+        """A measured stacked-state budget clamped to ``[64, cap]``.
+
+        ``cap`` is the caller's hard budget
+        (:data:`repro.chain.multi.MAX_GROUP_STATES`) -- the fitted
+        budget narrows it, never widens it.  ``None`` when the policy
+        has no ``group.budget`` model.
+        """
+        if self.mode != "measured":
+            return None
+        model = self._model("group.budget")
+        if model is None or model.features:
+            return None
+        budget = int(round(model.coef[0]))
+        return max(MIN_GROUP_BUDGET, min(int(cap), budget))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostModelPolicy(mode={self.mode!r}, "
+            f"models={sorted(self.models)})"
+        )
+
+
+#: The process-wide policy every decision point consults.  Mutated only
+#: through :func:`configure_policy` (mirrored into pool workers via the
+#: runner's chain-context payloads, like the batching/quotient toggles).
+POLICY = CostModelPolicy()
+
+
+def configure_policy(
+    mode: str = "static",
+    models: "dict[str, CostModel] | list[CostModel] | None" = None,
+) -> dict:
+    """Install the process-wide policy; returns the previous payload.
+
+    ``models`` may be a ``{target: CostModel}`` mapping or a plain list
+    (keyed by each model's ``target``).  ``configure_policy()`` resets
+    to the static default.
+    """
+    previous = policy_payload()
+    if isinstance(models, dict):
+        table = dict(models)
+    else:
+        table = {model.target: model for model in models or ()}
+    fresh = CostModelPolicy(mode, table)
+    POLICY.mode = fresh.mode
+    POLICY.models = fresh.models
+    return previous
+
+
+def policy_payload() -> dict:
+    """The active policy as a JSON-safe payload (worker forwarding)."""
+    return {
+        "mode": POLICY.mode,
+        "models": [model.to_dict() for _, model in
+                   sorted(POLICY.models.items())],
+    }
+
+
+def configure_policy_payload(payload: "dict | None") -> None:
+    """Install a :func:`policy_payload` dict (worker side).
+
+    ``None`` or a malformed payload resets to the static default --
+    the same unconditional-configure contract every other chain-context
+    field follows, so one sweep's policy never bleeds into the next
+    job's planning.
+    """
+    if not isinstance(payload, dict):
+        configure_policy()
+        return
+    try:
+        models = [
+            CostModel.from_dict(entry)
+            for entry in payload.get("models") or ()
+        ]
+        configure_policy(str(payload.get("mode", "static")), models)
+    except (KeyError, TypeError, ValueError):
+        configure_policy()
+
+
+def policy_mode() -> str:
+    """The active policy mode (``"static"`` or ``"measured"``)."""
+    return POLICY.mode
+
+
+__all__ = [
+    "KNOWN_TARGETS",
+    "MIN_GROUP_BUDGET",
+    "MODEL_VERSION",
+    "POLICY",
+    "POLICY_MODES",
+    "CostModel",
+    "CostModelPolicy",
+    "configure_policy",
+    "configure_policy_payload",
+    "policy_mode",
+    "policy_payload",
+]

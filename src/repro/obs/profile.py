@@ -186,29 +186,43 @@ def telemetry_rows(registry=None, spans: "list[Span] | None" = None) -> list:
     return rows
 
 
+#: Version of the ``--profile-out`` document layout.  2 added per-
+#: histogram ``percentiles`` (p50/p90/p99 derived from the log2
+#: buckets) and this version marker itself.
+PROFILE_SCHEMA_VERSION = 2
+
+
 def build_profile(command: str = "", argv=()) -> dict:
     """The ``--profile-out`` JSON document for the current process.
 
-    Contains the metrics snapshot, the finished span forest, and the
-    per-name aggregates; validates against
+    Contains the metrics snapshot (histograms augmented with
+    p50/p90/p99 estimates -- see
+    :func:`repro.obs.metrics.histogram_percentiles`), the finished span
+    forest, and the per-name aggregates; validates against
     ``src/repro/obs/profile.schema.json`` (see :mod:`repro.obs.schema`).
     """
     from . import OBS
+    from .metrics import histogram_percentiles
 
     spans = TRACER.finished()
+    snapshot = OBS.metrics.snapshot()
+    for hist in snapshot["histograms"].values():
+        hist["percentiles"] = histogram_percentiles(hist)
     return {
         "meta": {
             "command": str(command),
             "argv": [str(arg) for arg in argv],
             "stamp": clock.now(),
+            "schema_version": PROFILE_SCHEMA_VERSION,
         },
-        "metrics": OBS.metrics.snapshot(),
+        "metrics": snapshot,
         "spans": [span.to_dict() for span in spans],
         "aggregates": span_aggregates(spans),
     }
 
 
 __all__ = [
+    "PROFILE_SCHEMA_VERSION",
     "build_profile",
     "drain_telemetry",
     "merge_telemetry",

@@ -4,8 +4,9 @@ The container deliberately carries no third-party validator, so the
 checked-in ``profile.schema.json`` is enforced by this dependency-free
 subset implementation.  Supported keywords -- the ones the profile
 schema actually uses -- are ``type``, ``required``, ``properties``,
-``additionalProperties`` (boolean or schema), ``items``, ``$ref`` into
-``#/$defs/...``, and ``$defs``.  Anything else in a schema is ignored,
+``additionalProperties`` (boolean or schema), ``items``, ``enum``
+(which pins ``meta.schema_version``), ``$ref`` into ``#/$defs/...``,
+and ``$defs``.  Anything else in a schema is ignored,
 so tightening the schema with unsupported keywords degrades to "not
 checked", never to a false failure.
 
@@ -73,6 +74,9 @@ def validate(instance, schema: dict, *, root: "dict | None" = None,
             f"{path}: expected {expected}, got "
             f"{type(instance).__name__}"
         ]
+    allowed = schema.get("enum")
+    if allowed is not None and instance not in allowed:
+        return [f"{path}: {instance!r} not in {allowed!r}"]
     if isinstance(instance, dict):
         for name in schema.get("required", ()):
             if name not in instance:

@@ -25,6 +25,7 @@ import functools
 import threading
 from collections import deque
 from time import perf_counter
+from typing import Callable
 
 #: Maximum finished *root* spans the ring retains (children hang off
 #: their root and are not counted separately).
@@ -87,6 +88,15 @@ class Tracer:
         self._lock = threading.Lock()
         self._ring: deque[Span] = deque(maxlen=capacity)
         self._local = threading.local()
+        #: Called once per finished root span the full ring evicts
+        #: (:mod:`repro.obs` wires it to the ``obs.spans.dropped``
+        #: counter), so a truncated profile is detectable instead of
+        #: silent.  Invoked outside the ring lock.
+        self.on_evict: "Callable[[int], None] | None" = None
+
+    def _notify_evicted(self, count: int) -> None:
+        if count > 0 and self.on_evict is not None:
+            self.on_evict(count)
 
     def _stack(self) -> "list[Span]":
         stack = getattr(self._local, "stack", None)
@@ -115,7 +125,9 @@ class Tracer:
             stack[-1].children.append(span)
         else:
             with self._lock:
+                evicted = len(self._ring) == self._ring.maxlen
                 self._ring.append(span)
+            self._notify_evicted(int(evicted))
 
     def current(self) -> "Span | None":
         """The innermost open span on this thread, if any."""
@@ -168,7 +180,11 @@ class Tracer:
             current.children.extend(spans)
             return
         with self._lock:
+            evicted = max(
+                0, len(self._ring) + len(spans) - (self._ring.maxlen or 0)
+            )
             self._ring.extend(spans)
+        self._notify_evicted(evicted)
 
     def reset(self) -> None:
         """Drop the ring and this thread's open stack (tests)."""

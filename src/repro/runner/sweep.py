@@ -94,15 +94,18 @@ def _group_job_payloads(jobs, payloads, engine):
     weighs its family's (estimated) compiled-state count
     (:func:`_family_state_weight`), the per-bin budget is the total
     weight split over four bins per pool worker, and no bin ever
-    exceeds :data:`~repro.chain.multi.MAX_GROUP_STATES` -- so a shape
-    axis mixing n=3 and n=8 families no longer hands one worker all
-    the heavy chains that another worker's job-count-equal bin dodged.
+    exceeds the active group-state budget
+    (:func:`~repro.chain.multi.group_state_budget`:
+    :data:`~repro.chain.multi.MAX_GROUP_STATES`, or tighter under
+    ``--policy measured``) -- so a shape axis mixing n=3 and n=8
+    families no longer hands one worker all the heavy chains that
+    another worker's job-count-equal bin dodged.
     Returns ``None`` -- dispatch one payload per job exactly as before
     -- when grouping is off, the sweep is sampling-kind (Monte-Carlo
     jobs gain nothing from a shared chain pass), or there is at most
     one job.
     """
-    from ..chain import MAX_GROUP_STATES, grouping_enabled
+    from ..chain import group_state_budget, grouping_enabled
 
     if not grouping_enabled() or len(payloads) < 2:
         return None
@@ -122,7 +125,7 @@ def _group_job_payloads(jobs, payloads, engine):
     workers = getattr(engine, "workers", 1) or 1
     bins = max(1, min(len(runs), workers * 4))
     budget = min(
-        MAX_GROUP_STATES, max(1, math.ceil(sum(weights) / bins))
+        group_state_budget(), max(1, math.ceil(sum(weights) / bins))
     )
     groups: list[list[dict]] = []
     current: list[dict] = []
@@ -138,7 +141,7 @@ def _group_job_payloads(jobs, payloads, engine):
         groups.append(current)
     context_keys = (
         "chain_cache", "batch", "group_chains", "quotient",
-        "results_memo", "obs",
+        "results_memo", "obs", "policy",
     )
     return [
         {

@@ -57,19 +57,25 @@ def chain_context_payload() -> dict:
     """The parent-side chain-context fields every pool payload carries.
 
     One choke point for the fields :func:`_apply_chain_context` mirrors
-    in the worker (currently the batching and chain-grouping toggles and
-    the quotient-compilation mode; ``chain_cache`` / ``chain_shm`` /
-    ``chain_shm_groups`` are sweep-specific and attached by
-    ``run_sweep``).  A payload producer that merges this dict can never
-    silently reset a worker to defaults the parent has overridden.
+    in the worker (currently the batching and chain-grouping toggles,
+    the quotient-compilation mode, and the cost-model policy;
+    ``chain_cache`` / ``chain_shm`` / ``chain_shm_groups`` are
+    sweep-specific and attached by ``run_sweep``).  A payload producer
+    that merges this dict can never silently reset a worker to defaults
+    the parent has overridden.
     """
     from ..chain import batching_enabled, grouping_enabled, quotient_mode
+    from ..obs import policy_payload
 
     return {
         "batch": batching_enabled(),
         "group_chains": grouping_enabled(),
         "quotient": quotient_mode(),
         "obs": tracing_enabled(),
+        # The fitted models ride in the payload itself, so workers need
+        # no warehouse access to plan exactly like the parent (the
+        # shared-group handshake depends on both sides chunking alike).
+        "policy": policy_payload(),
     }
 
 
@@ -130,6 +136,7 @@ def _apply_chain_context(payload: dict) -> None:
     context never bleeds into the next job's compilations.
     """
     from ..chain import configure_quotient, configure_shared_groups
+    from ..obs import configure_policy_payload
     from ..results.memo import configure_query_memo
 
     configure_disk_cache(payload.get("chain_cache"))
@@ -140,6 +147,7 @@ def _apply_chain_context(payload: dict) -> None:
     configure_quotient(payload.get("quotient", "off"))
     configure_query_memo(payload.get("results_memo"))
     configure_tracing(payload.get("obs", False))
+    configure_policy_payload(payload.get("policy"))
 
 
 def _exact_value(limit: Fraction) -> dict:
@@ -341,13 +349,18 @@ def execute_experiment(payload: dict) -> dict:
     index = int(payload["index"])
     with trace("runner.experiment", index=index) as timer:
         result = ALL_EXPERIMENTS[index]()
-    # Experiment records carry live result objects, not JSON; telemetry
-    # is not attached here (see OBS.md, "limitations").
-    return {
+    record = {
         "index": index,
         "result": result,
         "elapsed": timer.duration,
     }
+    if OBS.enabled:
+        OBS.metrics.inc("runner.experiments")
+        # Telemetry rides next to the live result object; the parent
+        # (``iter_all_experiments``) pops and folds it, so experiment
+        # results stay identical with tracing on or off.
+        record["telemetry"] = drain_telemetry()
+    return record
 
 
 def execute_sample_batch(payload: dict) -> dict:

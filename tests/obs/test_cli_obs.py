@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.chain import clear_memo
 from repro.cli import main
 from repro.obs import clock
@@ -156,3 +158,207 @@ class TestFrozenStamps:
         assert rows
         assert {row["stamp"] for row in rows} == {1234.5}
         assert {row["master_seed"] for row in rows} == {0}
+
+
+def _calibration_rows():
+    """A groups history rich enough to fit every model target."""
+    import math
+
+    rows = []
+    for states in (16, 64, 256, 1024):
+        for factor in (2, 8):
+            for evolution, c0 in (("dense", -20.0), ("scatter", -18.0)):
+                nnz = states * factor
+                elapsed = 2.0 ** (
+                    c0 + math.log2(states) + 0.5 * math.log2(nnz)
+                )
+                rows.append(
+                    {
+                        "master_seed": 0,
+                        "jobs": 4,
+                        "chains": 2,
+                        "states": states,
+                        "transitions": nnz,
+                        "density": nnz / (states * states),
+                        "evolution": evolution,
+                        "memo_hits": 0,
+                        "elapsed": elapsed,
+                    }
+                )
+    return rows
+
+
+class TestCrossRunAnalyticsCLI:
+    """Satellite coverage: several traced sweeps in one warehouse stay
+    distinguishable and drive history/diff/tiers read-back."""
+
+    @pytest.fixture
+    def run(self, tmp_path, capsys):
+        """Two traced sweeps (distinct specs, hence distinct run dirs)
+        feeding one shared warehouse; returns the warehouse path."""
+        from repro.obs import reset_telemetry
+
+        warehouse = tmp_path / "warehouse"
+        clear_memo()
+        with clock.frozen(100.0):
+            assert main(
+                ["trace", "sweep", "--n", "4",
+                 "--run-dir", str(tmp_path / "first"),
+                 "--warehouse", str(warehouse)]
+            ) == 0
+        # A fresh registry between sweeps: each persisted profile is one
+        # sweep's telemetry, not the process's running total.
+        reset_telemetry()
+        clear_memo()
+        with clock.frozen(200.0):
+            assert main(
+                ["trace", "sweep", "--n", "4", "--master-seed", "7",
+                 "--run-dir", str(tmp_path / "second"),
+                 "--warehouse", str(warehouse)]
+            ) == 0
+        reset_telemetry()
+        capsys.readouterr()
+        return warehouse
+
+    def test_sweeps_stay_distinguishable_by_stamp_and_seed(self, run):
+        from repro.obs.analyze import sweep_stamps
+
+        assert sweep_stamps(ResultsStore(run)) == [(100.0, 0), (200.0, 7)]
+
+    def test_metrics_history_trends_across_sweeps(self, run, capsys):
+        assert main(
+            ["metrics", "history", "--warehouse", str(run)]
+        ) == 0
+        out = capsys.readouterr().out
+        jobs = [
+            line for line in out.splitlines()
+            if line.startswith("runner.jobs")
+        ]
+        assert len(jobs) == 2  # one line per sweep, trend-ordered
+        assert "100.000000" in jobs[0] and "200.000000" in jobs[1]
+
+    def test_metrics_history_filters_by_master_seed(self, run, capsys):
+        assert main(
+            ["metrics", "history", "--warehouse", str(run),
+             "--master-seed", "7", "--kind", "counter"]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = _table_rows(out)
+        assert rows
+        assert all(parts[2] == "200.000000" for parts in rows)
+
+    def test_metrics_show_folds_persisted_telemetry(self, run, capsys):
+        # The live registry is empty (reset after the sweeps); the rows
+        # shown all come from the warehouse fold.
+        assert main(["metrics", "show", "--warehouse", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "runner.jobs" in out
+
+    def test_obs_diff_compares_the_two_sweeps(self, run, capsys):
+        assert main(["obs", "diff", str(run)]) == 0
+        out = capsys.readouterr().out
+        jobs = next(
+            line for line in out.splitlines() if "runner.jobs" in line
+        )
+        # Identical sweep specs: 10 jobs on both sides, ratio 1.
+        assert "1.000" in jobs
+        assert main(
+            ["obs", "diff", str(run), "--a", "100.0", "--b", "200.0"]
+        ) == 0
+
+    def test_obs_diff_needs_two_sweeps(self, tmp_path, capsys):
+        run = tmp_path / "one"
+        with clock.frozen(50.0):
+            assert main(
+                ["trace", "sweep", "--n", "4", "--run-dir", str(run)]
+            ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["obs", "diff", str(run)])
+
+    def test_obs_tiers_attributes_wall_clock(self, run, capsys):
+        assert main(["obs", "tiers", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.execute" in out
+        assert "%" in out
+
+
+class TestCalibrateCLI:
+    def test_calibrate_fits_persists_and_is_idempotent(
+        self, tmp_path, capsys
+    ):
+        from repro.results.store import GROUP_COLUMNS
+
+        warehouse = tmp_path / "warehouse"
+        ResultsStore(warehouse).append_rows(
+            "groups", _calibration_rows(), GROUP_COLUMNS
+        )
+        assert main(["chains", "calibrate", str(warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "evolve.dense" in out
+        assert "evolve.scatter" in out
+        assert "3 new row(s) persisted" in out
+
+        assert main(["chains", "calibrate", str(warehouse)]) == 0
+        again = capsys.readouterr().out
+        assert "0 new row(s) persisted" in again
+
+    def test_calibrate_without_history_reports_and_fails(
+        self, tmp_path, capsys
+    ):
+        from repro.results.store import TELEMETRY_COLUMNS
+
+        warehouse = tmp_path / "warehouse"
+        # A real store (so the CLI opens it) with no groups history.
+        ResultsStore(warehouse).append_rows(
+            "telemetry",
+            [{"stamp": 1.0, "master_seed": 0, "kind": "counter",
+              "name": "x", "value": 1.0, "count": 1}],
+            TELEMETRY_COLUMNS,
+        )
+        assert main(["chains", "calibrate", str(warehouse)]) == 1
+        out = capsys.readouterr().out
+        assert "no cost models fitted" in out
+
+
+class TestPolicyCLI:
+    def test_measured_without_models_warns_and_falls_back(self, capsys):
+        assert main(["run", "2,3", "--policy", "measured"]) == 0
+        err = capsys.readouterr().err
+        assert "no fitted models" in err
+
+    def test_measured_policy_records_identical_to_static(
+        self, tmp_path, capsys
+    ):
+        from repro.results.store import GROUP_COLUMNS
+
+        warehouse = tmp_path / "models-warehouse"
+        ResultsStore(warehouse).append_rows(
+            "groups", _calibration_rows(), GROUP_COLUMNS
+        )
+        assert main(["chains", "calibrate", str(warehouse)]) == 0
+        capsys.readouterr()
+
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(tmp_path / "static")]
+        ) == 0
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(tmp_path / "measured"),
+             "--policy", "measured", "--warehouse", str(warehouse)]
+        ) == 0
+        captured = capsys.readouterr()
+        # The models were found: no fallback warning on stderr.
+        assert "no fitted models" not in captured.err
+
+        def stripped(path):
+            return [
+                {k: v for k, v in json.loads(line).items()
+                 if k != "elapsed"}
+                for line in path.read_text().splitlines()
+            ]
+
+        assert stripped(
+            tmp_path / "static" / "records.jsonl"
+        ) == stripped(tmp_path / "measured" / "records.jsonl")

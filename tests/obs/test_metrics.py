@@ -96,3 +96,52 @@ class TestMergeLaws:
         snap = registry.snapshot()
         snap["histograms"]["h"]["bins"]["99"] = 123
         assert "99" not in registry.histogram("h")["bins"]
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        from repro.obs import histogram_percentiles
+
+        assert histogram_percentiles({"count": 0, "bins": {}}) == {}
+
+    def test_single_value_reports_itself_everywhere(self):
+        from repro.obs import histogram_percentiles
+
+        registry = MetricsRegistry()
+        registry.observe("h", 3.5)
+        pct = histogram_percentiles(registry.histogram("h"))
+        assert pct == {"p50": 3.5, "p90": 3.5, "p99": 3.5}
+
+    def test_quantiles_walk_the_cumulative_buckets(self):
+        from repro.obs import histogram_percentiles
+
+        registry = MetricsRegistry()
+        for _ in range(90):
+            registry.observe("h", 1.0)      # octave [1, 2)
+        for _ in range(10):
+            registry.observe("h", 1000.0)   # octave [512, 1024)
+        pct = histogram_percentiles(registry.histogram("h"))
+        # p50/p90 land in the first octave (geometric midpoint 2**0.5);
+        # p99 lands in the tail octave (midpoint 2**9.5).
+        assert pct["p50"] == 2.0 ** 0.5
+        assert pct["p90"] == 2.0 ** 0.5
+        assert pct["p99"] == 2.0 ** 9.5
+
+    def test_estimates_clamp_to_the_recorded_extremes(self):
+        from repro.obs import histogram_percentiles
+
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        registry.observe("h", 1.01)
+        # Both in the [1, 2) octave: the midpoint estimate (~1.414)
+        # exceeds the recorded max, so the max wins.
+        pct = histogram_percentiles(registry.histogram("h"))
+        assert pct == {"p50": 1.01, "p90": 1.01, "p99": 1.01}
+
+    def test_bucket_zero_reports_the_minimum(self):
+        from repro.obs import histogram_percentiles
+
+        registry = MetricsRegistry()
+        registry.observe("h", 0.0)  # bucket 0 is open below
+        pct = histogram_percentiles(registry.histogram("h"))
+        assert pct["p50"] == 0.0

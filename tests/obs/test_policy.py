@@ -1,0 +1,272 @@
+"""Cost-model policy: verdicts, forwarding, and the how-fast-never-what law."""
+
+import json
+
+import pytest
+
+from repro.chain import clear_memo
+from repro.chain.backends import DENSE_ALWAYS_STATES, evolution_strategy
+from repro.chain.engine import DENSE_STATE_LIMIT
+from repro.chain.multi import MAX_GROUP_STATES, group_state_budget, plan_chunks
+from repro.obs import (
+    CostModel,
+    configure_policy,
+    configure_policy_payload,
+    policy_mode,
+    policy_payload,
+)
+from repro.obs.policy import MIN_GROUP_BUDGET, MODEL_VERSION, CostModelPolicy
+from repro.runner import ProcessPoolEngine, SerialEngine, SweepSpec, run_sweep
+
+
+def constant_model(target, log2_seconds):
+    """A timing model predicting ``2**log2_seconds`` at every size."""
+    return CostModel(
+        target, ("log2_states", "log2_nnz"), (log2_seconds, 0.0, 0.0)
+    )
+
+
+def inverting_models():
+    """Models that flip every static decision the policy can reach:
+    scatter predicted cheaper everywhere, group budget narrowed to the
+    floor.  The byte-identity tests run under these, so the planning
+    genuinely changes while the records must not."""
+    return [
+        constant_model("evolve.dense", 10.0),
+        constant_model("evolve.scatter", -10.0),
+        CostModel("group.budget", (), (float(MIN_GROUP_BUDGET),)),
+    ]
+
+
+class TestCostModel:
+    def test_dict_round_trip_is_digest_stable(self):
+        model = CostModel(
+            "evolve.dense", ("log2_states", "log2_nnz"),
+            (-20.5, 1.25, 0.5), rows=12, residual=0.03,
+        )
+        clone = CostModel.from_dict(json.loads(json.dumps(model.to_dict())))
+        assert clone == model
+        assert clone.digest() == model.digest()
+
+    def test_digest_tracks_content(self):
+        a = constant_model("evolve.dense", 1.0)
+        b = constant_model("evolve.dense", 2.0)
+        assert a.digest() != b.digest()
+
+    def test_coefficient_arity_is_validated(self):
+        with pytest.raises(ValueError):
+            CostModel("evolve.dense", ("log2_states",), (0.0, 1.0, 2.0))
+
+    def test_prediction_is_a_power_law(self):
+        # log2(seconds) = -3 + 1*log2(states) + 0.5*log2(nnz)
+        model = CostModel(
+            "evolve.dense", ("log2_states", "log2_nnz"), (-3.0, 1.0, 0.5)
+        )
+        assert model.predict_seconds(8, 16) == pytest.approx(
+            2.0 ** (-3.0 + 3.0 + 2.0)
+        )
+
+
+class TestPolicyVerdicts:
+    def test_static_mode_never_has_an_opinion(self):
+        policy = CostModelPolicy("static", {
+            m.target: m for m in inverting_models()
+        })
+        assert policy.evolution_strategy(100, 400) is None
+        assert policy.group_state_budget(MAX_GROUP_STATES) is None
+
+    def test_measured_without_models_falls_back(self):
+        policy = CostModelPolicy("measured")
+        assert policy.evolution_strategy(100, 400) is None
+        assert policy.group_state_budget(MAX_GROUP_STATES) is None
+
+    def test_measured_needs_both_timing_models(self):
+        policy = CostModelPolicy(
+            "measured", {"evolve.dense": constant_model("evolve.dense", 0.0)}
+        )
+        assert policy.evolution_strategy(100, 400) is None
+
+    def test_measured_picks_the_predicted_cheaper_strategy(self):
+        cheap_dense = CostModelPolicy("measured", {
+            "evolve.dense": constant_model("evolve.dense", -10.0),
+            "evolve.scatter": constant_model("evolve.scatter", 10.0),
+        })
+        cheap_scatter = CostModelPolicy("measured", {
+            "evolve.dense": constant_model("evolve.dense", 10.0),
+            "evolve.scatter": constant_model("evolve.scatter", -10.0),
+        })
+        assert cheap_dense.evolution_strategy(100, 400) == "dense"
+        assert cheap_scatter.evolution_strategy(100, 400) == "scatter"
+
+    def test_stale_model_version_is_ignored(self):
+        stale = CostModel(
+            "group.budget", (), (128.0,), version=MODEL_VERSION + 1
+        )
+        policy = CostModelPolicy("measured", {"group.budget": stale})
+        assert policy.group_state_budget(MAX_GROUP_STATES) is None
+
+    def test_budget_clamps_to_floor_and_cap(self):
+        def with_budget(value):
+            return CostModelPolicy("measured", {
+                "group.budget": CostModel("group.budget", (), (value,))
+            })
+
+        assert with_budget(1.0).group_state_budget(
+            MAX_GROUP_STATES
+        ) == MIN_GROUP_BUDGET
+        assert with_budget(1e12).group_state_budget(
+            MAX_GROUP_STATES
+        ) == MAX_GROUP_STATES  # narrows, never widens
+        assert with_budget(4096.0).group_state_budget(
+            MAX_GROUP_STATES
+        ) == 4096
+
+    def test_non_scalar_budget_model_is_refused(self):
+        policy = CostModelPolicy("measured", {
+            "group.budget": constant_model("group.budget", 12.0)
+        })
+        assert policy.group_state_budget(MAX_GROUP_STATES) is None
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            CostModelPolicy("adaptive")
+
+
+class TestBackendsHook:
+    def test_static_default_is_unchanged(self):
+        assert policy_mode() == "static"
+        assert evolution_strategy(DENSE_ALWAYS_STATES, 1) == "dense"
+        assert evolution_strategy(
+            DENSE_ALWAYS_STATES * 4, DENSE_ALWAYS_STATES * 4
+        ) == "scatter"  # sparse and above the always-dense floor
+
+    def test_measured_policy_overrides_the_static_heuristic(self):
+        configure_policy("measured", inverting_models())
+        # Small and cache-resident: static says dense, the models say
+        # scatter -- the policy verdict wins below the hard cap.
+        assert evolution_strategy(32, 64) == "scatter"
+
+    def test_hard_memory_cap_beats_any_verdict(self):
+        configure_policy("measured", [
+            constant_model("evolve.dense", -10.0),
+            constant_model("evolve.scatter", 10.0),
+        ])
+        over = DENSE_STATE_LIMIT + 1
+        assert evolution_strategy(over, over) == "scatter"
+
+
+class FakeChain:
+    def __init__(self, num_states):
+        self.num_states = num_states
+
+
+class TestChunkBudget:
+    def test_static_budget_is_the_hard_cap(self):
+        assert group_state_budget() == MAX_GROUP_STATES
+
+    def test_measured_budget_narrows_plan_chunks(self):
+        chains = [FakeChain(96) for _ in range(6)]
+        assert plan_chunks(chains) == [chains]  # one stacked pass
+
+        configure_policy("measured", [
+            CostModel("group.budget", (), (128.0,))
+        ])
+        assert group_state_budget() == 128
+        chunks = plan_chunks(chains)
+        assert len(chunks) > 1
+        # Re-partitioned, never re-ordered or dropped: same flattened
+        # membership is what keeps grouped results byte-identical.
+        assert [c for chunk in chunks for c in chunk] == chains
+
+
+class TestForwarding:
+    def test_payload_round_trip_preserves_verdicts(self):
+        configure_policy("measured", inverting_models())
+        payload = json.loads(json.dumps(policy_payload()))
+        configure_policy()
+        assert policy_mode() == "static"
+        configure_policy_payload(payload)
+        assert policy_mode() == "measured"
+        assert evolution_strategy(32, 64) == "scatter"
+        assert group_state_budget() == MIN_GROUP_BUDGET
+
+    def test_none_and_malformed_payloads_reset_to_static(self):
+        configure_policy("measured", inverting_models())
+        configure_policy_payload(None)
+        assert policy_mode() == "static"
+        configure_policy("measured", inverting_models())
+        configure_policy_payload({"mode": "measured", "models": [{"bad": 1}]})
+        assert policy_mode() == "static"
+
+    def test_chain_context_payload_ships_the_policy(self):
+        from repro.runner.worker import chain_context_payload
+
+        configure_policy("measured", inverting_models())
+        context = chain_context_payload()
+        assert context["policy"] == policy_payload()
+        # And the worker-side installer round-trips it.
+        from repro.runner.worker import _apply_chain_context
+
+        configure_policy()
+        _apply_chain_context(context)
+        assert policy_mode() == "measured"
+
+
+@pytest.fixture
+def sweep():
+    return SweepSpec(
+        shapes=((2, 3), (1, 2, 2), (1, 4)),
+        models=("blackboard", "clique"),
+        tasks=("leader",),
+    )
+
+
+def stripped(path):
+    return [
+        {k: v for k, v in json.loads(line).items() if k != "elapsed"}
+        for line in path.read_text().splitlines()
+    ]
+
+
+class TestByteIdentityLaw:
+    """Policy may change how fast, never what: identical records under
+    every policy mode and engine (the ISSUE's acceptance bar)."""
+
+    def test_records_identical_static_vs_measured(self, tmp_path, sweep):
+        clear_memo()
+        run_sweep(
+            sweep, engine=SerialEngine(),
+            run_dir=tmp_path / "static", warehouse=False,
+        )
+
+        configure_policy("measured", inverting_models())
+        # Sanity: the measured policy really does plan differently.
+        assert evolution_strategy(32, 64) == "scatter"
+        assert group_state_budget() == MIN_GROUP_BUDGET
+        clear_memo()
+        run_sweep(
+            sweep, engine=SerialEngine(),
+            run_dir=tmp_path / "measured", warehouse=False,
+        )
+
+        assert stripped(tmp_path / "static" / "records.jsonl") == stripped(
+            tmp_path / "measured" / "records.jsonl"
+        )
+
+    def test_records_identical_serial_vs_pool_under_measured(
+        self, tmp_path, sweep
+    ):
+        configure_policy("measured", inverting_models())
+        clear_memo()
+        run_sweep(
+            sweep, engine=SerialEngine(),
+            run_dir=tmp_path / "serial", warehouse=False,
+        )
+        clear_memo()
+        run_sweep(
+            sweep, engine=ProcessPoolEngine(workers=2, chunksize=1),
+            run_dir=tmp_path / "pool", warehouse=False,
+        )
+        assert stripped(tmp_path / "serial" / "records.jsonl") == stripped(
+            tmp_path / "pool" / "records.jsonl"
+        )

@@ -161,3 +161,39 @@ class TestProfileSchema:
                                  "items": {"type": "integer"}}) == []
         assert validate([1, "x"], {"type": "array",
                                    "items": {"type": "integer"}}) != []
+
+
+class TestProfileSchemaV2:
+    def test_meta_carries_the_schema_version(self):
+        from repro.obs import PROFILE_SCHEMA_VERSION
+
+        document = build_profile()
+        assert document["meta"]["schema_version"] == PROFILE_SCHEMA_VERSION
+
+    def test_histograms_carry_percentiles(self):
+        from repro.obs import histogram_percentiles
+
+        OBS.metrics.observe("lat", 2.0)
+        OBS.metrics.observe("lat", 8.0)
+        document = build_profile()
+        hist = document["metrics"]["histograms"]["lat"]
+        assert hist["percentiles"] == histogram_percentiles(hist)
+        assert set(hist["percentiles"]) == {"p50", "p90", "p99"}
+        assert validate_profile(document) == []
+
+    def test_wrong_schema_version_is_rejected(self):
+        document = build_profile()
+        document["meta"]["schema_version"] = 1
+        errors = validate_profile(document)
+        assert any("schema_version" in error for error in errors)
+
+    def test_missing_percentiles_are_rejected(self):
+        OBS.metrics.observe("lat", 2.0)
+        document = build_profile()
+        del document["metrics"]["histograms"]["lat"]["percentiles"]
+        errors = validate_profile(document)
+        assert any("percentiles" in error for error in errors)
+
+    def test_validator_enum_keyword(self):
+        assert validate(2, {"type": "integer", "enum": [2]}) == []
+        assert validate(3, {"type": "integer", "enum": [2]}) != []

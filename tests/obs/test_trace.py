@@ -159,3 +159,41 @@ class TestThreads:
         assert clone.attrs == span.attrs
         assert clone.duration == span.duration
         assert [c.name for c in clone.children] == ["leaf"]
+
+
+class TestRingEviction:
+    def test_full_ring_finish_notifies_once_per_drop(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(capacity=2)
+        dropped = []
+        tracer.on_evict = dropped.append
+        for name in ("a", "b", "c", "d"):
+            span = Span(name)
+            tracer.begin(span)
+            tracer.finish(span)
+        assert sum(dropped) == 2
+        assert [s.name for s in tracer.roots()] == ["c", "d"]
+
+    def test_adopt_overflow_counts_every_dropped_span(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(capacity=3)
+        dropped = []
+        tracer.on_evict = dropped.append
+        tracer.adopt([Span("a"), Span("b")])
+        assert dropped == []
+        tracer.adopt([Span("c"), Span("d")])
+        assert sum(dropped) == 1
+
+    def test_process_tracer_counts_dropped_spans(self):
+        # The facade wires the process tracer's eviction hook to the
+        # obs.spans.dropped counter, so a truncated profile is visible
+        # in `repro metrics show` instead of silent.
+        from repro.obs.trace import DEFAULT_RING_CAPACITY
+
+        configure_tracing(True)
+        for _ in range(DEFAULT_RING_CAPACITY + 5):
+            with trace("s"):
+                pass
+        assert OBS.metrics.counter("obs.spans.dropped") == 5

@@ -1,0 +1,89 @@
+"""Multi-sweep telemetry and models tables in one warehouse.
+
+The cross-run analytics tier (`repro.obs.analyze`) assumes the
+warehouse keeps telemetry from *different* traced sweeps apart: rows
+carry their sweep's clock stamp and master seed, and both must survive
+segment writes and compaction so `metrics history --master-seed` and
+`obs diff` read clean per-sweep slices.  Same for the versioned
+``models`` table the calibration pass appends to.
+"""
+
+import pytest
+
+from repro.results import ResultsStore, col
+from repro.results.store import MODEL_COLUMNS, TELEMETRY_COLUMNS
+
+
+def sweep_rows(stamp, master_seed, jobs):
+    return [
+        {
+            "stamp": float(stamp),
+            "master_seed": int(master_seed),
+            "kind": "counter",
+            "name": "runner.jobs",
+            "value": float(jobs),
+            "count": int(jobs),
+        },
+        {
+            "stamp": float(stamp),
+            "master_seed": int(master_seed),
+            "kind": "span.self",
+            "name": "sweep.execute",
+            "value": 0.5,
+            "count": 1,
+        },
+    ]
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultsStore(tmp_path / "warehouse")
+    store.append_rows("telemetry", sweep_rows(100.0, 0, 10), TELEMETRY_COLUMNS)
+    store.append_rows("telemetry", sweep_rows(200.0, 7, 20), TELEMETRY_COLUMNS)
+    return store
+
+
+class TestMultiSweepTelemetry:
+    def test_sweeps_keep_distinguishable_stamps(self, store):
+        table = store.table("telemetry")
+        assert sorted(set(table.column("stamp"))) == [100.0, 200.0]
+        # Stamp identifies the sweep: each slice is internally uniform.
+        for stamp, seed in ((100.0, 0), (200.0, 7)):
+            rows = table.filter(col("stamp") == stamp).to_rows()
+            assert rows and all(r["master_seed"] == seed for r in rows)
+
+    def test_query_by_master_seed_selects_one_sweep(self, store):
+        table = store.table("telemetry")
+        second = table.filter(col("master_seed") == 7)
+        assert len(second) == 2
+        assert set(second.column("stamp")) == {200.0}
+        assert len(table.filter(col("master_seed") == 3)) == 0
+
+    def test_slices_survive_compaction(self, store):
+        store.compact()
+        table = store.table("telemetry")
+        assert len(table) == 4
+        counters = table.filter(col("kind") == "counter").sort_by(["stamp"])
+        assert counters.column("value").tolist() == [10.0, 20.0]
+        assert counters.column("master_seed").tolist() == [0, 7]
+
+
+class TestModelsTable:
+    def test_models_rows_survive_compaction_in_append_order(self, tmp_path):
+        from repro.obs.calibrate import model_row
+        from repro.obs.policy import CostModel
+
+        store = ResultsStore(tmp_path / "warehouse")
+        old = CostModel("evolve.dense", ("log2_states", "log2_nnz"),
+                        (-20.0, 1.0, 0.5))
+        new = CostModel("evolve.dense", ("log2_states", "log2_nnz"),
+                        (-19.0, 1.1, 0.4))
+        store.append_rows("models", [model_row(old, 100.0)], MODEL_COLUMNS)
+        store.append_rows("models", [model_row(new, 200.0)], MODEL_COLUMNS)
+        store.compact()
+        digests = store.table("models").column("digest").tolist()
+        assert digests == [old.digest(), new.digest()]
+        # Latest-wins load order is what the policy depends on.
+        from repro.obs.calibrate import load_cost_models
+
+        assert load_cost_models(store)["evolve.dense"] == new

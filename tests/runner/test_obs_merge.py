@@ -140,3 +140,57 @@ class TestRecordHygiene:
         for line in (tmp_path / "run" / "records.jsonl").read_text(
         ).splitlines():
             assert "_telemetry" not in json.loads(line)
+
+
+class _InlineEngine:
+    """A non-serial engine that maps in-process: exercises the pool code
+    path (payload context, telemetry attach/fold) without pool cost."""
+
+    name = "inline"
+    supports_shared_chains = False
+
+    def map(self, fn, payloads):
+        for payload in payloads:
+            yield fn(payload)
+
+
+class TestExperimentPathTelemetry:
+    def test_execute_experiment_ships_telemetry_when_traced(self):
+        from repro.runner.worker import execute_experiment
+
+        record = execute_experiment({"index": 0, "obs": True})
+        assert record["telemetry"]["metrics"]["counters"][
+            "runner.experiments"
+        ] == 1
+        spans = record["telemetry"]["spans"]
+        assert any(s["name"] == "runner.experiment" for s in spans)
+
+    def test_execute_experiment_stays_clean_untraced(self):
+        from repro.runner.worker import execute_experiment
+
+        record = execute_experiment({"index": 0})
+        assert "telemetry" not in record
+
+    def test_engine_path_folds_worker_telemetry_into_parent(
+        self, monkeypatch
+    ):
+        import repro.analysis as analysis
+
+        monkeypatch.setattr(
+            analysis, "ALL_EXPERIMENTS", analysis.ALL_EXPERIMENTS[:1]
+        )
+        configure_tracing(True)
+        results = list(
+            analysis.iter_all_experiments(engine=_InlineEngine())
+        )
+        assert len(results) == 1
+        # The worker-side drain crossed the engine boundary and folded
+        # back: the counter and the worker's span are visible here.
+        assert OBS.metrics.counter("runner.experiments") == 1
+
+        def names(spans):
+            for span in spans:
+                yield span.name
+                yield from names(span.children)
+
+        assert "runner.experiment" in set(names(TRACER.finished()))
