@@ -331,6 +331,62 @@ def _configure_policy_from(args) -> None:
     configure_policy(mode, models)
 
 
+def _add_progress_args(p) -> None:
+    """Install ``--progress`` and the stall-watchdog knobs."""
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream per-job progress to stderr; with a run directory, "
+            "also write progress.jsonl and per-worker heartbeats there "
+            "(tail with `repro obs tail RUN_DIR`)"
+        ),
+    )
+    p.add_argument(
+        "--stall-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "--progress: flag a worker whose last heartbeat is older "
+            "than this (default 30)"
+        ),
+    )
+    p.add_argument(
+        "--stall-action",
+        choices=("warn", "cancel"),
+        default="warn",
+        help=(
+            "--progress: what the stall watchdog does -- warn on "
+            "stderr, or cancel the pool and resubmit the unfinished "
+            "jobs (default warn)"
+        ),
+    )
+
+
+def _live_from(args) -> "dict | None":
+    """The ``run_sweep(live=...)`` payload for ``--progress``, or None."""
+    if not getattr(args, "progress", False):
+        return None
+    return {
+        "deadline": args.stall_deadline,
+        "action": args.stall_action,
+    }
+
+
+def _stderr_progress(total: int):
+    """A per-record callback printing ``done/total`` lines to stderr."""
+    done = 0
+
+    def advance(record: dict) -> None:
+        nonlocal done
+        done += 1
+        key = record.get("key", "?")
+        print(f"progress: {done}/{total} {key}", file=sys.stderr)
+
+    return advance
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -403,11 +459,16 @@ def cmd_phase_diagram(args) -> int:
             ports=("adversarial",),
             tasks=(args.task,),
         )
+        progress = (
+            _stderr_progress(len(sweep.expand())) if args.progress else None
+        )
         outcome = run_sweep(
             sweep,
             engine=_engine_from(args),
             run_dir=args.run_dir,
             warehouse=_warehouse_from(args),
+            progress=progress,
+            live=_live_from(args),
         )
     except ValueError as exc:  # e.g. a bad --task spec
         raise SystemExit(f"phase-diagram: {exc}")
@@ -975,15 +1036,89 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _obs_tail(args) -> int:
+    """Stream a live run's progress events (``repro obs tail RUN_DIR``)."""
+    import pathlib
+    import time
+
+    from .obs.live import PROGRESS_NAME, format_progress_event, read_progress
+
+    path = pathlib.Path(args.directory)
+    if path.is_dir():
+        path = path / PROGRESS_NAME
+    if not args.follow and not path.exists():
+        raise SystemExit(f"obs tail: no progress log at {path}")
+    offset = 0
+    while True:
+        events, offset = read_progress(path, offset)
+        ended = False
+        for event in events:
+            print(format_progress_event(event))
+            ended = ended or event.get("event") == "end"
+        if not args.follow or ended:
+            return 0
+        time.sleep(args.poll)
+
+
+def _obs_top(args) -> int:
+    """Render per-worker heartbeat state (``repro obs top RUN_DIR``)."""
+    import pathlib
+
+    from .obs.live import HEARTBEAT_DIR, worker_status
+
+    directory = pathlib.Path(args.directory)
+    if (directory / HEARTBEAT_DIR).is_dir():
+        directory = directory / HEARTBEAT_DIR
+    rows = worker_status(directory)
+    if not rows:
+        print(f"no heartbeats under {directory} (run a sweep with "
+              "--progress and a --run-dir first)")
+        return 0
+    print(
+        format_table(
+            ("worker", "phase", "done", "in-flight", "age", "rss", "cpu"),
+            [
+                (
+                    r["worker"],
+                    r.get("phase", "?"),
+                    r["jobs_finished"],
+                    r["in_flight"],
+                    f"{r['age']:.1f}s",
+                    _format_bytes(r.get("resources", {}).get("rss_peak", 0)),
+                    f"{r.get('resources', {}).get('cpu_seconds', 0.0):.1f}s",
+                )
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (``1.5GiB``)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
 def cmd_obs(args) -> int:
-    """Cross-run telemetry analytics: diff two sweeps, attribute time.
+    """Cross-run telemetry analytics and live-run inspection.
 
     ``repro obs diff DIR`` compares the two most recent traced sweeps
     persisted in the warehouse tier by tier (pick explicit sweeps with
-    ``--a``/``--b`` stamps from ``repro metrics history``); ``repro obs
+    ``--stamps A B`` from ``repro metrics history``); ``repro obs
     tiers DIR`` renders one sweep's wall-clock attribution by span
-    self-time.
+    self-time.  ``repro obs tail RUN_DIR`` replays (or with
+    ``--follow`` streams) a live sweep's progress events; ``repro obs
+    top RUN_DIR`` shows per-worker heartbeat state.
     """
+    if args.action == "tail":
+        return _obs_tail(args)
+    if args.action == "top":
+        return _obs_top(args)
     from .obs.analyze import diff_sweeps, tier_attribution
 
     store = _results_store(args.directory)
@@ -1006,8 +1141,11 @@ def cmd_obs(args) -> int:
             )
         )
         return 0
+    stamp_a, stamp_b = args.a, args.b
+    if args.stamps is not None:
+        stamp_a, stamp_b = args.stamps
     try:
-        rows = diff_sweeps(store, stamp_a=args.a, stamp_b=args.b)
+        rows = diff_sweeps(store, stamp_a=stamp_a, stamp_b=stamp_b)
     except ValueError as exc:
         raise SystemExit(f"obs diff: {exc}")
     print(
@@ -1038,9 +1176,19 @@ def cmd_mermaid(args) -> int:
 
 def cmd_report(args) -> int:
     """Run all experiments and write JSON/CSV/Markdown reports."""
-    from .analysis import run_all_experiments, write_report
+    from .analysis import ALL_EXPERIMENTS, iter_all_experiments, write_report
 
-    results = run_all_experiments(engine=_engine_from(args))
+    total = len(ALL_EXPERIMENTS)
+    results = []
+    for result in iter_all_experiments(engine=_engine_from(args)):
+        results.append(result)
+        if args.progress:
+            verdict = "pass" if result.passed else "FAIL"
+            print(
+                f"progress: {len(results)}/{total} {result.experiment_id} "
+                f"({verdict})",
+                file=sys.stderr,
+            )
     paths = write_report(results, args.output)
     if getattr(args, "warehouse", None) and not args.no_warehouse:
         # Land the pass/fail history in the warehouse so `repro results
@@ -1137,7 +1285,12 @@ def cmd_run(args) -> int:
         from .results.store import ResultsStore
 
         payload["results_memo"] = str(ResultsStore(warehouse).memo_dir)
+    if args.progress:
+        # One job, no run directory: the lightweight stderr form only.
+        print(f"progress: 0/1 {spec.job_key}", file=sys.stderr)
     record = execute_run(payload)
+    if args.progress:
+        print(f"progress: 1/1 {spec.job_key}", file=sys.stderr)
     # Telemetry rides next to the record fields; the printed record's
     # bytes stay identical with tracing on or off.
     telemetry = record.pop("_telemetry", None)
@@ -1248,11 +1401,16 @@ def cmd_sweep(args) -> int:
         )
         # run_sweep expands first, so a bad --tasks spec or a run-dir
         # manifest mismatch both surface here before any job executes.
+        progress = (
+            _stderr_progress(len(sweep.expand())) if args.progress else None
+        )
         outcome = run_sweep(
             sweep,
             engine=_engine_from(args),
             run_dir=args.run_dir,
             warehouse=_warehouse_from(args),
+            progress=progress,
+            live=_live_from(args),
         )
     except ValueError as exc:
         raise SystemExit(f"sweep: {exc}")
@@ -1334,6 +1492,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
+    _add_progress_args(p)
     p.set_defaults(func=cmd_phase_diagram)
 
     p = sub.add_parser("protocol", help="run an election protocol")
@@ -1382,6 +1541,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_quotient_arg(p)
     _add_policy_arg(p)
     _add_warehouse_args(p)
+    _add_progress_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -1471,6 +1631,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
+    _add_progress_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -1597,16 +1758,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arg(p)
     _add_warehouse_args(p)
     _add_profile_arg(p)
+    _add_progress_args(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "obs",
-        help="cross-run telemetry analytics (diff sweeps, tier attribution)",
+        help=(
+            "telemetry analytics (diff sweeps, tier attribution) and "
+            "live-run inspection (tail progress, worker top)"
+        ),
     )
-    p.add_argument("action", choices=("diff", "tiers"))
+    p.add_argument("action", choices=("diff", "tiers", "tail", "top"))
     p.add_argument(
         "directory",
-        help="warehouse directory (or a run directory containing warehouse/)",
+        help=(
+            "diff/tiers: warehouse directory (or a run directory "
+            "containing warehouse/); tail/top: a live run directory"
+        ),
     )
     p.add_argument(
         "--a", type=float, default=None, metavar="STAMP",
@@ -1617,8 +1785,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff: comparison sweep stamp (default: most recent)",
     )
     p.add_argument(
+        "--stamps", type=float, nargs=2, default=None,
+        metavar=("A", "B"),
+        help="diff: the two sweep stamps to compare (same as --a A --b B)",
+    )
+    p.add_argument(
         "--stamp", type=float, default=None,
         help="tiers: sweep stamp to attribute (default: most recent)",
+    )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="tail: keep polling until the run's end event arrives",
+    )
+    p.add_argument(
+        "--poll", type=float, default=1.0,
+        help="tail --follow: poll interval in seconds (default 1)",
     )
     p.set_defaults(func=cmd_obs)
 

@@ -14,7 +14,10 @@ model fitting from measured group forensics
 (:mod:`repro.obs.calibrate`), and the opt-in
 :class:`~repro.obs.policy.CostModelPolicy` the chain/runner planners
 consult (:mod:`repro.obs.policy`) -- see OBS.md, "From telemetry to
-decisions".
+decisions".  Alongside the after-the-fact profile sits the *in-flight*
+layer (:mod:`repro.obs.live`, OBS.md "Live operation"): worker
+heartbeats with resource gauges (:mod:`repro.obs.resources`), a
+streaming ``progress.jsonl`` event log, and a stall watchdog.
 
 The contract with the hot paths
 -------------------------------
@@ -48,6 +51,14 @@ from __future__ import annotations
 import os
 
 from .clock import now
+from .live import (
+    LIVE,
+    HeartbeatEmitter,
+    LiveConfig,
+    SweepMonitor,
+    configure_heartbeat,
+    monitored_map,
+)
 from .metrics import (
     MetricsRegistry,
     bin_edges,
@@ -159,23 +170,29 @@ if os.environ.get("REPRO_TRACE", "0") not in ("", "0"):
 
 
 __all__ = [
+    "LIVE",
     "OBS",
     "CostModel",
     "CostModelPolicy",
+    "HeartbeatEmitter",
+    "LiveConfig",
     "Observability",
     "Span",
+    "SweepMonitor",
     "Tracer",
     "MetricsRegistry",
     "PROFILE_SCHEMA_VERSION",
     "bin_edges",
     "bin_index",
     "build_profile",
+    "configure_heartbeat",
     "configure_policy",
     "configure_policy_payload",
     "configure_tracing",
     "drain_telemetry",
     "histogram_percentiles",
     "merge_telemetry",
+    "monitored_map",
     "now",
     "policy_mode",
     "policy_payload",

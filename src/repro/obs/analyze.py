@@ -112,25 +112,40 @@ def diff_sweeps(
 ) -> list:
     """Tier-by-tier comparison of two persisted sweeps.
 
-    Defaults to the two most recent stamps (older as side ``a``).  One
-    output row per metric name present in either sweep: ``{kind, name,
-    a, b, delta, ratio}`` with absent sides reported as ``0.0`` and
-    ``ratio`` of ``b/a`` (``None`` when ``a`` is zero).  Rows are
-    ordered by kind (:data:`TELEMETRY_KINDS`) then name, so all
-    counters diff together, then gauges, then span timings.
+    Defaults to the two most recent stamps (older as side ``a``); any
+    two persisted sweeps can be compared by passing their stamps
+    explicitly (``repro obs diff --stamps A B``).  Explicit stamps must
+    match a persisted sweep exactly (stamps round-trip bit-identically
+    through the warehouse, so equality is the right test); an unknown
+    stamp raises a :class:`ValueError` that lists every available
+    stamp.  One output row per metric name present in either sweep:
+    ``{kind, name, a, b, delta, ratio}`` with absent sides reported as
+    ``0.0`` and ``ratio`` of ``b/a`` (``None`` when ``a`` is zero).
+    Rows are ordered by kind (:data:`TELEMETRY_KINDS`) then name, so
+    all counters diff together, then gauges, then span timings.
     """
     stamps = [stamp for stamp, _ in sweep_stamps(store)]
+    available = ", ".join(f"{stamp!r}" for stamp in stamps) or "none"
+    for explicit in (stamp_a, stamp_b):
+        if explicit is not None and float(explicit) not in stamps:
+            raise ValueError(
+                f"no persisted sweep has stamp {explicit!r}; "
+                f"available stamps: {available}"
+            )
     if stamp_b is None:
         if len(stamps) < 2 and stamp_a is None:
             raise ValueError(
                 "diff needs two persisted sweeps; this warehouse has "
-                f"{len(stamps)}"
+                f"{len(stamps)} (available stamps: {available})"
             )
         stamp_b = stamps[-1]
     if stamp_a is None:
         earlier = [stamp for stamp in stamps if stamp < stamp_b]
         if not earlier:
-            raise ValueError("no sweep earlier than the diff target")
+            raise ValueError(
+                "no sweep earlier than the diff target "
+                f"(available stamps: {available})"
+            )
         stamp_a = earlier[-1]
     side_a = _stamp_values(store, stamp_a)
     side_b = _stamp_values(store, stamp_b)

@@ -141,7 +141,7 @@ def _group_job_payloads(jobs, payloads, engine):
         groups.append(current)
     context_keys = (
         "chain_cache", "batch", "group_chains", "quotient",
-        "results_memo", "obs", "policy",
+        "results_memo", "obs", "policy", "live",
     )
     return [
         {
@@ -383,6 +383,7 @@ def run_sweep(
     run_dir: "str | pathlib.Path | None" = None,
     progress=None,
     warehouse: "str | pathlib.Path | bool | None" = None,
+    live: "bool | dict | None" = None,
 ) -> SweepOutcome:
     """Execute a sweep, optionally resuming from a run directory.
 
@@ -391,6 +392,19 @@ def run_sweep(
     ``records.jsonl`` immediately, and jobs already recorded there are
     not re-run.  ``progress`` (if given) is called with each fresh record
     as it completes.
+
+    ``live`` (needs a run directory) turns on the in-flight telemetry
+    side channel (:mod:`repro.obs.live`, OBS.md "Live operation"):
+    workers append heartbeats under ``<run_dir>/heartbeats/``, a
+    monitor thread folds them into schema-validated progress events in
+    ``<run_dir>/progress.jsonl``, and a stall watchdog flags workers
+    whose heartbeat age exceeds the deadline.  Pass ``True`` for the
+    defaults or a dict of :class:`~repro.obs.live.LiveConfig` fields
+    (``interval``, ``poll``, ``deadline``, ``action``, ``max_reaps``);
+    ``action="cancel"`` lets the watchdog reap a stalled pool and
+    resubmit the unfinished jobs deterministically.  Live telemetry
+    never touches the record path: ``records.jsonl`` is byte-identical
+    with ``live`` on or off.
 
     ``warehouse`` names the columnar results warehouse
     (:class:`~repro.results.store.ResultsStore`) the sweep serves and
@@ -476,6 +490,30 @@ def run_sweep(
     from .worker import chain_context_payload
 
     context = chain_context_payload()
+    monitor = None
+    if live and directory is not None:
+        from ..obs.live import LiveConfig, SweepMonitor
+
+        config = LiveConfig.from_payload(
+            live if isinstance(live, (dict, LiveConfig)) else None
+        )
+        context = {
+            **context,
+            # The heartbeat side channel is sweep-specific context,
+            # like chain_cache: workers append to their own log under
+            # the run directory, far from the record return path.
+            "live": {
+                "dir": str(directory.heartbeat_dir),
+                "interval": config.interval,
+            },
+        }
+        monitor = SweepMonitor(
+            directory.path,
+            total=len(jobs),
+            config=config,
+            engine=engine,
+            resumed=len(prior),
+        )
     for payload in payloads:
         # Propagate the parent's chain context (e.g. the CLI --no-batch
         # toggle) into pool workers; results are identical either way.
@@ -494,8 +532,15 @@ def run_sweep(
         if dispatch and getattr(engine, "supports_shared_chains", False):
             with trace("sweep.publish"):
                 shm_store = _publish_shared_chains(jobs, dispatch, directory)
+        if monitor is not None:
+            monitor.start()
+            from ..obs.live import monitored_map
+
+            results = monitored_map(engine, worker_fn, dispatch, monitor)
+        else:
+            results = engine.map(worker_fn, dispatch)
         with trace("sweep.execute", jobs=len(dispatch)):
-            for result in engine.map(worker_fn, dispatch):
+            for result in results:
                 # Workers attach their drained telemetry *next to* the
                 # record payload; fold it into this process before
                 # anything is persisted, so record bytes are identical
@@ -518,9 +563,20 @@ def run_sweep(
                         directory.append(record)
                     fresh.append(record)
                     executed += 1
+                    if monitor is not None:
+                        monitor.note_record(record)
                     if progress is not None:
                         progress(record)
     finally:
+        if monitor is not None:
+            # Flush the final progress event (``event: "end"``) and stop
+            # the monitor thread, then detach any in-process heartbeat
+            # emitter a serial engine installed -- same detach contract
+            # as the disk cache below.
+            monitor.stop()
+            from ..obs.live import configure_heartbeat
+
+            configure_heartbeat(None)
         if shm_store is not None:
             # Unlinking is safe while workers still hold mappings; only
             # the names disappear, live views stay valid until exit.

@@ -29,7 +29,9 @@ from ..chain import (
 )
 from ..core.tasks import SymmetryBreakingTask
 from ..obs import (
+    LIVE,
     OBS,
+    configure_heartbeat,
     configure_tracing,
     drain_telemetry,
     trace,
@@ -59,8 +61,8 @@ def chain_context_payload() -> dict:
     One choke point for the fields :func:`_apply_chain_context` mirrors
     in the worker (currently the batching and chain-grouping toggles,
     the quotient-compilation mode, and the cost-model policy;
-    ``chain_cache`` / ``chain_shm`` / ``chain_shm_groups`` are
-    sweep-specific and attached by ``run_sweep``).  A payload producer
+    ``chain_cache`` / ``chain_shm`` / ``chain_shm_groups`` / ``live``
+    are sweep-specific and attached by ``run_sweep``).  A payload producer
     that merges this dict can never silently reset a worker to defaults
     the parent has overridden.
     """
@@ -148,6 +150,11 @@ def _apply_chain_context(payload: dict) -> None:
     configure_query_memo(payload.get("results_memo"))
     configure_tracing(payload.get("obs", False))
     configure_policy_payload(payload.get("policy"))
+    # The live-sweep heartbeat side channel (repro.obs.live): installed
+    # per payload like everything above, so a live sweep's emitter never
+    # outlives its payloads.  Heartbeats go to their own append logs,
+    # never near the record return path.
+    configure_heartbeat(payload.get("live"))
 
 
 def _exact_value(limit: Fraction) -> dict:
@@ -186,6 +193,8 @@ def execute_run(payload: dict) -> dict:
     spec = RunSpec.from_dict(payload["spec"])
     master_seed = int(payload.get("master_seed", 0))
     seed = derive_seed(master_seed, spec.job_key)
+    if LIVE.emitter is not None:
+        LIVE.emitter.job_started(f"job:{spec.kind}")
     value: dict
     with trace("runner.job", key=spec.job_key, kind=spec.kind) as timer:
         alpha = RandomnessConfiguration.from_group_sizes(spec.sizes)
@@ -230,6 +239,8 @@ def execute_run(payload: dict) -> dict:
                 "samples": estimate.samples,
             }
     record = _job_record(payload, spec, seed, alpha, value, timer.duration)
+    if LIVE.emitter is not None:
+        LIVE.emitter.job_finished()
     if OBS.enabled:
         OBS.metrics.inc("runner.jobs")
         # Telemetry rides *next to* the record fields under a key the
@@ -265,6 +276,8 @@ def execute_run_group(payload: dict) -> dict:
     from ..chain import evolution_strategy, transition_density
 
     _apply_chain_context(payload)
+    if LIVE.emitter is not None:
+        LIVE.emitter.job_started("group:prepare", count=len(payload["jobs"]))
     with trace("runner.group", jobs=len(payload["jobs"])) as timer:
         prepared = []
         items: dict[int, tuple[CompiledChain, list]] = {}
@@ -272,6 +285,8 @@ def execute_run_group(payload: dict) -> dict:
         memo_hits = 0
         with trace("group.prepare"):
             for job in payload["jobs"]:
+                if LIVE.emitter is not None:
+                    LIVE.emitter.pulse()
                 spec = RunSpec.from_dict(job["spec"])
                 master_seed = int(job.get("master_seed", 0))
                 seed = derive_seed(master_seed, spec.job_key)
@@ -294,6 +309,8 @@ def execute_run_group(payload: dict) -> dict:
                     (job, spec, seed, alpha, (id(chain), len(queries)), None)
                 )
                 queries.append(Query.limit(task))
+        if LIVE.emitter is not None:
+            LIVE.emitter.pulse("group:evolve")
         with trace("group.evolve"):
             answers = dict(
                 zip(order, run_group_queries([items[cid] for cid in order]))
@@ -327,6 +344,8 @@ def execute_run_group(payload: dict) -> dict:
         "elapsed": elapsed_total,
     }
     result = {"records": records, "group": group}
+    if LIVE.emitter is not None:
+        LIVE.emitter.job_finished(count=len(prepared))
     if OBS.enabled:
         OBS.metrics.inc("runner.groups")
         OBS.metrics.inc("runner.jobs", len(prepared))

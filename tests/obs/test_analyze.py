@@ -118,6 +118,26 @@ class TestDiffSweeps:
         with pytest.raises(ValueError):
             diff_sweeps(store, stamp_b=100.0)  # nothing earlier
 
+    def test_unknown_stamp_error_lists_available_stamps(self, store):
+        with pytest.raises(ValueError) as err:
+            diff_sweeps(store, stamp_a=123.0, stamp_b=200.0)
+        message = str(err.value)
+        assert "123.0" in message
+        assert "available stamps" in message
+        assert "100.0" in message and "200.0" in message
+
+    def test_too_few_sweeps_error_lists_available_stamps(self, tmp_path):
+        store = ResultsStore(tmp_path / "warehouse")
+        store.append_rows(
+            "telemetry",
+            [telemetry_row(100.0, "counter", "runner.jobs", 1)],
+            TELEMETRY_COLUMNS,
+        )
+        with pytest.raises(ValueError) as err:
+            diff_sweeps(store)
+        assert "available stamps" in str(err.value)
+        assert "100.0" in str(err.value)
+
 
 class TestTierAttribution:
     def test_latest_sweep_by_default_shares_normalized(self, store):

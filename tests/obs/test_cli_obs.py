@@ -283,6 +283,132 @@ class TestCrossRunAnalyticsCLI:
         assert "%" in out
 
 
+class TestLiveCLI:
+    """The live-operation surface: --progress, obs tail, obs top."""
+
+    @pytest.fixture
+    def live_run(self, tmp_path, capsys):
+        """A completed --progress sweep; returns its run directory."""
+        run = tmp_path / "run"
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(run), "--no-warehouse",
+             "--progress"]
+        ) == 0
+        capsys.readouterr()
+        return run
+
+    def test_progress_sweep_streams_stderr_and_writes_sidecar(
+        self, tmp_path, capsys
+    ):
+        run = tmp_path / "run"
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(run), "--no-warehouse",
+             "--progress"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "progress: 1/10" in err
+        assert "progress: 10/10" in err
+        assert (run / "progress.jsonl").exists()
+        assert list((run / "heartbeats").glob("*.log"))
+        from repro.obs.schema import _validate_event_log
+
+        assert _validate_event_log(run / "progress.jsonl") == []
+
+    def test_progress_records_identical_to_plain_run(self, tmp_path, capsys):
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(tmp_path / "plain"),
+             "--no-warehouse"]
+        ) == 0
+        clear_memo()
+        assert main(
+            ["sweep", "--n", "4", "--run-dir", str(tmp_path / "live"),
+             "--no-warehouse", "--progress"]
+        ) == 0
+        capsys.readouterr()
+
+        def stripped(path):
+            return [
+                {k: v for k, v in json.loads(line).items()
+                 if k != "elapsed"}
+                for line in path.read_text().splitlines()
+            ]
+
+        assert stripped(
+            tmp_path / "plain" / "records.jsonl"
+        ) == stripped(tmp_path / "live" / "records.jsonl")
+        assert not (tmp_path / "plain" / "progress.jsonl").exists()
+
+    def test_obs_tail_replays_the_event_log(self, live_run, capsys):
+        assert main(["obs", "tail", str(live_run)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("[start] 0/10 jobs")
+        assert lines[-1].startswith("[end] 10/10 jobs")
+
+    def test_obs_tail_without_a_log_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no progress log"):
+            main(["obs", "tail", str(tmp_path / "nope")])
+
+    def test_obs_top_renders_worker_rows(self, live_run, capsys):
+        assert main(["obs", "top", str(live_run)]) == 0
+        out = capsys.readouterr().out
+        rows = _table_rows(out)
+        assert rows
+        # Serial run: one worker, all ten jobs finished, none in flight.
+        assert rows[0][2] == "10"
+        assert rows[0][3] == "0"
+
+    def test_obs_top_without_heartbeats_says_so(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["obs", "top", str(empty)]) == 0
+        assert "no heartbeats" in capsys.readouterr().out
+
+    def test_run_report_progress_flags_parse(self, tmp_path, capsys):
+        assert main(["run", "2,3", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "progress: 1/1" in err
+
+
+class TestObsDiffStamps:
+    def test_stamps_flag_selects_both_sides(self, tmp_path, capsys):
+        clear_memo()
+        warehouse = tmp_path / "warehouse"
+        from repro.obs import reset_telemetry
+
+        with clock.frozen(100.0):
+            assert main(
+                ["trace", "sweep", "--n", "4",
+                 "--run-dir", str(tmp_path / "first"),
+                 "--warehouse", str(warehouse)]
+            ) == 0
+        reset_telemetry()
+        clear_memo()
+        with clock.frozen(200.0):
+            assert main(
+                ["trace", "sweep", "--n", "4", "--master-seed", "7",
+                 "--run-dir", str(tmp_path / "second"),
+                 "--warehouse", str(warehouse)]
+            ) == 0
+        reset_telemetry()
+        capsys.readouterr()
+        assert main(
+            ["obs", "diff", str(warehouse), "--stamps", "100.0", "200.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "runner.jobs" in out
+
+        # An unknown stamp names the ones that do exist.
+        with pytest.raises(SystemExit, match="available stamps"):
+            main(
+                ["obs", "diff", str(warehouse),
+                 "--stamps", "123.0", "200.0"]
+            )
+
+
 class TestCalibrateCLI:
     def test_calibrate_fits_persists_and_is_idempotent(
         self, tmp_path, capsys

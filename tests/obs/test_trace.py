@@ -197,3 +197,93 @@ class TestRingEviction:
             with trace("s"):
                 pass
         assert OBS.metrics.counter("obs.spans.dropped") == 5
+
+
+class TestConcurrentEviction:
+    """The eviction ledger under contention: N threads racing the ring
+    must account for every dropped root exactly once -- the live layer
+    leans on ``obs.spans.dropped`` being exact, not approximate."""
+
+    def _race(self, work, threads=4):
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def run(tag):
+            try:
+                barrier.wait()
+                work(tag)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=run, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+
+    def test_racing_finishes_account_for_every_drop(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(capacity=8)
+        dropped = []
+        lock = threading.Lock()
+
+        def count(n):
+            with lock:
+                dropped.append(n)
+
+        tracer.on_evict = count
+
+        def work(tag):
+            for i in range(50):
+                span = Span(f"t{tag}-{i}")
+                tracer.begin(span)
+                tracer.finish(span)
+
+        self._race(work)
+        # 200 roots through a ring of 8: exactly 192 evictions, no
+        # double counts, no lost updates.
+        assert sum(dropped) == 4 * 50 - 8
+        assert len(tracer.roots()) == 8
+
+    def test_racing_adopts_account_for_every_drop(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(capacity=8)
+        dropped = []
+        lock = threading.Lock()
+
+        def count(n):
+            with lock:
+                dropped.append(n)
+
+        tracer.on_evict = count
+
+        def work(tag):
+            for i in range(25):
+                tracer.adopt([Span(f"a{tag}-{i}"), Span(f"b{tag}-{i}")])
+
+        self._race(work)
+        assert sum(dropped) == 4 * 25 * 2 - 8
+        assert len(tracer.roots()) == 8
+
+    def test_process_counter_is_exact_under_thread_races(self):
+        from repro.obs.trace import DEFAULT_RING_CAPACITY
+
+        configure_tracing(True)
+        per_thread = DEFAULT_RING_CAPACITY // 2
+
+        def work(tag):
+            for _ in range(per_thread):
+                with trace("s"):
+                    pass
+
+        self._race(work)
+        total = 4 * per_thread
+        assert OBS.metrics.counter("obs.spans.dropped") == (
+            total - DEFAULT_RING_CAPACITY
+        )
+        assert len(TRACER.finished()) == DEFAULT_RING_CAPACITY
